@@ -1,0 +1,53 @@
+"""Ablation A2: interleaved accumulators in the FC core (Section IV-B).
+
+Sweeps the number of accumulator lanes for the paper's FC workloads
+(64->10 and 900->64) showing the latency/resource trade-off the paper
+describes: below ~11 lanes the 11-cycle float add forces II > 1; at or
+beyond it the loop fully pipelines at the cost of more adders.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.hls import AccumulatorModel, interleaved_sum
+from repro.report import banner, format_table
+
+LANES = [1, 2, 4, 8, 11, 12, 16]
+
+
+def test_accumulator_lane_sweep(benchmark):
+    def rows():
+        out = []
+        for terms in (64, 900):
+            for lanes in LANES:
+                m = AccumulatorModel(terms, lanes)
+                out.append(
+                    [terms, lanes, m.ii, m.total_latency,
+                     m.speedup_vs_single(), int(m.resources.dsp)]
+                )
+        return out
+
+    data = benchmark(rows)
+    text = banner("A2") + "\n" + format_table(
+        ["terms", "lanes", "II", "latency", "speedup vs 1 lane", "adder DSP"],
+        data,
+        title="Ablation A2 — interleaved accumulators in the FC core",
+        float_fmt="{:.2f}",
+    )
+    emit("ablation_fc_accumulators.txt", text)
+    by = {(r[0], r[1]): r for r in data}
+    # II reaches 1 exactly when lanes >= the 11-cycle add latency.
+    assert by[(900, 8)][2] > 1
+    assert by[(900, 11)][2] == 1 and by[(900, 12)][2] == 1
+    # Latency improves monotonically, resources grow monotonically.
+    for terms in (64, 900):
+        lat = [by[(terms, l)][3] for l in LANES]
+        dsp = [by[(terms, l)][5] for l in LANES]
+        assert lat == sorted(lat, reverse=True)
+        assert dsp == sorted(dsp)
+
+
+def test_interleaved_sum_throughput(benchmark, rng):
+    vals = rng.standard_normal((64, 900)).astype(np.float32)
+    out = benchmark(interleaved_sum, vals, 12)
+    assert np.allclose(out, vals.sum(axis=-1), rtol=1e-4, atol=1e-2)

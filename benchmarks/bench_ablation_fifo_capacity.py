@@ -1,0 +1,50 @@
+"""Ablation A5: inter-actor FIFO capacity vs pipeline throughput.
+
+The paper sizes its memory-structure FIFOs for full buffering; the small
+inter-core stream FIFOs still need enough slack to decouple producer and
+consumer schedules. This bench sweeps the default channel capacity of the
+elaborated USPS design and measures the cycle-simulated steady interval:
+capacity 1 serializes the handshakes, a few slots recover the full rate,
+and further depth buys nothing — the classic latency-insensitive result.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.core import network_perf, random_weights, usps_design
+from repro.core.builder import build_network
+from repro.report import banner, format_table
+
+CAPACITIES = [1, 2, 4, 8, 16]
+
+
+def measure(capacity: int) -> float:
+    design = usps_design()
+    weights = random_weights(design, seed=0)
+    batch = np.random.default_rng(0).uniform(0, 1, (5, 1, 16, 16)).astype(np.float32)
+    built = build_network(design, weights, batch, channel_capacity=capacity)
+    built.run()
+    return float(np.mean(np.diff(built.image_completion_cycles())))
+
+
+def test_fifo_capacity_sweep(benchmark):
+    def sweep():
+        return [[c, measure(c)] for c in CAPACITIES]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    model = network_perf(usps_design()).interval
+    text = banner("A5") + "\n" + format_table(
+        ["channel capacity", "measured interval (cycles/img)"],
+        rows,
+        title=f"Ablation A5 — FIFO capacity vs throughput (model: {model})",
+    )
+    emit("ablation_fifo_capacity.txt", text)
+    by = dict((c, i) for c, i in rows)
+    # Deeper never slower; a few slots reach the model's full rate; extra
+    # depth beyond that buys nothing.
+    intervals = [by[c] for c in CAPACITIES]
+    assert intervals == sorted(intervals, reverse=True)
+    assert by[4] == pytest.approx(model, rel=0.02)
+    assert by[16] == pytest.approx(by[4], rel=0.01)
+    assert by[1] > by[4]

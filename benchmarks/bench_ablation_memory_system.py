@@ -1,0 +1,73 @@
+"""Ablation A6: behavioral line buffer vs literal SST filter chain.
+
+Elaborates the same design twice — once with the fast behavioral
+sliding-window actor, once with the literal actor-per-tap filter chain
+(full-buffering FIFO depths, the faithful Section II-B structure) — and
+compares outputs (bit-identical), steady-state timing, and elaboration/
+simulation cost. Demonstrates that the behavioral model used everywhere
+else is a sound abstraction of the literal memory system.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core import random_weights, tiny_design
+from repro.core.builder import build_network
+from repro.report import banner, format_table
+
+
+def elaborate_and_run(memory_system: str):
+    design = tiny_design()
+    weights = random_weights(design, seed=3)
+    batch = np.random.default_rng(3).uniform(0, 1, (4, 1, 8, 8)).astype(np.float32)
+    built = build_network(design, weights, batch, memory_system=memory_system)
+    built.run()
+    return built
+
+
+def test_memory_system_fidelity(benchmark):
+    def compare():
+        behavioral = elaborate_and_run("behavioral")
+        literal = elaborate_and_run("literal")
+        ib = float(np.mean(np.diff(behavioral.image_completion_cycles())))
+        il = float(np.mean(np.diff(literal.image_completion_cycles())))
+        return {
+            "identical": bool(
+                np.array_equal(behavioral.outputs(), literal.outputs())
+            ),
+            "behavioral_actors": len(behavioral.graph.actors),
+            "literal_actors": len(literal.graph.actors),
+            "behavioral_interval": ib,
+            "literal_interval": il,
+        }
+
+    data = benchmark.pedantic(compare, rounds=1, iterations=1)
+    text = banner("A6") + "\n" + format_table(
+        ["memory system", "actors", "interval (cycles/img)"],
+        [
+            ["behavioral line buffer", data["behavioral_actors"],
+             data["behavioral_interval"]],
+            ["literal filter chain", data["literal_actors"],
+             data["literal_interval"]],
+        ],
+        title=f"Ablation A6 — memory-system fidelity "
+              f"(outputs identical: {data['identical']})",
+    )
+    emit("ablation_memory_system.txt", text)
+    assert data["identical"]
+    assert data["literal_actors"] > data["behavioral_actors"]
+    # Same streaming rates: intervals agree within 10%.
+    assert abs(data["literal_interval"] - data["behavioral_interval"]) <= (
+        0.10 * data["behavioral_interval"]
+    )
+
+
+def test_behavioral_elaboration_speed(benchmark):
+    benchmark(elaborate_and_run, "behavioral")
+
+
+def test_literal_elaboration_speed(benchmark):
+    def run():
+        return elaborate_and_run("literal")
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

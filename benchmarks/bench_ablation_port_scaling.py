@@ -1,0 +1,75 @@
+"""Ablation A4: port-scaling sweep of the convolutional layers.
+
+Section IV-A's scalability claim, quantified: sweep a conv layer from
+single-input-port/single-output-port to fully parallel and report the
+initiation interval, the network interval and the resource bill at every
+step — the trade-off the paper tuned "empirically".
+"""
+
+from conftest import emit
+
+from repro.core import (
+    cifar10_design,
+    design_resources,
+    network_perf,
+    single_port_design,
+    usps_design,
+    with_layer_ports,
+)
+from repro.core.scaling import divisors
+from repro.fpga import XC7VX485T
+from repro.report import banner, format_table
+
+
+def sweep_conv1(design):
+    base = single_port_design(design)
+    conv1 = base.specs[0]
+    rows = []
+    for out_p in divisors(conv1.out_fm):
+        d = with_layer_ports(base, "conv1", 1, out_p)
+        perf = network_perf(d)
+        res = design_resources(d)
+        rows.append(
+            [
+                design.name,
+                f"1/{out_p}",
+                d.specs[0].ii,
+                perf.interval,
+                int(res.total.dsp),
+                res.fits(XC7VX485T),
+            ]
+        )
+    return rows
+
+
+def test_port_scaling_usps(benchmark):
+    rows = benchmark(sweep_conv1, usps_design())
+    text = banner("A4") + "\n" + format_table(
+        ["design", "conv1 ports", "conv1 II", "network interval", "DSP", "fits"],
+        rows,
+        title="Ablation A4 — conv1 port scaling (test case 1)",
+    )
+    emit("ablation_port_scaling_tc1.txt", text)
+    intervals = [r[3] for r in rows]
+    dsps = [r[4] for r in rows]
+    assert intervals == sorted(intervals, reverse=True)
+    assert dsps == sorted(dsps)
+    assert all(r[5] for r in rows)  # everything fits for the small net
+
+
+def test_port_scaling_cifar(benchmark):
+    rows = benchmark(sweep_conv1, cifar10_design())
+    text = format_table(
+        ["design", "conv1 ports", "conv1 II", "network interval", "DSP", "fits"],
+        rows,
+        title="Ablation A4 — conv1 port scaling (test case 2)",
+    )
+    emit("ablation_port_scaling_tc2.txt", text)
+    # Parallelism helps until the resource wall: the most parallel configs
+    # of the big network no longer fit, exactly the paper's situation
+    # ("the convolutional layers require too much area to allow
+    # parallelization").
+    assert rows[0][5] is True
+    assert rows[-1][5] is False
+    intervals = [r[3] for r in rows]
+    assert intervals == sorted(intervals, reverse=True)

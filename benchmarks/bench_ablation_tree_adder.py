@@ -1,0 +1,54 @@
+"""Ablation A1: tree adder versus sequential adder chain (Section IV-A).
+
+The paper motivates the tree adder as reducing the core's pipeline depth.
+This bench quantifies the latency gap across reduction widths (including
+the widths the paper's cores instantiate: 25-tap windows, 150-way groups)
+and times the two functional reductions.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.hls import AdderTreeModel, chain_reduce, tree_reduce
+from repro.report import banner, format_table
+
+WIDTHS = [9, 25, 64, 150, 900]
+
+
+def test_tree_vs_chain_depth_model(benchmark):
+    def rows():
+        out = []
+        for n in WIDTHS:
+            m = AdderTreeModel(n)
+            out.append(
+                [n, m.depth_levels, m.latency, m.chain_latency,
+                 m.chain_latency / m.latency, m.n_adders]
+            )
+        return out
+
+    data = benchmark(rows)
+    text = banner("A1") + "\n" + format_table(
+        ["inputs", "tree levels", "tree latency", "chain latency",
+         "depth speedup", "adders"],
+        data,
+        title="Ablation A1 — tree adder vs sequential chain (cycles)",
+    )
+    emit("ablation_tree_adder.txt", text)
+    for n, _, tree_lat, chain_lat, speedup, adders in data:
+        assert tree_lat < chain_lat
+        assert adders == n - 1
+    # The advantage grows with width (the paper's large cores need it most).
+    speedups = [r[4] for r in data]
+    assert speedups == sorted(speedups)
+
+
+def test_tree_reduce_throughput(benchmark, rng):
+    vals = rng.standard_normal((256, 150)).astype(np.float32)
+    out = benchmark(tree_reduce, vals)
+    assert np.allclose(out, vals.sum(axis=-1), rtol=1e-4, atol=1e-3)
+
+
+def test_chain_reduce_throughput(benchmark, rng):
+    vals = rng.standard_normal((256, 150)).astype(np.float32)
+    out = benchmark(chain_reduce, vals)
+    assert np.allclose(out, vals.sum(axis=-1), rtol=1e-4, atol=1e-3)

@@ -1,0 +1,87 @@
+"""Calibration study: reconciling the ideal model with the paper's numbers.
+
+The ideal dataflow model runs faster than the paper's measured board:
+2.56 vs 5.8 µs (TC1) and 94.1 vs 128.1 µs (TC2). Fitting a single
+per-coordinate *loop overhead* — the cycles Vivado HLS inserts between
+iterations of the outer coordinate loop when flattening is imperfect —
+recovers both measurements: each test case independently implies ~3-4.3
+cycles, and the shared mid-point constant lands both within 20%. The
+absolute-latency gap is therefore a modeled-vs-real HLS pipelining
+efficiency, not a structural disagreement.
+"""
+
+from conftest import emit
+
+from repro.core import cifar10_design, usps_design
+from repro.core.perf_model import fit_dma_setup, fit_loop_overhead, network_perf
+from repro.report import format_table
+
+#: Paper Table II latencies at 100 MHz, in cycles.
+MEASURED = {"usps-tc1": 580, "cifar10-tc2": 12_810}
+
+
+def test_loop_overhead_calibration(benchmark):
+    def calibrate():
+        rows = []
+        fits = {}
+        for design in (usps_design(), cifar10_design()):
+            meas = MEASURED[design.name]
+            ideal = network_perf(design).interval
+            oh = fit_loop_overhead(design, meas)
+            fitted = network_perf(design, loop_overhead=oh).interval
+            fits[design.name] = oh
+            rows.append([design.name, ideal, meas, oh, fitted])
+        shared = sum(fits.values()) / len(fits)
+        for design in (usps_design(), cifar10_design()):
+            meas = MEASURED[design.name]
+            iv = network_perf(design, loop_overhead=shared).interval
+            rows.append(
+                [f"{design.name} @ shared {shared:.2f}", "-", meas, shared, iv]
+            )
+        return rows
+
+    rows = benchmark.pedantic(calibrate, rounds=1, iterations=1)
+    text = format_table(
+        ["design", "ideal interval", "paper measured", "fitted overhead",
+         "modeled interval"],
+        rows,
+        title="Calibration — per-coordinate HLS loop overhead vs Table II",
+    )
+    emit("calibration_loop_overhead.txt", text)
+    # Individually fitted overheads are small, similar constants...
+    tc1_oh, tc2_oh = rows[0][3], rows[1][3]
+    assert 2.0 < tc1_oh < 5.0 and 2.0 < tc2_oh < 5.0
+    assert abs(tc1_oh - tc2_oh) < 2.0
+    # ...and the shared constant explains both measurements within 20%.
+    for r in rows[2:]:
+        assert abs(r[4] - r[2]) / r[2] < 0.20
+
+
+def test_dma_setup_hypothesis_rejected(benchmark):
+    """The competing explanation fails the two-measurement consistency test.
+
+    If the paper's extra latency were per-image DMA descriptor setup, both
+    test cases should imply a similar constant; instead they demand 324 vs
+    ~9700 cycles — a 30x disagreement, versus 1.4x for the loop-overhead
+    hypothesis. Fitting two observations with one parameter each is easy;
+    fitting both with *one shared* parameter is the test, and only the
+    per-coordinate model passes it.
+    """
+
+    def fit():
+        return {
+            "tc1": fit_dma_setup(usps_design(), MEASURED["usps-tc1"]),
+            "tc2": fit_dma_setup(cifar10_design(), MEASURED["cifar10-tc2"]),
+        }
+
+    fits = benchmark.pedantic(fit, rounds=1, iterations=1)
+    emit(
+        "calibration_dma_hypothesis.txt",
+        format_table(
+            ["design", "required per-image DMA setup (cycles)"],
+            [["usps-tc1", fits["tc1"]], ["cifar10-tc2", fits["tc2"]]],
+            title="Calibration — rejected hypothesis: per-image DMA setup",
+        ),
+    )
+    ratio = fits["tc2"] / max(fits["tc1"], 1)
+    assert ratio > 10  # wildly inconsistent constants -> hypothesis rejected

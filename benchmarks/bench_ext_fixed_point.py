@@ -1,0 +1,92 @@
+"""Extension E3: fixed-point inference (paper's "subject to further study").
+
+Quantizes a trained USPS network to several ap_fixed formats, measuring
+classification accuracy against the float32 reference, and compares the
+resource bill of fixed-point versus floating-point datapaths (where the
+Section IV-B accumulator problem also disappears: integer adds are
+single-cycle).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core import design_resources, usps_design
+from repro.hls import AccumulatorModel, FixedPointFormat
+from repro.nn import accuracy, quantize_network, with_quantized_activations
+from repro.report import banner, format_table
+
+FORMATS = [(24, 8), (16, 6), (12, 5), (8, 4), (6, 3)]
+
+
+def test_fixed_point_accuracy(benchmark, trained_usps):
+    model = trained_usps["model"]
+    xv, yv = trained_usps["x_test"], trained_usps["y_test"]
+    float_acc = accuracy(model.predict(xv), yv)
+
+    def sweep():
+        rows = [["float32", float_acc, 0.0]]
+        for width, ibits in FORMATS:
+            fmt = FixedPointFormat(width, ibits)
+            import copy
+
+            qmodel = copy.deepcopy(model)
+            rep = quantize_network(qmodel, fmt)
+            qnet = with_quantized_activations(qmodel, fmt)
+            acc = accuracy(qnet.predict(xv), yv)
+            rows.append([fmt.describe(), acc, rep.max_weight_error])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = banner("E3") + "\n" + format_table(
+        ["format", "test accuracy", "max weight error"],
+        rows,
+        title="Extension E3 — fixed-point inference accuracy (USPS)",
+        float_fmt="{:.4f}",
+    )
+    emit("ext_fixed_point_accuracy.txt", text)
+    accs = {r[0]: r[1] for r in rows}
+    assert accs["float32"] > 0.8  # the offline training phase worked
+    # 16-bit inference matches float accuracy closely.
+    assert accs["ap_fixed<16,6>"] >= accs["float32"] - 0.05
+    # Aggressive 6-bit quantization visibly degrades.
+    assert accs["ap_fixed<6,3>"] <= accs["ap_fixed<16,6>"] + 1e-9
+
+
+def test_fixed_point_resources(benchmark):
+    def compare():
+        rows = []
+        for dtype in ("float32", "fixed16", "fixed32"):
+            total = design_resources(usps_design(), dtype=dtype).total
+            rows.append([dtype, int(total.ff), int(total.lut), int(total.dsp)])
+        return rows
+
+    rows = benchmark(compare)
+    text = format_table(
+        ["datapath", "FF", "LUT", "DSP"],
+        rows,
+        title="Extension E3 — datapath resource comparison (test case 1)",
+    )
+    emit("ext_fixed_point_resources.txt", text)
+    by = {r[0]: r for r in rows}
+    assert by["fixed16"][3] < by["fixed32"][3] < by["float32"][3]
+    assert by["fixed16"][1] < by["float32"][1]
+
+
+def test_fixed_point_accumulator_needs_no_lanes(benchmark):
+    def model():
+        return {
+            "float_ii_1lane": AccumulatorModel(900, 1, "float32").ii,
+            "fixed_ii_1lane": AccumulatorModel(900, 1, "fixed16").ii,
+        }
+
+    data = benchmark(model)
+    emit(
+        "ext_fixed_point_accumulator.txt",
+        format_table(
+            ["datapath", "II with a single accumulator"],
+            [["float32", data["float_ii_1lane"]], ["fixed16", data["fixed_ii_1lane"]]],
+            title="Extension E3 — Section IV-B's problem vanishes with integers",
+        ),
+    )
+    assert data["float_ii_1lane"] == 11
+    assert data["fixed_ii_1lane"] == 1

@@ -1,0 +1,37 @@
+"""Extension E5: the automated design flow (paper Section VI future work).
+
+"As last piece of future work, we envision the development of an
+automated design flow" — this bench runs that flow end to end for the
+USPS test case: offline training, weight extraction, layer-wise
+verification of the elaborated dataflow graph, resource fit and
+performance, in one automated call.
+"""
+
+from conftest import emit
+
+from repro.core import run_flow
+from repro.report import banner, format_table
+
+
+def test_automated_flow_usps(benchmark):
+    res = benchmark.pedantic(
+        lambda: run_flow("usps", seed=5, epochs=4), rounds=1, iterations=1
+    )
+    text = banner("E5") + "\n" + format_table(
+        ["stage", "outcome"],
+        [
+            ["offline training (synthetic USPS)",
+             f"loss {res.training.losses[0]:.3f} -> {res.training.losses[-1]:.3f}, "
+             f"test acc {res.training.test_accuracy:.3f}"],
+            ["layer-wise verification",
+             "PASSED" if res.verification.passed else "FAILED"],
+            ["resource fit (xc7vx485t)", str(res.fits_device)],
+            ["steady-state interval", f"{res.interval} cycles/image"],
+            ["flow verdict", "OK" if res.ok else "REJECTED"],
+        ],
+        title="Extension E5 — automated design flow (test case 1)",
+    )
+    emit("ext_flow.txt", text)
+    assert res.ok
+    assert res.training.test_accuracy > 0.7
+    assert res.interval == 256

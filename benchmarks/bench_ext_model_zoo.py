@@ -1,0 +1,105 @@
+"""Extension E6: AlexNet/VGG-16 feasibility under the paper's methodology.
+
+Section VI promises to "implement bigger CNNs" and "test the proposed
+approach on ... AlexNet or VGG". Applying the analytical models at that
+scale quantifies why that needed more than an evaluation rerun: with
+design-time on-chip weights and Eq. 4's minimum parallelism (one FM-column
+of MACs per cycle), both models overflow the xc7vx485t on every resource
+class — and no contiguous multi-board split helps, because single layers
+alone exceed a device. The methodology needs weight streaming and an
+II-relaxation knob first; this bench reports the exact shortfalls.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import design_resources, network_perf
+from repro.core.multi_fpga import plan_split
+from repro.core.zoo import alexnet_design, vgg16_design
+from repro.errors import ResourceError
+from repro.fpga import VC707, XC7VX485T
+from repro.report import banner, format_table
+
+
+def test_model_zoo_feasibility(benchmark):
+    def analyze():
+        rows = []
+        for design in (alexnet_design(), vgg16_design()):
+            perf = network_perf(design)
+            res = design_resources(design)
+            util = res.utilization(XC7VX485T)
+            worst = max(util, key=util.get)
+            rows.append(
+                [
+                    design.name,
+                    f"{design.weight_count() / 1e6:.0f}M",
+                    f"{design.macs_per_image() / 1e9:.1f}G",
+                    f"{perf.images_per_second(VC707):.0f}",
+                    perf.bottleneck,
+                    f"{util[worst] * 100:.0f}% {worst.upper()}",
+                    res.fits(XC7VX485T),
+                ]
+            )
+        return rows
+
+    rows = benchmark(analyze)
+    text = banner("E6") + "\n" + format_table(
+        ["model", "params", "MACs/img", "img/s (if it fit)", "bottleneck",
+         "worst overflow", "fits"],
+        rows,
+        title="Extension E6 — AlexNet/VGG-16 under the paper's methodology",
+    )
+    emit("ext_model_zoo.txt", text)
+    for r in rows:
+        assert r[-1] is False  # neither fits one device
+
+
+def test_no_contiguous_split_rescues_alexnet(benchmark):
+    def try_splits():
+        design = alexnet_design()
+        outcomes = []
+        for n in (2, 4, 8, 11):
+            try:
+                plan_split(design, n)
+                outcomes.append((n, True))
+            except ResourceError:
+                outcomes.append((n, False))
+        return outcomes
+
+    outcomes = benchmark.pedantic(try_splits, rounds=1, iterations=1)
+    emit(
+        "ext_model_zoo_splits.txt",
+        format_table(
+            ["devices", "contiguous split fits"],
+            [[n, ok] for n, ok in outcomes],
+            title="Extension E6 — multi-FPGA splits cannot map AlexNet "
+                  "(single layers exceed one device)",
+        ),
+    )
+    assert all(not ok for _, ok in outcomes)
+
+
+def test_single_layer_overflow_quantified(benchmark):
+    def worst_layers():
+        design = alexnet_design()
+        res = design_resources(design, include_base=False)
+        budget = XC7VX485T.resources
+        rows = []
+        for name, r in res.per_layer.items():
+            rows.append(
+                [name, int(r.dsp), round(r.dsp / budget.dsp, 1),
+                 round(r.bram, 0), round(r.bram / budget.bram, 1)]
+            )
+        return sorted(rows, key=lambda r: -r[1])[:5]
+
+    rows = benchmark(worst_layers)
+    emit(
+        "ext_model_zoo_layers.txt",
+        format_table(
+            ["layer", "DSP", "x device DSP", "BRAM36", "x device BRAM"],
+            rows,
+            title="Extension E6 — AlexNet's heaviest layers vs one xc7vx485t",
+        ),
+    )
+    # At least one single layer needs more than a whole device of DSPs.
+    assert rows[0][2] > 1.0

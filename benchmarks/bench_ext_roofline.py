@@ -1,0 +1,62 @@
+"""Extension E4: roofline analysis of the two test-case designs.
+
+The DSE literature the paper cites (Zhang et al. [10]) positions designs
+with the Roofline Model [23]; this bench does the same for the dataflow
+methodology: operational intensity, achieved GFLOPS, and the binding roof
+per design — quantifying the paper's own remark that its evaluation used
+the off-chip bandwidth sub-optimally.
+"""
+
+from conftest import emit
+
+from repro.core import cifar10_design, usps_design
+from repro.fpga import VC707, device_compute_roof_gflops, roofline_point
+from repro.report import banner, format_table
+
+
+def test_roofline_positions(benchmark):
+    def points():
+        return [roofline_point(d, VC707) for d in (usps_design(), cifar10_design())]
+
+    pts = benchmark(points)
+    rows = [
+        [p.design_name, p.operational_intensity, p.achieved_gflops,
+         p.attainable_gflops, p.bound, p.roof_fraction * 100]
+        for p in pts
+    ]
+    text = banner("E4") + "\n" + format_table(
+        ["design", "OI (FLOP/B)", "achieved GFLOPS", "roof GFLOPS",
+         "bound by", "% of roof"],
+        rows,
+        title=f"Extension E4 — roofline positioning "
+              f"(compute roof {device_compute_roof_gflops(VC707):.0f} GFLOPS)",
+    )
+    emit("ext_roofline.txt", text)
+    tc1, tc2 = pts
+    # TC1 streams a tiny image per 64k FLOP: bandwidth-bound at its roof.
+    assert tc1.bound == "bandwidth"
+    assert tc1.roof_fraction > 0.95
+    # TC2 has 20x the intensity and is limited by the DSP compute roof,
+    # running below it because its layers are only partially parallel.
+    assert tc2.bound == "compute"
+    assert tc2.operational_intensity > 3 * tc1.operational_intensity
+    assert tc2.roof_fraction < tc1.roof_fraction
+
+
+def test_fixed_point_raises_the_roof(benchmark):
+    def roofs():
+        return {
+            "float32": device_compute_roof_gflops(VC707, "float32"),
+            "fixed16": device_compute_roof_gflops(VC707, "fixed16"),
+        }
+
+    data = benchmark(roofs)
+    emit(
+        "ext_roofline_dtypes.txt",
+        format_table(
+            ["datapath", "compute roof (GFLOPS)"],
+            [[k, v] for k, v in data.items()],
+            title="Extension E4 — compute roof by datapath",
+        ),
+    )
+    assert data["fixed16"] >= 4 * data["float32"]

@@ -1,0 +1,29 @@
+"""Figures 4 and 5: block designs of the two test-case networks.
+
+The paper's figures are block diagrams annotated with window sizes,
+channel counts and input-window counts; :meth:`NetworkDesign.block_design`
+renders the same information textually. The benchmark times the full
+design elaboration (spec validation + shape propagation + rendering).
+"""
+
+from conftest import emit
+
+from repro.core import cifar10_design, usps_design
+
+
+def test_fig4_usps_block_design(benchmark):
+    text = benchmark(lambda: usps_design().block_design())
+    assert "[conv1]" in text and "[fc1]" in text
+    assert "1in/6out" in text  # conv1 fully parallelized
+    assert "6in/1out" in text  # conv2 single output port
+    emit("fig4_usps_block_design.txt", text)
+
+
+def test_fig5_cifar10_block_design(benchmark):
+    text = benchmark(lambda: cifar10_design().block_design())
+    # Every layer single-port: both convs and both FCs.
+    assert "conv 5x5 3->12 [1in/1out]" in text
+    assert "conv 5x5 12->36 [1in/1out]" in text
+    assert text.count("1in/1out") == 4
+    assert "[fc2]" in text
+    emit("fig5_cifar10_block_design.txt", text)

@@ -1,0 +1,59 @@
+"""Section IV-C's dynamic claim, measured: steady-state layer concurrency.
+
+"At steady state, all the different layers of the network will be
+concurrently active and computing." A traced cycle simulation of the USPS
+design over a batch makes the claim quantitative: during the steady
+window every layer family shows substantial busy fractions
+simultaneously, and the activity-strip chart shows the overlapped
+execution directly.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core import extract_weights, usps_design, usps_model
+from repro.core.builder import build_network
+from repro.dataflow import Tracer
+from repro.report import format_table
+
+
+def traced_usps_run():
+    design = usps_design()
+    model = usps_model(np.random.default_rng(1))
+    batch = np.random.default_rng(2).uniform(0, 1, (8, 1, 16, 16)).astype(np.float32)
+    built = build_network(design, extract_weights(design, model), batch)
+    tracer = Tracer()
+    built.run(tracer=tracer)
+    return built, tracer
+
+
+def test_steady_state_concurrency(benchmark):
+    built, tracer = benchmark.pedantic(traced_usps_run, rounds=1, iterations=1)
+    total = built.result.cycles
+    start, end = total // 3, 2 * total // 3
+    util = tracer.utilization(start, end)
+
+    # Aggregate per layer family (max over its actors).
+    families = {}
+    for name, frac in util.items():
+        fam = name.split(".")[0]
+        families[fam] = max(families.get(fam, 0.0), frac)
+    rows = sorted(([f, u * 100] for f, u in families.items()), key=lambda r: -r[1])
+    text = (
+        format_table(
+            ["pipeline stage", "peak actor busy % (steady window)"],
+            rows,
+            title="Section IV-C observed — steady-state stage concurrency "
+                  f"(cycles {start}..{end})",
+            float_fmt="{:.0f}",
+        )
+        + "\n\n"
+        + tracer.activity_strips(width=64)
+    )
+    emit("pipeline_concurrency.txt", text)
+
+    # Every network stage is concurrently busy in the steady window.
+    for stage in ("conv1", "pool1", "conv2", "fc1", "dma_in"):
+        assert families[stage] > 0.15, stage
+    # The DMA (the bottleneck of this design) is saturated.
+    assert families["dma_in"] > 0.95

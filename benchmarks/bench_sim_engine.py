@@ -1,0 +1,72 @@
+"""Engine benchmark: cycle-simulation throughput of the substrate itself.
+
+Not a paper artifact — the dial that tells users what simulations are
+affordable: simulated cycles per second for FIFO chains of growing actor
+counts, the window actor and the conv core. The README's guidance that
+the full CIFAR-10 test case costs ~a second per image derives from these
+numbers.
+"""
+
+import numpy as np
+
+from repro.dataflow import ArraySource, DataflowGraph, FifoStage, ListSink
+from repro.sst import SlidingWindowActor, WindowSpec
+
+
+def chain_sim(n_stages: int, n_values: int):
+    g = DataflowGraph("chain", default_capacity=4)
+    src = g.add_actor(ArraySource("src", list(range(n_values))))
+    prev, port = src, "out"
+    for i in range(n_stages):
+        f = g.add_actor(FifoStage(f"f{i}"))
+        g.connect(prev, port, f, "in")
+        prev, port = f, "out"
+    snk = g.add_actor(ListSink("snk", count=n_values))
+    g.connect(prev, port, snk, "in")
+    return g.build_simulator()
+
+
+def test_chain_4_stages(benchmark):
+    res = benchmark.pedantic(
+        lambda: chain_sim(4, 256).run(), rounds=3, iterations=1
+    )
+    assert res.finished
+
+
+def test_chain_32_stages(benchmark):
+    res = benchmark.pedantic(
+        lambda: chain_sim(32, 256).run(), rounds=3, iterations=1
+    )
+    assert res.finished
+
+
+def test_window_actor_throughput(benchmark, rng):
+    img = rng.uniform(0, 1, (16, 16)).astype(np.float32)
+
+    def run():
+        g = DataflowGraph("w", default_capacity=4)
+        src = g.add_actor(ArraySource("src", img.ravel()))
+        win = g.add_actor(SlidingWindowActor("win", WindowSpec(5, 5), 16, 16))
+        snk = g.add_actor(ListSink("snk", count=144))
+        g.connect(src, "out", win, "in")
+        g.connect(win, "out", snk, "in")
+        return g.build_simulator().run()
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.finished
+
+
+def test_usps_network_cycles_per_second(benchmark):
+    from repro.core import random_weights, usps_design
+    from repro.core.builder import build_network
+
+    design = usps_design()
+    weights = random_weights(design)
+    batch = np.random.default_rng(0).uniform(0, 1, (3, 1, 16, 16)).astype(np.float32)
+
+    def run():
+        built = build_network(design, weights, batch)
+        return built.run()
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.finished

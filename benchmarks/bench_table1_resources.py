@@ -1,0 +1,68 @@
+"""Table I: FPGA resource usage of both test cases on the xc7vx485t.
+
+Reproduces the four utilization columns (Flip-Flops, LUT, BRAM, DSP) for
+test case 1 (USPS) and test case 2 (CIFAR-10) from the analytical resource
+model, side by side with the paper's reported percentages.
+"""
+
+from conftest import emit
+
+from repro.core import cifar10_design, design_resources, usps_design
+from repro.fpga import XC7VX485T
+from repro.report import banner, format_table
+
+PAPER = {
+    "usps-tc1": {"ff": 41.10, "lut": 50.86, "bram": 3.50, "dsp": 55.04},
+    "cifar10-tc2": {"ff": 61.77, "lut": 71.24, "bram": 22.82, "dsp": 74.32},
+}
+
+
+def table1_rows():
+    rows = []
+    for design in (usps_design(), cifar10_design()):
+        util = design_resources(design).utilization(XC7VX485T)
+        paper = PAPER[design.name]
+        for res in ("ff", "lut", "bram", "dsp"):
+            rows.append(
+                [design.name, res.upper(), util[res] * 100, paper[res],
+                 util[res] * 100 - paper[res]]
+            )
+    return rows
+
+
+def test_table1_resource_usage(benchmark):
+    rows = benchmark(table1_rows)
+    text = banner("table1") + "\n" + format_table(
+        ["design", "resource", "measured %", "paper %", "delta pp"],
+        rows,
+        title="Table I — FPGA resource usage (xc7vx485t)",
+    )
+    emit("table1_resources.txt", text)
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    # Both designs fit, TC2 > TC1 on every class, FF/LUT/DSP near paper.
+    for (design, res), measured in by_key.items():
+        assert measured < 100.0
+        if res != "BRAM":
+            assert abs(measured - PAPER[design][res.lower()]) < 15.0
+    for res in ("FF", "LUT", "BRAM", "DSP"):
+        assert by_key[("cifar10-tc2", res)] > by_key[("usps-tc1", res)]
+
+
+def test_table1_per_layer_breakdown(benchmark):
+    def breakdown():
+        rows = []
+        for design in (usps_design(), cifar10_design()):
+            res = design_resources(design)
+            for name, r in res.per_layer.items():
+                rows.append([design.name, name, int(r.ff), int(r.lut),
+                             round(r.bram, 1), int(r.dsp)])
+        return rows
+
+    rows = benchmark(breakdown)
+    text = format_table(
+        ["design", "layer", "FF", "LUT", "BRAM36", "DSP"],
+        rows,
+        title="Table I (supplement) — per-layer resource estimates",
+    )
+    emit("table1_per_layer.txt", text)
+    assert len(rows) == 4 + 6

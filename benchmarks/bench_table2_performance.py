@@ -1,0 +1,95 @@
+"""Table II: performance and power-efficiency of both test cases.
+
+Reproduces GFLOPS, GFLOPS/W, image latency and images/s for both designs,
+plus the comparison row against Microsoft's Stratix-V CIFAR-10 accelerator
+[28]. Absolute latencies come from the simulated steady-state interval
+(our substrate is a cycle simulator, not the authors' board — see
+EXPERIMENTS.md for the measured-vs-paper discussion); the comparison
+structure (who wins, by what factor) is the reproduction target.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.baselines import MICROSOFT_CIFAR10, PAPER_CLAIMED_SPEEDUP
+from repro.core import cifar10_design, design_resources, network_perf, usps_design
+from repro.fpga import PAPER_POWER, VC707
+from repro.report import banner, format_table
+
+PAPER = {
+    "usps-tc1": {"gflops": 5.2, "eff": 0.25, "latency_ms": 0.0058, "img_s": 172_414},
+    "cifar10-tc2": {"gflops": 28.4, "eff": 1.19, "latency_ms": 0.128, "img_s": 7_809},
+}
+
+
+def table2_rows():
+    rows = []
+    for design in (usps_design(), cifar10_design()):
+        perf = network_perf(design)
+        res = design_resources(design)
+        ips = perf.images_per_second(VC707)
+        gflops = design.flops_per_image() * ips / 1e9
+        eff = PAPER_POWER.efficiency_gflops_per_w(gflops, res.total)
+        paper = PAPER[design.name]
+        rows.append(
+            [design.name, gflops, eff, perf.image_latency_s(VC707) * 1e3, int(ips),
+             paper["gflops"], paper["eff"], paper["latency_ms"], paper["img_s"]]
+        )
+    return rows
+
+
+def test_table2_performance_and_power(benchmark):
+    rows = benchmark(table2_rows)
+    text = banner("table2") + "\n" + format_table(
+        ["design", "GFLOPS", "GFLOPS/W", "latency ms", "img/s",
+         "paper GFLOPS", "paper GF/W", "paper lat ms", "paper img/s"],
+        rows,
+        title="Table II — performance and power efficiency",
+        float_fmt="{:.3f}",
+    )
+    emit("table2_performance.txt", text)
+    tc1, tc2 = rows
+    # Shape checks: TC2 does far more useful work per second than TC1 in
+    # GFLOPS terms and is more power-efficient, as in the paper.
+    assert tc2[1] > tc1[1]
+    assert tc2[2] > tc1[2]
+    # Latency ordering and rough magnitude (same order of magnitude).
+    assert tc1[3] < tc2[3]
+    assert 0.3 < tc2[3] / PAPER["cifar10-tc2"]["latency_ms"] < 1.5
+    assert 0.2 < tc1[3] / PAPER["usps-tc1"]["latency_ms"] < 1.5
+
+
+def test_table2_microsoft_comparison(benchmark):
+    def comparison():
+        perf = network_perf(cifar10_design())
+        ours = perf.images_per_second(VC707)
+        return {
+            "ours_img_s": ours,
+            "microsoft_img_s": MICROSOFT_CIFAR10.images_per_second,
+            "speedup": MICROSOFT_CIFAR10.speedup_of(ours),
+            "paper_speedup_at_paper_throughput": MICROSOFT_CIFAR10.speedup_of(
+                PAPER["cifar10-tc2"]["img_s"]
+            ),
+        }
+
+    data = benchmark(comparison)
+    text = format_table(
+        ["system", "dataset", "images/s", "speedup vs [28]"],
+        [
+            ["this work (tc2, simulated)", "CIFAR-10", int(data["ours_img_s"]),
+             data["speedup"]],
+            ["this work (tc2, paper-reported)", "CIFAR-10",
+             PAPER["cifar10-tc2"]["img_s"],
+             data["paper_speedup_at_paper_throughput"]],
+            [MICROSOFT_CIFAR10.name, "CIFAR-10",
+             int(MICROSOFT_CIFAR10.images_per_second), 1.0],
+        ],
+        title="Table II (comparison row) — vs Microsoft [28]",
+    )
+    emit("table2_microsoft.txt", text)
+    # The dataflow design must beat [28]; the paper claims 3.36x, our
+    # simulated substrate lands in the same won-by-several-x regime.
+    assert data["speedup"] > 2.0
+    assert data["paper_speedup_at_paper_throughput"] == pytest.approx(
+        PAPER_CLAIMED_SPEEDUP, rel=0.01
+    )

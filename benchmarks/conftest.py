@@ -1,0 +1,53 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table/figure) or one repo
+ablation/extension. Reproduced artifacts are printed to stdout (visible
+with ``pytest -s``) and persisted under ``benchmarks/out/`` so a plain
+``pytest benchmarks/ --benchmark-only`` leaves the full set of reproduced
+tables and figures on disk.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced artifact and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, name), "w") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2017)
+
+
+@pytest.fixture(scope="session")
+def trained_usps():
+    """The offline-training phase of test case 1 (shared by benches)."""
+    from repro.core import usps_design, usps_model
+    from repro.datasets import generate_usps, train_test_split
+    from repro.nn import train_classifier
+
+    x, y = generate_usps(400, seed=7)
+    xt, yt, xv, yv = train_test_split(x, y, 0.2, seed=7)
+    model = usps_model(np.random.default_rng(7))
+    result = train_classifier(
+        model, xt, yt, epochs=6, batch_size=32, lr=0.08, x_test=xv, y_test=yv, seed=7
+    )
+    return {
+        "design": usps_design(),
+        "model": model,
+        "accuracy": result.test_accuracy,
+        "x_test": xv,
+        "y_test": yv,
+    }

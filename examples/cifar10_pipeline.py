@@ -1,0 +1,88 @@
+"""Test case 2 end to end: the paper's CIFAR-10 network (Figure 5).
+
+Trains the 6-layer CIFAR-10 CNN on the synthetic 32x32 RGB dataset,
+simulates the all-single-port design cycle-accurately on a small batch,
+and reproduces the Table II comparison against Microsoft's accelerator
+[28]. The cycle simulation of this network is sizeable (~10k cycles and
+dozens of actors per image), so the batch is kept small; the analytical
+model supplies the full-scale numbers.
+
+Run:  python examples/cifar10_pipeline.py
+"""
+
+import numpy as np
+
+from repro.baselines import MICROSOFT_CIFAR10, sequential_perf
+from repro.core import (
+    cifar10_design,
+    cifar10_model,
+    design_resources,
+    extract_weights,
+    network_perf,
+    run_batch,
+)
+from repro.datasets import generate_cifar10, train_test_split
+from repro.fpga import PAPER_POWER, VC707, XC7VX485T
+from repro.nn import train_classifier
+from repro.report import format_kv, format_table
+
+# --- offline training -----------------------------------------------------------
+x, y = generate_cifar10(600, seed=21)
+x_train, y_train, x_test, y_test = train_test_split(x, y, 0.2, seed=21)
+model = cifar10_model(np.random.default_rng(21))
+train = train_classifier(
+    model, x_train, y_train, epochs=10, batch_size=16, lr=0.02,
+    x_test=x_test, y_test=y_test, seed=21,
+)
+print(f"offline training: test accuracy {train.test_accuracy:.3f}")
+
+# --- the hardware design ----------------------------------------------------------
+design = cifar10_design()
+print()
+print(design.block_design())
+
+# --- cycle-accurate simulation (small batch) ---------------------------------------
+weights = extract_weights(design, model)
+report = run_batch(design, weights, x_test[:2], reference=model)
+print()
+print(format_kv(
+    "simulated batch",
+    [
+        ("images", report.images),
+        ("total cycles", report.total_cycles),
+        ("max |sim - reference|", f"{report.max_abs_error:.2e}"),
+        ("measured interval", f"{report.measured_interval:.0f} cycles"),
+        ("model interval", f"{network_perf(design).interval} cycles"),
+    ],
+))
+
+# --- Table II for this design --------------------------------------------------------
+perf = network_perf(design)
+res = design_resources(design)
+ips = perf.images_per_second(VC707)
+gflops = design.flops_per_image() * ips / 1e9
+seq = sequential_perf(design)
+print()
+print(format_table(
+    ["system", "images/s", "notes"],
+    [
+        ["this work (dataflow, simulated)", f"{ips:,.0f}",
+         f"bottleneck: {perf.bottleneck}"],
+        ["layer-at-a-time baseline", f"{seq.images_per_second():,.0f}",
+         "same cores, off-chip between layers"],
+        [MICROSOFT_CIFAR10.name, f"{MICROSOFT_CIFAR10.images_per_second:,.0f}",
+         MICROSOFT_CIFAR10.citation],
+    ],
+    title="CIFAR-10 throughput comparison",
+))
+print()
+print(format_kv(
+    "design figures (test case 2)",
+    [
+        ("GFLOPS", f"{gflops:.1f}"),
+        ("GFLOPS/W", f"{PAPER_POWER.efficiency_gflops_per_w(gflops, res.total):.2f}"),
+        ("speedup vs [28]", f"{MICROSOFT_CIFAR10.speedup_of(ips):.2f}x"),
+        ("FF / LUT / BRAM / DSP", " / ".join(
+            f"{v * 100:.1f}%" for v in res.utilization(XC7VX485T).values())),
+    ],
+))

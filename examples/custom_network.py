@@ -1,0 +1,67 @@
+"""Designing a custom network with explicit port adapters.
+
+Shows the methodology applied to a network the paper never built: a
+padded, strided convolution front end whose port counts deliberately
+mismatch at every boundary, so all three adapter cases of Section IV-A
+(direct, demux, widen) appear in one design — and the simulated dataflow
+output still matches the software model exactly.
+
+Run:  python examples/custom_network.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ConvLayerSpec,
+    FCLayerSpec,
+    NetworkDesign,
+    PoolLayerSpec,
+    extract_weights,
+    network_perf,
+    run_batch,
+)
+from repro.nn import Conv2D, Flatten, Linear, MaxPool2D, ReLU, Sequential
+
+# A 12x12 2-channel input; padding keeps conv1's spatial size.
+design = NetworkDesign(
+    "custom-adapters",
+    input_shape=(2, 12, 12),
+    specs=[
+        # DMA (1 stream) -> 2 input ports: DEMUX adapter.
+        ConvLayerSpec(name="conv1", in_fm=2, out_fm=8, kh=3, pad=1,
+                      in_ports=2, out_ports=4, activation="relu"),
+        # 4 ports -> 4 ports: DIRECT.
+        PoolLayerSpec(name="pool1", in_fm=8, out_fm=8, kh=2, stride=2,
+                      in_ports=4, out_ports=4),
+        # 4 ports -> 2 ports: WIDEN adapter; stride-2 convolution.
+        ConvLayerSpec(name="conv2", in_fm=8, out_fm=4, kh=3, stride=2,
+                      in_ports=2, out_ports=1, activation="relu"),
+        FCLayerSpec(name="fc", in_fm=4 * 2 * 2, out_fm=5),
+    ],
+)
+print(design.block_design())
+print()
+
+# The matching software model (same shapes, same activations).
+rng = np.random.default_rng(3)
+model = Sequential(
+    [
+        Conv2D(2, 8, 3, pad=1, rng=rng), ReLU(),
+        MaxPool2D(2),
+        Conv2D(8, 4, 3, stride=2, rng=rng), ReLU(),
+        Flatten(),
+        Linear(16, 5, rng=rng),
+    ],
+    in_shape=(2, 12, 12),
+)
+
+batch = np.random.default_rng(4).uniform(0, 1, (4, 2, 12, 12)).astype(np.float32)
+report = run_batch(design, extract_weights(design, model), batch, reference=model)
+
+perf = network_perf(design)
+print(f"simulated {report.images} images in {report.total_cycles} cycles")
+print(f"max |dataflow - reference| = {report.max_abs_error:.2e}")
+print(f"steady-state interval: measured {report.measured_interval:.0f}, "
+      f"model {perf.interval} (bottleneck {perf.bottleneck})")
+assert report.max_abs_error < 1e-4
+print("OK — all three adapter cases verified in one design")

@@ -1,0 +1,53 @@
+"""Scaling the methodology to AlexNet and VGG-16 (analytical study).
+
+The paper's future work asks what happens on "bigger and more popular CNN
+models like AlexNet or VGG". The analytical models answer instantly:
+with design-time on-chip weights, both overflow the Virtex-7 on every
+resource class (single layers alone exceed a device, so multi-board
+splits don't help either); streaming the FC weight matrices from
+off-chip memory fixes most of the BRAM but turns the classifier into the
+bottleneck — the memory-centric behaviour Qiu et al. describe.
+
+Run:  python examples/model_zoo_analysis.py
+"""
+
+from repro.core import design_resources, network_perf
+from repro.core.zoo import alexnet_design, vgg16_design
+from repro.fpga import VC707, XC7VX485T
+from repro.report import format_table
+
+rows = []
+for fn in (alexnet_design, vgg16_design):
+    for streaming in (False, True):
+        design = fn(weight_streaming=streaming)
+        res = design_resources(design)
+        perf = network_perf(design)
+        util = res.utilization(XC7VX485T)
+        rows.append([
+            design.name,
+            "streamed FC" if streaming else "on-chip FC",
+            f"{design.weight_count() / 1e6:.0f}M",
+            f"{util['bram'] * 100:,.0f}%",
+            f"{util['dsp'] * 100:,.0f}%",
+            perf.bottleneck,
+            f"{perf.images_per_second(VC707):.2f}",
+        ])
+
+print(format_table(
+    ["model", "weights", "params", "BRAM util", "DSP util", "bottleneck",
+     "img/s (if it fit)"],
+    rows,
+    title="AlexNet / VGG-16 under the paper's methodology (xc7vx485t)",
+))
+print()
+print("Reading the table:")
+print(" * on-chip weights overflow BRAM by 59x (AlexNet) / 132x (VGG-16);")
+print("   per-layer analysis (benchmarks/bench_ext_model_zoo.py) shows single")
+print("   layers already exceed one device, so contiguous multi-FPGA splits")
+print("   cannot rescue the mapping;")
+print(" * streaming the FC matrices removes most of the BRAM pressure but")
+print("   caps the classifier at one weight word per cycle: fc6 becomes a")
+print("   ~38M-cycle (AlexNet) / ~103M-cycle (VGG) stage — the 'FC layers")
+print("   are memory centric' result, reproduced inside this methodology;")
+print(" * closing the remaining gap needs tiled conv weight storage and an")
+print("   II-relaxation knob — exactly the future work the paper names.")

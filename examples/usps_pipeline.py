@@ -1,0 +1,87 @@
+"""Test case 1 end to end: the paper's USPS network (Figure 4).
+
+Trains the 4-layer USPS CNN on the synthetic 16x16 digit dataset, compiles
+it with the paper's parallelization (conv1 + pool1 fully parallel, conv2
+with a single output port), simulates a batch cycle-accurately, and
+reports classification accuracy, the Figure-6-style batch amortization and
+the Table I/II figures for this design.
+
+Run:  python examples/usps_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    design_resources,
+    extract_weights,
+    network_perf,
+    run_batch,
+    simulated_batch_sweep,
+    usps_design,
+    usps_model,
+)
+from repro.datasets import generate_usps, train_test_split
+from repro.fpga import PAPER_POWER, VC707, XC7VX485T
+from repro.nn import accuracy, train_classifier
+from repro.report import format_kv, format_table
+
+# --- offline training --------------------------------------------------------
+x, y = generate_usps(500, seed=11)
+x_train, y_train, x_test, y_test = train_test_split(x, y, 0.2, seed=11)
+model = usps_model(np.random.default_rng(11))
+train = train_classifier(
+    model, x_train, y_train, epochs=6, batch_size=32, lr=0.08,
+    x_test=x_test, y_test=y_test, seed=11,
+)
+print(f"offline training: test accuracy {train.test_accuracy:.3f}")
+
+# --- the hardware design ------------------------------------------------------
+design = usps_design()
+print()
+print(design.block_design())
+
+# --- cycle-accurate simulation of a batch -------------------------------------
+weights = extract_weights(design, model)
+batch = x_test[:8]
+report = run_batch(design, weights, batch, reference=model)
+sim_pred = np.argmax(report.outputs, axis=-1)
+print()
+print(format_kv(
+    "simulated batch",
+    [
+        ("images", report.images),
+        ("total cycles", report.total_cycles),
+        ("max |sim - reference|", f"{report.max_abs_error:.2e}"),
+        ("simulated-accelerator accuracy", f"{accuracy(sim_pred, y_test[:8]):.3f}"),
+        ("steady-state interval", f"{report.measured_interval:.0f} cycles"),
+    ],
+))
+
+# --- Figure 6 for this design (simulated) --------------------------------------
+rows = simulated_batch_sweep(design, weights, x_test[0], [1, 2, 5, 10, 20], VC707)
+print()
+print(format_table(
+    ["batch", "mean us/image"],
+    [[r["batch"], r["mean_us"]] for r in rows],
+    title="batch amortization (cycle-simulated)",
+    float_fmt="{:.3f}",
+))
+
+# --- Table I / II figures for this design ---------------------------------------
+perf = network_perf(design)
+res = design_resources(design)
+util = res.utilization(XC7VX485T)
+ips = perf.images_per_second(VC707)
+gflops = design.flops_per_image() * ips / 1e9
+print()
+print(format_kv(
+    "design figures (test case 1)",
+    [
+        ("bottleneck stage", perf.bottleneck),
+        ("images/s", f"{ips:,.0f}"),
+        ("GFLOPS", f"{gflops:.1f}"),
+        ("GFLOPS/W", f"{PAPER_POWER.efficiency_gflops_per_w(gflops, res.total):.2f}"),
+        ("FF / LUT / BRAM / DSP",
+         " / ".join(f"{util[k] * 100:.1f}%" for k in ("ff", "lut", "bram", "dsp"))),
+    ],
+))

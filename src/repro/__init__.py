@@ -1,0 +1,71 @@
+"""repro — dataflow CNN-on-FPGA reproduction (Bacis et al., IPDPSW 2017).
+
+A pipelined, scalable dataflow implementation of CNNs on a *simulated*
+FPGA: cycle-level dataflow engine, SST-style sliding-window memory
+systems, HLS cost models, a from-scratch NumPy CNN library, synthetic
+USPS/CIFAR-10 datasets, the paper's two test-case designs, and the
+performance/resource models behind every table and figure.
+
+Quick start::
+
+    import numpy as np
+    from repro import usps_design, usps_model, run_trained
+    from repro.datasets import generate_usps
+
+    x, y = generate_usps(8, seed=0)
+    report = run_trained(usps_design(), usps_model(), x[:3])
+    print(report.measured_interval, "cycles/image at steady state")
+
+Subpackages: :mod:`repro.dataflow`, :mod:`repro.sst`, :mod:`repro.hls`,
+:mod:`repro.nn`, :mod:`repro.datasets`, :mod:`repro.fpga`,
+:mod:`repro.core`, :mod:`repro.baselines`, :mod:`repro.dse`,
+:mod:`repro.report`.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    ConvLayerSpec,
+    FCLayerSpec,
+    NetworkDesign,
+    PoolLayerSpec,
+    batch_sweep,
+    build_network,
+    cifar10_design,
+    cifar10_model,
+    design_resources,
+    extract_weights,
+    network_perf,
+    random_weights,
+    run_batch,
+    run_trained,
+    simulated_batch_sweep,
+    tiny_design,
+    tiny_model,
+    usps_design,
+    usps_model,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "ConvLayerSpec",
+    "FCLayerSpec",
+    "NetworkDesign",
+    "PoolLayerSpec",
+    "ReproError",
+    "__version__",
+    "batch_sweep",
+    "build_network",
+    "cifar10_design",
+    "cifar10_model",
+    "design_resources",
+    "extract_weights",
+    "network_perf",
+    "random_weights",
+    "run_batch",
+    "run_trained",
+    "simulated_batch_sweep",
+    "tiny_design",
+    "tiny_model",
+    "usps_design",
+    "usps_model",
+]

@@ -1,0 +1,19 @@
+"""Comparators: sequential accelerator, published [28] numbers, host CPU."""
+
+from repro.baselines.cpu import CpuBaseline, measure_cpu_inference
+from repro.baselines.microsoft import (
+    MICROSOFT_CIFAR10,
+    PAPER_CLAIMED_SPEEDUP,
+    PublishedBaseline,
+)
+from repro.baselines.sequential import SequentialPerf, sequential_perf
+
+__all__ = [
+    "CpuBaseline",
+    "MICROSOFT_CIFAR10",
+    "PAPER_CLAIMED_SPEEDUP",
+    "PublishedBaseline",
+    "SequentialPerf",
+    "measure_cpu_inference",
+    "sequential_perf",
+]

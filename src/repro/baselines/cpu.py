@@ -1,0 +1,49 @@
+"""Software (CPU) inference baseline.
+
+Measures the NumPy reference network's actual throughput on the host —
+the modern stand-in for the paper-era "software implementation on a
+2.2 GHz Opteron" comparisons in the related work. Useful to put the
+simulated accelerator numbers in context, not a claim about 2017 CPUs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class CpuBaseline:
+    """Measured host-CPU inference throughput."""
+
+    images_per_second: float
+    batch_size: int
+    repeats: int
+
+
+def measure_cpu_inference(
+    net: Sequential,
+    batch: np.ndarray,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> CpuBaseline:
+    """Time ``repeats`` forward passes of ``batch`` and report images/s."""
+    if repeats < 1 or warmup < 0:
+        raise ConfigurationError("repeats must be >= 1 and warmup >= 0")
+    for _ in range(warmup):
+        net.forward(batch)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        net.forward(batch)
+    dt = time.perf_counter() - t0
+    total = repeats * batch.shape[0]
+    return CpuBaseline(
+        images_per_second=total / dt if dt > 0 else float("inf"),
+        batch_size=batch.shape[0],
+        repeats=repeats,
+    )

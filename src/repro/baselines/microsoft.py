@@ -1,0 +1,48 @@
+"""Published-number model of the Microsoft CIFAR-10 accelerator [28].
+
+Ovtcharov et al., "Accelerating Deep Convolutional Neural Networks Using
+Specialized Hardware", Microsoft Research whitepaper, 2015 — the only
+prior FPGA accelerator for the same dataset the paper could compare with
+(Table II): a Stratix V D5 running CIFAR-10 classification at 2,318
+images/s. The system itself is closed; only its published throughput is
+used, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import STRATIX_V_D5, Device
+
+
+@dataclass(frozen=True)
+class PublishedBaseline:
+    """An external accelerator known only through its published figures."""
+
+    name: str
+    citation: str
+    device: Device
+    dataset: str
+    images_per_second: float
+
+    def speedup_of(self, images_per_second: float) -> float:
+        """How much faster a measured throughput is than this baseline."""
+        if images_per_second <= 0:
+            raise ConfigurationError(
+                f"images_per_second must be positive, got {images_per_second}"
+            )
+        return images_per_second / self.images_per_second
+
+
+#: Table II's comparison row.
+MICROSOFT_CIFAR10 = PublishedBaseline(
+    name="microsoft-catapult-cnn",
+    citation="Ovtcharov et al., MSR whitepaper 2015 [28]",
+    device=STRATIX_V_D5,
+    dataset="CIFAR-10",
+    images_per_second=2318.0,
+)
+
+#: The speedup the paper claims over [28] for test case 2.
+PAPER_CLAIMED_SPEEDUP = 3.36

@@ -1,0 +1,67 @@
+"""Sequential (layer-at-a-time) accelerator baseline.
+
+The related-work pattern the paper argues against (Section I): accelerate
+one layer at a time, shipping intermediate feature maps to off-chip memory
+between layers. Such an accelerator can reuse the very same compute cores,
+but (a) pays DMA round-trips for every intermediate volume, and (b) cannot
+overlap layers, so batches gain nothing — mean time per image is flat in
+batch size. This is the ablation (A3) quantifying the value of the
+high-level pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.network_design import NetworkDesign
+from repro.core.perf_model import layer_perf
+from repro.errors import ConfigurationError
+from repro.fpga.board import Board, VC707
+
+
+@dataclass(frozen=True)
+class SequentialPerf:
+    """Per-image cycle breakdown of the layer-at-a-time execution."""
+
+    design_name: str
+    #: Per-layer (load + compute + store) cycles.
+    per_layer_cycles: List[int]
+
+    @property
+    def cycles_per_image(self) -> int:
+        """Total per-image cycles (no inter-layer overlap)."""
+        return sum(self.per_layer_cycles)
+
+    def batch_cycles(self, batch: int) -> int:
+        """A batch is strictly serial: ``B`` images cost ``B`` times one."""
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        return batch * self.cycles_per_image
+
+    def mean_cycles_per_image(self, batch: int) -> float:
+        """Flat in batch size — the anti-Figure-6."""
+        return self.batch_cycles(batch) / batch
+
+    def images_per_second(self, board: Board = VC707) -> float:
+        return board.clock.frequency_hz / self.cycles_per_image
+
+
+def sequential_perf(design: NetworkDesign, board: Board = VC707) -> SequentialPerf:
+    """Model ``design`` executed one layer at a time through off-chip memory.
+
+    Every layer's inputs are DMA-loaded and outputs DMA-stored (the
+    "data exchange between accelerated and unaccelerated layers" the paper
+    criticizes); the compute core itself is identical to the dataflow one.
+    """
+    beat = board.dma.beat_interval(32)
+    per_layer = []
+    for placement in design.placements:
+        p = layer_perf(placement)
+        c, h, w = placement.in_shape
+        k, oh, ow = placement.out_shape
+        load = c * h * w * beat
+        store = k * oh * ow * beat
+        compute = p.core_cycles + p.depth_cycles
+        per_layer.append(load + compute + store)
+    return SequentialPerf(design.name, per_layer)

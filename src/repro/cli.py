@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Exposes the library's main flows over the preset designs (or a design
+JSON produced by :mod:`repro.core.serialize`):
+
+* ``block-design`` — render the Figure 4/5-style block diagram;
+* ``report``       — the HLS-style synthesis report;
+* ``perf``         — interval / fill / throughput summary;
+* ``sweep``        — the Figure-6 batch curve (analytical model);
+* ``dse``          — greedy design-space exploration;
+* ``simulate``     — cycle-accurate run on random/synthetic data with
+  verification against the NumPy reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import (
+    cifar10_design,
+    design_from_json,
+    design_resources,
+    network_perf,
+    random_weights,
+    render_report,
+    run_batch,
+    tiny_design,
+    usps_design,
+    batch_sweep,
+)
+from repro.core.reference import design_reference_forward
+from repro.dse import greedy_optimize
+from repro.errors import ReproError
+from repro.fpga import VC707, XC7VX485T
+from repro.report import format_kv, format_table
+
+_PRESETS = {
+    "usps": usps_design,
+    "cifar10": cifar10_design,
+    "tiny": tiny_design,
+}
+
+
+def _register_zoo() -> None:
+    # AlexNet/VGG-16 are analytical presets (perf/resources/report/dse);
+    # simulating them is possible but enormous — the CLI does not stop you.
+    from repro.core.zoo import alexnet_design, vgg16_design
+
+    _PRESETS.setdefault("alexnet", alexnet_design)
+    _PRESETS.setdefault("vgg16", vgg16_design)
+
+
+_register_zoo()
+
+
+def _load_design(arg: str):
+    """A preset name or a path to a design JSON file."""
+    if arg in _PRESETS:
+        return _PRESETS[arg]()
+    try:
+        with open(arg) as fh:
+            return design_from_json(fh.read())
+    except FileNotFoundError:
+        raise ReproError(
+            f"unknown design {arg!r}: not a preset ({sorted(_PRESETS)}) and "
+            f"not a readable JSON file"
+        ) from None
+
+
+def _cmd_block_design(args) -> str:
+    return _load_design(args.design).block_design()
+
+
+def _cmd_report(args) -> str:
+    return render_report(_load_design(args.design))
+
+
+def _cmd_perf(args) -> str:
+    design = _load_design(args.design)
+    perf = network_perf(design)
+    ips = perf.images_per_second(VC707)
+    text = format_kv(
+        f"performance: {design.name}",
+        [
+            ("steady-state interval", f"{perf.interval} cycles"),
+            ("fill latency", f"{perf.fill_latency} cycles"),
+            ("bottleneck", perf.bottleneck),
+            ("images/s @ 100 MHz", f"{ips:,.0f}"),
+            ("GFLOPS", f"{design.flops_per_image() * ips / 1e9:.2f}"),
+        ],
+    )
+    if getattr(args, "breakdown", False):
+        from repro.core.perf_model import interval_breakdown
+
+        rows = [
+            [r["stage"], r["kind"], r["in_beats"], r["core_cycles"],
+             r["out_beats"], r["interval"], "<-" if r["bottleneck"] else ""]
+            for r in interval_breakdown(perf)
+        ]
+        text += "\n\n" + format_table(
+            ["stage", "kind", "in beats", "core cycles", "out beats",
+             "interval", ""],
+            rows,
+            title="per-stage breakdown (cycles per image)",
+        )
+    return text
+
+
+def _cmd_sweep(args) -> str:
+    design = _load_design(args.design)
+    rows = batch_sweep(design, args.batches, VC707)
+    return format_table(
+        ["batch", "mean cycles/img", "mean us/img"],
+        [[r["batch"], r["mean_cycles"], r["mean_us"]] for r in rows],
+        title=f"batch sweep: {design.name}",
+    )
+
+
+def _cmd_dse(args) -> str:
+    design = _load_design(args.design)
+    res = greedy_optimize(design)
+    before = network_perf(design).interval
+    return format_kv(
+        f"greedy DSE: {design.name}",
+        [
+            ("starting interval (given config)", before),
+            ("best interval found", res.best.interval),
+            ("best ports", res.best.ports),
+            ("configurations evaluated", res.evaluated),
+            ("fits xc7vx485t", res.best.fits),
+        ],
+    )
+
+
+def _cmd_simulate(args) -> str:
+    design = _load_design(args.design)
+    weights = random_weights(design, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    batch = rng.uniform(0, 1, (args.images,) + design.input_shape).astype(np.float32)
+    report = run_batch(design, weights, batch)
+    ref = design_reference_forward(design, weights, batch)[-1]
+    got = report.outputs
+    if ref.shape != got.shape:
+        ref = ref.reshape(got.shape)
+    err = float(np.max(np.abs(got - ref)))
+    return format_kv(
+        f"cycle simulation: {design.name}",
+        [
+            ("images", report.images),
+            ("total cycles", report.total_cycles),
+            ("measured interval", f"{report.measured_interval:.1f} cycles"),
+            ("model interval", network_perf(design).interval),
+            ("max |sim - reference|", f"{err:.3e}"),
+            ("verified", err < args.tolerance),
+        ],
+    )
+
+
+def _cmd_resources(args) -> str:
+    design = _load_design(args.design)
+    res = design_resources(design)
+    util = res.utilization(XC7VX485T)
+    total = res.total
+    return format_table(
+        ["resource", "used", "available", "utilization %"],
+        [
+            ["FF", int(total.ff), int(XC7VX485T.resources.ff), util["ff"] * 100],
+            ["LUT", int(total.lut), int(XC7VX485T.resources.lut), util["lut"] * 100],
+            ["BRAM36", round(total.bram, 1), int(XC7VX485T.resources.bram),
+             util["bram"] * 100],
+            ["DSP", int(total.dsp), int(XC7VX485T.resources.dsp), util["dsp"] * 100],
+        ],
+        title=f"resources: {design.name} on xc7vx485t",
+    )
+
+
+def _cmd_flow(args) -> str:
+    from repro.core import run_flow
+
+    res = run_flow(args.design, seed=args.seed, output_dir=args.out,
+                   epochs=args.epochs)
+    pairs = [
+        ("training loss", f"{res.training.losses[0]:.3f} -> "
+                          f"{res.training.losses[-1]:.3f}"),
+        ("test accuracy", f"{res.training.test_accuracy:.3f}"),
+        ("layer-wise verification",
+         "PASSED" if res.verification.passed
+         else f"FAILED at {res.verification.first_failure}"),
+        ("steady-state interval", f"{res.interval} cycles"),
+        ("fits xc7vx485t", res.fits_device),
+        ("flow verdict", "OK" if res.ok else "REJECTED"),
+    ]
+    if res.artifacts:
+        pairs.append(("artifacts", ", ".join(res.artifacts)))
+    return format_kv(f"automated flow: {args.design}", pairs)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Dataflow CNN-on-FPGA reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, help_):
+        sp = sub.add_parser(name, help=help_)
+        sp.add_argument("design", help="preset (usps|cifar10|tiny) or design JSON path")
+        sp.set_defaults(fn=fn)
+        return sp
+
+    add("block-design", _cmd_block_design, "render the block design (Fig. 4/5 style)")
+    add("report", _cmd_report, "HLS-style synthesis report")
+    perf = add("perf", _cmd_perf, "analytical performance summary")
+    perf.add_argument("--breakdown", action="store_true",
+                      help="per-stage interval table")
+    add("resources", _cmd_resources, "Table-I-style utilization")
+    sweep = add("sweep", _cmd_sweep, "Figure-6 batch curve (model)")
+    sweep.add_argument("--batches", type=int, nargs="+",
+                       default=[1, 2, 5, 10, 20, 50])
+    add("dse", _cmd_dse, "greedy design-space exploration")
+    sim = add("simulate", _cmd_simulate, "cycle-accurate simulation + verification")
+    sim.add_argument("--images", type=int, default=2)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--tolerance", type=float, default=1e-4)
+    flow = sub.add_parser(
+        "flow", help="automated design flow: train, verify, report, emit artifacts"
+    )
+    flow.add_argument("design", help="flow preset (usps|cifar10|tiny)")
+    flow.add_argument("--out", default=None, help="artifact output directory")
+    flow.add_argument("--seed", type=int, default=0)
+    flow.add_argument("--epochs", type=int, default=None)
+    flow.set_defaults(fn=_cmd_flow)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        print(args.fn(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""The paper's contribution: scalable dataflow CNN designs on FPGA.
+
+Layer specs and network designs (Section IV), the Algorithm-1 compute
+cores, the elaboration into a simulated dataflow graph, and the
+performance/resource models behind every table and figure.
+"""
+
+from repro.core.builder import (
+    BuiltNetwork,
+    DesignWeights,
+    build_network,
+    extract_weights,
+    interleave_images,
+    random_weights,
+)
+from repro.core.compute_core import ConvCoreActor
+from repro.core.fc_core import FCCoreActor
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, LayerSpec, PoolLayerSpec
+from repro.core.models import (
+    CIFAR_HIDDEN,
+    cifar10_design,
+    cifar10_model,
+    tiny_design,
+    tiny_model,
+    usps_design,
+    usps_model,
+)
+from repro.core.multi_fpga import LinkModel, MultiFpgaPlan, Segment, plan_split
+from repro.core.norm_core import (
+    NormalizationActor,
+    normalization_depth,
+    normalization_resources,
+)
+from repro.core.network_design import (
+    LayerPlacement,
+    NetworkDesign,
+    PortAdapter,
+    classify_adapter,
+)
+from repro.core.perf_model import (
+    LayerPerf,
+    NetworkPerf,
+    batch_sweep,
+    conv_core_depth,
+    fc_core_depth,
+    layer_perf,
+    network_perf,
+)
+from repro.core.pool_core import PoolCoreActor
+from repro.core.resource_model import (
+    BASE_DESIGN,
+    DesignResources,
+    design_resources,
+    layer_resources,
+)
+from repro.core.flow import FLOW_PRESETS, FlowResult, run_flow
+from repro.core.hls_report import CoreReport, core_reports, render_report
+from repro.core.reference import design_reference_forward
+from repro.core.runner import RunReport, run_batch, run_trained, simulated_batch_sweep
+from repro.core.serialize import (
+    design_from_dict,
+    design_from_json,
+    design_to_dict,
+    design_to_json,
+    load_weights,
+    save_weights,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.core.verify import LayerCheck, VerifyReport, verify_layerwise
+from repro.core.zoo import alexnet_design, vgg16_design
+from repro.core.scaling import (
+    divisors,
+    fully_parallel_design,
+    port_options,
+    single_port_design,
+    with_layer_ports,
+)
+
+__all__ = [
+    "BASE_DESIGN",
+    "BuiltNetwork",
+    "CIFAR_HIDDEN",
+    "ConvCoreActor",
+    "ConvLayerSpec",
+    "DesignResources",
+    "DesignWeights",
+    "FCCoreActor",
+    "FCLayerSpec",
+    "LayerPerf",
+    "LayerPlacement",
+    "LayerSpec",
+    "LinkModel",
+    "MultiFpgaPlan",
+    "NetworkDesign",
+    "NetworkPerf",
+    "NormalizationActor",
+    "normalization_depth",
+    "normalization_resources",
+    "PoolCoreActor",
+    "PoolLayerSpec",
+    "PortAdapter",
+    "RunReport",
+    "Segment",
+    "CoreReport",
+    "FLOW_PRESETS",
+    "FlowResult",
+    "LayerCheck",
+    "run_flow",
+    "VerifyReport",
+    "alexnet_design",
+    "batch_sweep",
+    "build_network",
+    "vgg16_design",
+    "cifar10_design",
+    "core_reports",
+    "design_from_dict",
+    "design_from_json",
+    "design_reference_forward",
+    "design_to_dict",
+    "design_to_json",
+    "load_weights",
+    "render_report",
+    "save_weights",
+    "spec_from_dict",
+    "spec_to_dict",
+    "verify_layerwise",
+    "cifar10_model",
+    "classify_adapter",
+    "conv_core_depth",
+    "design_resources",
+    "divisors",
+    "extract_weights",
+    "fc_core_depth",
+    "fully_parallel_design",
+    "interleave_images",
+    "layer_perf",
+    "layer_resources",
+    "network_perf",
+    "plan_split",
+    "port_options",
+    "random_weights",
+    "run_batch",
+    "run_trained",
+    "simulated_batch_sweep",
+    "single_port_design",
+    "tiny_design",
+    "tiny_model",
+    "usps_design",
+    "usps_model",
+    "with_layer_ports",
+]

@@ -1,0 +1,428 @@
+"""Compile a :class:`NetworkDesign` + weights into a runnable dataflow graph.
+
+This is the elaboration step the paper performs with Vivado IPI: every
+layer becomes its memory structure (per-port sliding-window actors) plus
+its computation core, the three port cases of Section IV-A become
+round-robin demux/interleaver adapters, and the whole chain is framed by a
+DMA-rate source and a sink. The resulting graph runs on the cycle-accurate
+simulator (timing + values) or the functional executor (values only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.core.compute_core import ConvCoreActor
+from repro.core.fc_core import FCCoreActor
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, PoolLayerSpec
+from repro.core.network_design import NetworkDesign
+from repro.core.perf_model import conv_core_depth, fc_core_depth
+from repro.core.pool_core import PoolCoreActor
+from repro.dataflow.actors import ArraySource, Interleaver, ListSink, ScheduleDemux
+from repro.dataflow.channel import Channel
+from repro.dataflow.functional import FunctionalExecutor
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.simulator import SimulationResult
+from repro.errors import ConfigurationError, ShapeError
+from repro.fpga.dma import DmaModel, PAPER_DMA
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.linear import Linear
+from repro.nn.network import Sequential
+from repro.sst.filter_chain import build_filter_chain
+from repro.sst.line_buffer import SlidingWindowActor
+from repro.sst.padding import PadInserter
+from repro.sst.window import WindowSpec
+
+
+#: Per-layer parameter arrays keyed by the spec's layer name.
+DesignWeights = Dict[str, Dict[str, np.ndarray]]
+
+
+def random_weights(design: NetworkDesign, seed: int = 0) -> DesignWeights:
+    """Small random weights for every parameterized layer (tests/examples)."""
+    rng = np.random.default_rng(seed)
+    out: DesignWeights = {}
+    for p in design.placements:
+        spec = p.spec
+        if isinstance(spec, ConvLayerSpec):
+            out[spec.name] = {
+                "weight": rng.uniform(
+                    -0.5, 0.5, (spec.out_fm, spec.in_fm, spec.kh, spec.kw)
+                ).astype(DTYPE),
+                "bias": rng.uniform(-0.1, 0.1, spec.out_fm).astype(DTYPE),
+            }
+        elif isinstance(spec, FCLayerSpec):
+            out[spec.name] = {
+                "weight": rng.uniform(-0.5, 0.5, (spec.out_fm, spec.in_fm)).astype(
+                    DTYPE
+                ),
+                "bias": rng.uniform(-0.1, 0.1, spec.out_fm).astype(DTYPE),
+            }
+    return out
+
+
+def extract_weights(design: NetworkDesign, net: Sequential) -> DesignWeights:
+    """Pull trained parameters out of a :class:`Sequential` model.
+
+    Conv specs are matched to ``Conv2D`` layers and FC specs to ``Linear``
+    layers in order; shapes are validated. The network's ``Flatten`` order
+    (pixel-major, FM-minor) equals the stream order entering the FC core,
+    so linear weights transfer without permutation.
+    """
+    convs = [l for l in net.layers if isinstance(l, Conv2D)]
+    linears = [l for l in net.layers if isinstance(l, Linear)]
+    out: DesignWeights = {}
+    ci = li = 0
+    for p in design.placements:
+        spec = p.spec
+        if isinstance(spec, ConvLayerSpec):
+            if ci >= len(convs):
+                raise ConfigurationError(
+                    f"design has more conv specs than the model has Conv2D layers"
+                )
+            layer = convs[ci]
+            ci += 1
+            expected = (spec.out_fm, spec.in_fm, spec.kh, spec.kw)
+            if layer.weight.shape != expected:
+                raise ShapeError(
+                    f"{spec.name!r}: model weight {layer.weight.shape} != "
+                    f"spec {expected}"
+                )
+            out[spec.name] = {"weight": layer.weight.copy(), "bias": layer.bias.copy()}
+        elif isinstance(spec, FCLayerSpec):
+            if li >= len(linears):
+                raise ConfigurationError(
+                    f"design has more FC specs than the model has Linear layers"
+                )
+            layer = linears[li]
+            li += 1
+            expected = (spec.out_fm, spec.in_fm)
+            if layer.weight.shape != expected:
+                raise ShapeError(
+                    f"{spec.name!r}: model weight {layer.weight.shape} != "
+                    f"spec {expected}"
+                )
+            out[spec.name] = {"weight": layer.weight.copy(), "bias": layer.bias.copy()}
+    if ci != len(convs) or li != len(linears):
+        raise ConfigurationError(
+            f"model has unmatched layers (conv {len(convs) - ci}, "
+            f"linear {len(linears) - li} left over)"
+        )
+    return out
+
+
+def interleave_images(batch: np.ndarray) -> np.ndarray:
+    """Flatten ``(N, C, H, W)`` into the DMA stream order.
+
+    Per image: raster scan, feature maps innermost — the layout every port
+    and adapter in the design assumes.
+    """
+    if batch.ndim != 4:
+        raise ShapeError(f"batch must be (N, C, H, W), got {batch.shape}")
+    return np.ascontiguousarray(batch.transpose(0, 2, 3, 1)).ravel().astype(DTYPE)
+
+
+@dataclass
+class BuiltNetwork:
+    """A compiled design: graph + endpoints + layout bookkeeping."""
+
+    design: NetworkDesign
+    graph: DataflowGraph
+    source: ArraySource
+    sink: ListSink
+    images: int
+    #: Set after run(): the simulation result.
+    result: Optional[SimulationResult] = None
+
+    def run(
+        self,
+        max_cycles: int = 50_000_000,
+        stall_limit: int = 10_000,
+        tracer=None,
+    ) -> SimulationResult:
+        """Cycle-accurate simulation of the whole batch.
+
+        Pass a :class:`~repro.dataflow.trace.Tracer` to sample per-actor
+        activity and channel occupancy during the run.
+        """
+        sim = self.graph.build_simulator(stall_limit=stall_limit, tracer=tracer)
+        self.result = sim.run(max_cycles=max_cycles)
+        return self.result
+
+    def run_functional(self, max_cycles: int = 50_000_000) -> SimulationResult:
+        """Untimed run (unbounded FIFOs): values only, much faster."""
+        self.result = FunctionalExecutor(self.graph).run(max_cycles=max_cycles)
+        return self.result
+
+    def outputs(self) -> np.ndarray:
+        """Collected outputs reshaped to ``(N, K, OH, OW)`` / ``(N, K)``.
+
+        The sink stream is image-major, coordinate-major, FM-minor.
+        """
+        k, oh, ow = self.design.output_shape
+        vals = np.asarray(self.sink.received, dtype=DTYPE)
+        expected = self.images * k * oh * ow
+        if vals.size != expected:
+            raise ShapeError(
+                f"sink holds {vals.size} values, expected {expected}; "
+                f"did the simulation run to completion?"
+            )
+        arr = vals.reshape(self.images, oh, ow, k).transpose(0, 3, 1, 2)
+        if (oh, ow) == (1, 1):
+            return arr.reshape(self.images, k)
+        return arr
+
+    def image_completion_cycles(self) -> List[int]:
+        """Cycle at which each image's last output value left the design."""
+        k, oh, ow = self.design.output_shape
+        per_image = k * oh * ow
+        ts = self.sink.timestamps
+        if len(ts) != self.images * per_image:
+            raise ShapeError("simulation incomplete; no timing available")
+        return [ts[(i + 1) * per_image - 1] for i in range(self.images)]
+
+
+def build_network(
+    design: NetworkDesign,
+    weights: DesignWeights,
+    batch: np.ndarray,
+    dma: DmaModel = PAPER_DMA,
+    channel_capacity: int = 4,
+    memory_system: str = "behavioral",
+    loop_overhead: int = 0,
+    normalize: bool = False,
+) -> BuiltNetwork:
+    """Elaborate ``design`` into a dataflow graph processing ``batch``.
+
+    Parameters
+    ----------
+    design: the validated layer chain.
+    weights: per-layer parameter arrays (:func:`random_weights`,
+        :func:`extract_weights`, or hand-built).
+    batch: ``(N, C, H, W)`` input images; ``C, H, W`` must match the design.
+    dma: transfer model setting the source beat rate.
+    channel_capacity: default FIFO depth for inter-actor links.
+    memory_system: ``"behavioral"`` uses the fast line-buffer actor per
+        port; ``"literal"`` elaborates the full SST filter chain (one
+        actor per tap, full-buffering FIFO depths, padding injectors) —
+        the maximum-fidelity mode, O(kernel-size) more actors.
+    loop_overhead: extra stall cycles per conv-core coordinate, the
+        calibration constant that reconciles the ideal pipeline with the
+        paper's measured board latencies (docs/calibration.md).
+    normalize: append the Eq. 3 normalization operator after the last
+        layer (requires the design to end in a 1x1-spatial stage), so the
+        sink collects class probabilities instead of logits.
+    """
+    if loop_overhead < 0:
+        raise ConfigurationError(
+            f"loop_overhead must be >= 0, got {loop_overhead}"
+        )
+    if memory_system not in ("behavioral", "literal"):
+        raise ConfigurationError(
+            f"memory_system must be 'behavioral' or 'literal', "
+            f"got {memory_system!r}"
+        )
+    if batch.ndim != 4 or tuple(batch.shape[1:]) != design.input_shape:
+        raise ShapeError(
+            f"batch shape {batch.shape} does not match design input "
+            f"{design.input_shape}"
+        )
+    images = batch.shape[0]
+    g = DataflowGraph(design.name, default_capacity=channel_capacity)
+
+    source = g.add_actor(
+        ArraySource("dma_in", interleave_images(batch), interval=dma.beat_interval(32))
+    )
+    # `streams` holds, per current port, (producer_actor, out_port_name).
+    streams: List[Tuple[object, str]] = [(source, "out")]
+    shape = design.input_shape
+
+    for p in design.placements:
+        spec = p.spec
+        if isinstance(spec, FCLayerSpec):
+            shape = (spec.in_fm, 1, 1)
+        streams = _adapt_ports(g, spec.name, streams, spec.in_ports, spec.in_fm)
+        c, h, w = shape
+        if isinstance(spec, ConvLayerSpec):
+            if spec.name not in weights:
+                raise ConfigurationError(f"no weights for layer {spec.name!r}")
+            wdict = weights[spec.name]
+            oh, ow = spec.out_hw(h, w)
+            depth = conv_core_depth(spec.in_ports, spec.kh, spec.kw)
+            core = g.add_actor(
+                ConvCoreActor(
+                    f"{spec.name}.core",
+                    wdict["weight"],
+                    wdict["bias"],
+                    spec.in_ports,
+                    spec.out_ports,
+                    n_coords=oh * ow,
+                    images=images,
+                    activation=spec.activation,
+                    pipeline_depth=depth,
+                    # The hardware pipeline keeps depth/II coordinates in
+                    # flight; the result queue must hold them or the depth
+                    # gate would serialize the loop.
+                    queue_depth=depth // max(spec.ii, 1) + 2,
+                    coord_overhead=loop_overhead,
+                )
+            )
+            for port, (prod, oport) in enumerate(streams):
+                win, win_out = _window_stage(
+                    g, f"{spec.name}.win{port}", spec.window, h, w,
+                    spec.in_group, images, prod, oport, channel_capacity,
+                    memory_system,
+                )
+                g.connect(win, win_out, core, f"in{port}", capacity=channel_capacity)
+            streams = [(core, f"out{i}") for i in range(spec.out_ports)]
+        elif isinstance(spec, PoolLayerSpec):
+            oh, ow = spec.out_hw(h, w)
+            new_streams: List[Tuple[object, str]] = []
+            for port, (prod, oport) in enumerate(streams):
+                win, win_out = _window_stage(
+                    g, f"{spec.name}.win{port}", spec.window, h, w,
+                    spec.in_group, images, prod, oport, channel_capacity,
+                    memory_system,
+                )
+                core = g.add_actor(
+                    PoolCoreActor(
+                        f"{spec.name}.core{port}",
+                        spec.mode,
+                        count=oh * ow * spec.in_group * images,
+                    )
+                )
+                g.connect(win, win_out, core, "in", capacity=channel_capacity)
+                new_streams.append((core, "out"))
+            streams = new_streams
+        elif isinstance(spec, FCLayerSpec):
+            if spec.name not in weights:
+                raise ConfigurationError(f"no weights for layer {spec.name!r}")
+            wdict = weights[spec.name]
+            depth = fc_core_depth(spec.acc_lanes)
+            core = g.add_actor(
+                FCCoreActor(
+                    f"{spec.name}.core",
+                    wdict["weight"],
+                    wdict["bias"],
+                    acc_lanes=spec.acc_lanes,
+                    images=images,
+                    activation=spec.activation,
+                    pipeline_depth=depth,
+                    queue_depth=depth // max(spec.in_fm, 1) + 2,
+                )
+            )
+            (prod, oport) = streams[0]
+            g.connect(prod, oport, core, "in", capacity=channel_capacity)
+            streams = [(core, "out")]
+        else:
+            raise ConfigurationError(f"unknown layer spec kind {spec.kind!r}")
+        shape = p.out_shape
+
+    # DMA out is a single 32-bit stream: widen to one port if needed.
+    streams = _adapt_ports(g, "dma_out", streams, 1, design.output_shape[0])
+    if normalize:
+        k, oh, ow = design.output_shape
+        if (oh, ow) != (1, 1):
+            raise ConfigurationError(
+                f"normalize requires a 1x1-spatial output, got {oh}x{ow}"
+            )
+        from repro.core.norm_core import NormalizationActor, normalization_depth
+
+        norm = g.add_actor(
+            NormalizationActor(
+                "normalize", n_classes=k, images=images,
+                pipeline_depth=normalization_depth(k),
+            )
+        )
+        prod, oport = streams[0]
+        g.connect(prod, oport, norm, "in", capacity=channel_capacity)
+        streams = [(norm, "out")]
+    sink = g.add_actor(
+        ListSink("dma_out_sink", count=images * design.output_words_per_image())
+    )
+    prod, oport = streams[0]
+    g.connect(prod, oport, sink, "in", capacity=channel_capacity)
+    return BuiltNetwork(design=design, graph=g, source=source, sink=sink, images=images)
+
+
+def _window_stage(
+    g: DataflowGraph,
+    name: str,
+    window: WindowSpec,
+    h: int,
+    w: int,
+    group: int,
+    images: int,
+    prod,
+    oport: str,
+    capacity: int,
+    memory_system: str,
+) -> Tuple[object, str]:
+    """One port's memory structure: behavioral line buffer or literal chain.
+
+    Returns ``(actor, out_port)`` whose stream carries the window beats.
+    """
+    if memory_system == "behavioral":
+        win = g.add_actor(
+            SlidingWindowActor(name, window, h, w, group=group, images=images)
+        )
+        g.connect(prod, oport, win, "in", capacity=capacity)
+        return win, "out"
+    head, asm = build_filter_chain(g, name, window, h, w, group=group, images=images)
+    if window.pad:
+        padder = g.add_actor(
+            PadInserter(f"{name}.padder", h, w, window.pad, group, images)
+        )
+        g.connect(prod, oport, padder, "in", capacity=capacity)
+        g.connect(padder, "out", head, "in", capacity=capacity)
+    else:
+        g.connect(prod, oport, head, "in", capacity=capacity)
+    return asm, "out"
+
+
+def _adapt_ports(
+    g: DataflowGraph,
+    name: str,
+    streams: List[Tuple[object, str]],
+    want_ports: int,
+    n_fm: int,
+) -> List[Tuple[object, str]]:
+    """Insert the Section IV-A adapter between ``streams`` and ``want_ports``.
+
+    Uses the modulo-interleaved FM-to-port convention: FM ``f`` lives on
+    port ``f % P`` in ascending order, both upstream and downstream, which
+    makes every adapter a round-robin demux or interleaver.
+    """
+    have = len(streams)
+    if have == want_ports:
+        return streams
+    if want_ports % have == 0 and want_ports > have:
+        # Demux: each producer port deals its FMs out to ratio consumers.
+        ratio = want_ports // have
+        new: List[Optional[Tuple[object, str]]] = [None] * want_ports
+        for i, (prod, oport) in enumerate(streams):
+            dem = g.add_actor(ScheduleDemux(f"{name}.demux{i}", n_outputs=ratio))
+            g.connect(prod, oport, dem, "in")
+            for m in range(ratio):
+                # Local output m feeds consumer port i + m*have.
+                new[i + m * have] = (dem, f"out{m}")
+        return [s for s in new if s is not None]
+    if have % want_ports == 0 and have > want_ports:
+        # Widen: each consumer port merges ratio producer ports round-robin.
+        ratio = have // want_ports
+        new = []
+        for r in range(want_ports):
+            inter = g.add_actor(Interleaver(f"{name}.widen{r}", n_inputs=ratio))
+            for m in range(ratio):
+                prod, oport = streams[r + m * want_ports]
+                g.connect(prod, oport, inter, f"in{m}")
+            new.append((inter, "out"))
+        return new
+    raise ConfigurationError(
+        f"{name!r}: cannot adapt {have} ports to {want_ports} "
+        f"(counts must divide; n_fm={n_fm})"
+    )

@@ -1,0 +1,168 @@
+"""The convolutional computation core — Algorithm 1 of the paper.
+
+Two coupled processes mirror the HLS kernel's pipelined loop nest:
+
+* the *compute* process reads ``IN_PORTS`` windows per cycle (one feature
+  map group), multiplies them with the hard-coded weights, tree-reduces
+  the products, and accumulates into the per-output-FM registers;
+* the *emitter* process drains finished coordinates, interleaving the
+  ``OUT_FM`` results over the ``OUT_PORTS`` output streams.
+
+Decoupling the two is exactly what lets the core sustain Eq. 4's
+``II = max(OUT_FM/OUT_PORTS, IN_FM/IN_PORTS)``: input reads of coordinate
+``n+1`` overlap output writes of coordinate ``n``. Arithmetic uses the
+same association order as the modeled hardware (per-group product tree,
+then one accumulation add), so the simulated outputs carry the datapath's
+float32 rounding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.dataflow.actor import Actor
+from repro.errors import ConfigurationError, ShapeError
+from repro.hls.tree_adder import tree_reduce
+from repro.nn.layers.activation import activation_fn
+
+
+class ConvCoreActor(Actor):
+    """Computation core of one convolutional layer.
+
+    Ports: ``in0..in{IN_PORTS-1}`` receive ``(kh, kw)`` windows;
+    ``out0..out{OUT_PORTS-1}`` emit scalar results.
+
+    Parameters
+    ----------
+    name: actor name.
+    weight: ``(OUT_FM, IN_FM, kh, kw)`` filters (design-time constants).
+    bias: ``(OUT_FM,)`` biases.
+    in_ports, out_ports: the scalability parameters.
+    n_coords: output coordinates per image (``OH * OW``).
+    images: number of images to process.
+    activation: optional nonlinearity name applied to each output value.
+    queue_depth: internal result-queue bound (backpressure realism).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: np.ndarray,
+        in_ports: int,
+        out_ports: int,
+        n_coords: int,
+        images: int = 1,
+        activation: Optional[str] = None,
+        queue_depth: int = 2,
+        pipeline_depth: int = 0,
+        coord_overhead: int = 0,
+    ):
+        super().__init__(name)
+        weight = np.asarray(weight, dtype=DTYPE)
+        bias = np.asarray(bias, dtype=DTYPE)
+        if weight.ndim != 4:
+            raise ShapeError(f"{name!r}: weight must be 4-D, got {weight.shape}")
+        self.out_fm, self.in_fm, self.kh, self.kw = weight.shape
+        if bias.shape != (self.out_fm,):
+            raise ShapeError(
+                f"{name!r}: bias must be ({self.out_fm},), got {bias.shape}"
+            )
+        if self.in_fm % in_ports or self.out_fm % out_ports:
+            raise ConfigurationError(
+                f"{name!r}: ports must divide FM counts "
+                f"({self.in_fm}/{in_ports}, {self.out_fm}/{out_ports})"
+            )
+        if n_coords < 1 or images < 1 or queue_depth < 1:
+            raise ConfigurationError(
+                f"{name!r}: n_coords, images and queue_depth must be >= 1"
+            )
+        self.weight = weight
+        self.bias = bias
+        self.in_ports = int(in_ports)
+        self.out_ports = int(out_ports)
+        self.n_coords = int(n_coords)
+        self.images = int(images)
+        self.activation = activation
+        self._act = activation_fn(activation)
+        self.queue_depth = int(queue_depth)
+        if pipeline_depth < 0:
+            raise ConfigurationError(
+                f"{name!r}: pipeline_depth must be >= 0, got {pipeline_depth}"
+            )
+        #: Cycles between a coordinate's last window read and its first
+        #: emitted value (multiplier + adder-tree + accumulate latency).
+        self.pipeline_depth = int(pipeline_depth)
+        if coord_overhead < 0:
+            raise ConfigurationError(
+                f"{name!r}: coord_overhead must be >= 0, got {coord_overhead}"
+            )
+        #: Extra stall cycles between coordinates, modeling imperfect HLS
+        #: loop flattening (the calibration constant of docs/calibration.md).
+        self.coord_overhead = int(coord_overhead)
+        # Per input-port FM index lists: port p carries FMs p, p+P, p+2P...
+        self._port_fms = [
+            list(range(p, self.in_fm, self.in_ports)) for p in range(self.in_ports)
+        ]
+        self.in_groups = self.in_fm // self.in_ports
+        self.out_groups = self.out_fm // self.out_ports
+
+    def processes(self):
+        self._results: deque = deque()
+        return [self._compute(), self._emit()]
+
+    def _compute(self) -> Generator:
+        ins = [self.input(f"in{p}") for p in range(self.in_ports)]
+        kk = self.kh * self.kw
+        for _ in range(self.images * self.n_coords):
+            acc = self.bias.copy()
+            for g in range(self.in_groups):
+                # One group per cycle: read IN_PORTS windows in parallel
+                # (Algorithm 1's "buf <- IN_PORTS windows").
+                while not all(ch.can_pop() for ch in ins):
+                    self.blocked_reason = "conv: windows not ready"
+                    for ch in ins:
+                        if not ch.can_pop():
+                            ch.note_empty_stall()
+                    yield
+                # Model backpressure from the result queue: stall reads
+                # when the emitter has fallen queue_depth coordinates behind.
+                while len(self._results) >= self.queue_depth:
+                    self.blocked_reason = "conv: result queue full"
+                    yield
+                self.blocked_reason = None
+                windows = np.stack([ch.pop() for ch in ins])  # (P, kh, kw)
+                fms = [self._port_fms[p][g] for p in range(self.in_ports)]
+                # (OUT_FM, P, kh, kw) products -> tree reduce -> accumulate.
+                prods = self.weight[:, fms, :, :] * windows[None, :, :, :]
+                acc = (acc + tree_reduce(prods.reshape(self.out_fm, -1))).astype(DTYPE)
+                yield
+            # Result leaves the datapath pipeline_depth cycles from now.
+            self._results.append((self.now + self.pipeline_depth, self._act(acc)))
+            for _ in range(self.coord_overhead):
+                yield  # coordinate-loop entry/exit bubble
+
+    def _emit(self) -> Generator:
+        outs = [self.output(f"out{p}") for p in range(self.out_ports)]
+        for _ in range(self.images * self.n_coords):
+            while not self._results or self._results[0][0] > self.now:
+                self.blocked_reason = "conv: waiting for a finished coordinate"
+                yield
+            acc = self._results[0][1]
+            for j in range(self.out_groups):
+                # Beat j carries FM j*OUT_PORTS + p on output port p.
+                while not all(ch.can_push() for ch in outs):
+                    self.blocked_reason = "conv: output full"
+                    for ch in outs:
+                        if not ch.can_push():
+                            ch.note_full_stall()
+                    yield
+                self.blocked_reason = None
+                for p, ch in enumerate(outs):
+                    ch.push(DTYPE(acc[j * self.out_ports + p]))
+                yield
+            self._results.popleft()

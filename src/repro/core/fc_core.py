@@ -1,0 +1,121 @@
+"""Fully-connected computation core (Section IV-B).
+
+The FC layer is a single-input-port/single-output-port 1x1 convolution:
+each incoming value is one "input channel"; for each of them, all the
+``OUT_FM`` multiply-accumulates happen in the same clock cycle. The
+floating-point accumulation latency (11 cycles) is hidden by interleaved
+accumulator lanes — incoming value ``i`` lands in lane ``i % acc_lanes``
+of every output's partial-sum array, and the lanes are tree-combined once
+per image. The simulated arithmetic follows that exact association order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.dataflow.actor import Actor
+from repro.errors import ConfigurationError, ShapeError
+from repro.hls.tree_adder import tree_reduce
+from repro.nn.layers.activation import activation_fn
+
+
+class FCCoreActor(Actor):
+    """Single-stream fully-connected core with interleaved accumulators.
+
+    Ports: ``in`` (one value per cycle), ``out`` (one value per cycle,
+    emitted sequentially after each image's inputs are consumed).
+
+    Parameters
+    ----------
+    weight: ``(OUT_FM, IN_FM)`` matrix (row = one perceptron).
+    bias: ``(OUT_FM,)``.
+    acc_lanes: interleaved accumulator count (>= 1).
+    images: images to process.
+    activation: optional nonlinearity on the outputs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: np.ndarray,
+        acc_lanes: int = 12,
+        images: int = 1,
+        activation: Optional[str] = None,
+        queue_depth: int = 2,
+        pipeline_depth: int = 0,
+    ):
+        super().__init__(name)
+        weight = np.asarray(weight, dtype=DTYPE)
+        bias = np.asarray(bias, dtype=DTYPE)
+        if weight.ndim != 2:
+            raise ShapeError(f"{name!r}: weight must be 2-D, got {weight.shape}")
+        self.out_fm, self.in_fm = weight.shape
+        if bias.shape != (self.out_fm,):
+            raise ShapeError(
+                f"{name!r}: bias must be ({self.out_fm},), got {bias.shape}"
+            )
+        if acc_lanes < 1 or images < 1 or queue_depth < 1:
+            raise ConfigurationError(
+                f"{name!r}: acc_lanes, images and queue_depth must be >= 1"
+            )
+        self.weight = weight
+        self.bias = bias
+        self.acc_lanes = int(acc_lanes)
+        self.images = int(images)
+        self.activation = activation
+        self._act = activation_fn(activation)
+        self.queue_depth = int(queue_depth)
+        if pipeline_depth < 0:
+            raise ConfigurationError(
+                f"{name!r}: pipeline_depth must be >= 0, got {pipeline_depth}"
+            )
+        #: Cycles of the final lane-combine (tree over acc_lanes + bias).
+        self.pipeline_depth = int(pipeline_depth)
+
+    def processes(self):
+        self._results: deque = deque()
+        return [self._compute(), self._emit()]
+
+    def _compute(self) -> Generator:
+        in_ch = self.input("in")
+        for _ in range(self.images):
+            partial = np.zeros((self.out_fm, self.acc_lanes), dtype=DTYPE)
+            for i in range(self.in_fm):
+                while not in_ch.can_pop():
+                    self.blocked_reason = f"fc: {in_ch.name} empty"
+                    in_ch.note_empty_stall()
+                    yield
+                while len(self._results) >= self.queue_depth:
+                    self.blocked_reason = "fc: result queue full"
+                    yield
+                self.blocked_reason = None
+                x = DTYPE(in_ch.pop())
+                lane = i % self.acc_lanes
+                # All OUT_FM MACs for this input value in one cycle.
+                partial[:, lane] = (partial[:, lane] + self.weight[:, i] * x).astype(
+                    DTYPE
+                )
+                yield
+            out = (tree_reduce(partial) + self.bias).astype(DTYPE)
+            self._results.append((self.now + self.pipeline_depth, self._act(out)))
+
+    def _emit(self) -> Generator:
+        out_ch = self.output("out")
+        for _ in range(self.images):
+            while not self._results or self._results[0][0] > self.now:
+                self.blocked_reason = "fc: waiting for finished image"
+                yield
+            out = self._results.popleft()[1]
+            for j in range(self.out_fm):
+                while not out_ch.can_push():
+                    self.blocked_reason = f"fc: {out_ch.name} full"
+                    out_ch.note_full_stall()
+                    yield
+                self.blocked_reason = None
+                out_ch.push(DTYPE(out[j]))
+                yield

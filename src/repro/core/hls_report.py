@@ -1,0 +1,121 @@
+"""Vivado-HLS-style synthesis report for a whole design.
+
+Renders, per layer, what the HLS tool would report for the generated
+cores: initiation interval (Eq. 4), datapath depth, trip count, per-image
+latency, MAC-lane count and the estimated resources — plus the network
+totals and the pipeline verdict. Purely derived from the analytical
+models, so it is instant and usable inside DSE loops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, PoolLayerSpec
+from repro.core.network_design import NetworkDesign
+from repro.core.perf_model import layer_perf, network_perf
+from repro.core.resource_model import design_resources
+from repro.errors import ConfigurationError
+from repro.fpga.device import Device, XC7VX485T
+from repro.report.tables import format_table
+
+
+@dataclass(frozen=True)
+class CoreReport:
+    """One layer's synthesis-style figures."""
+
+    layer: str
+    kind: str
+    ii: int
+    depth: int
+    trip_count: int
+    latency: int
+    mac_lanes: int
+    ff: int
+    lut: int
+    bram: float
+    dsp: int
+
+
+def core_reports(design: NetworkDesign) -> List[CoreReport]:
+    """Per-layer report rows for ``design``."""
+    res = design_resources(design, include_base=False)
+    out: List[CoreReport] = []
+    for placement in design.placements:
+        spec = placement.spec
+        perf = layer_perf(placement)
+        if isinstance(spec, ConvLayerSpec):
+            _, oh, ow = placement.out_shape
+            trips = oh * ow
+            lanes = math.ceil(
+                spec.out_fm * spec.in_fm * spec.kh * spec.kw / spec.ii
+            )
+        elif isinstance(spec, PoolLayerSpec):
+            trips = perf.out_beats
+            lanes = 0
+        elif isinstance(spec, FCLayerSpec):
+            trips = spec.in_fm
+            lanes = spec.out_fm
+        else:
+            raise ConfigurationError(f"unknown spec kind {spec.kind!r}")
+        r = res.per_layer[spec.name]
+        out.append(
+            CoreReport(
+                layer=spec.name,
+                kind=spec.kind,
+                ii=spec.ii if not isinstance(spec, PoolLayerSpec) else 1,
+                depth=perf.depth_cycles,
+                trip_count=trips,
+                latency=perf.core_cycles + perf.depth_cycles,
+                mac_lanes=lanes,
+                ff=int(r.ff),
+                lut=int(r.lut),
+                bram=round(r.bram, 1),
+                dsp=int(r.dsp),
+            )
+        )
+    return out
+
+
+def render_report(design: NetworkDesign, device: Device = XC7VX485T) -> str:
+    """The full multi-section synthesis report as text."""
+    rows = [
+        [c.layer, c.kind, c.ii, c.depth, c.trip_count, c.latency,
+         c.mac_lanes, c.ff, c.lut, c.bram, c.dsp]
+        for c in core_reports(design)
+    ]
+    perf = network_perf(design)
+    res = design_resources(design)
+    util = res.utilization(device)
+    total = res.total
+    sections = [
+        f"==== HLS report: {design.name} ====",
+        format_table(
+            ["layer", "kind", "II", "depth", "trips", "latency/img",
+             "MAC lanes", "FF", "LUT", "BRAM", "DSP"],
+            rows,
+            title="per-core synthesis estimates",
+        ),
+        format_table(
+            ["metric", "value"],
+            [
+                ["steady-state interval (cycles/image)", perf.interval],
+                ["fill latency (cycles)", perf.fill_latency],
+                ["bottleneck stage", perf.bottleneck],
+                ["total FF", int(total.ff)],
+                ["total LUT", int(total.lut)],
+                ["total BRAM36", round(total.bram, 1)],
+                ["total DSP", int(total.dsp)],
+                [f"fits {device.name}", res.fits(device)],
+            ],
+            title="network summary (incl. base design)",
+        ),
+        format_table(
+            ["resource", "utilization %"],
+            [[k.upper(), v * 100] for k, v in util.items()],
+            title=f"device utilization ({device.name})",
+        ),
+    ]
+    return "\n\n".join(sections)

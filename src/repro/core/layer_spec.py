@@ -1,0 +1,251 @@
+"""Parametric layer specifications (the paper's per-module parameters).
+
+A spec captures everything needed to instantiate a layer's memory
+structure and computation core: feature-map counts, window geometry,
+``IN_PORTS``/``OUT_PORTS`` (the scalability knob of Section IV-A) and the
+activation. Specs are pure descriptions — weights are attached by the
+builder, costs by the resource/performance models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.hls.pipeline import initiation_interval
+from repro.sst.window import WindowSpec
+
+
+@dataclass(frozen=True, kw_only=True)
+class LayerSpec:
+    """Common fields of every layer spec."""
+
+    name: str
+    in_fm: int
+    out_fm: int
+    in_ports: int = 1
+    out_ports: int = 1
+    activation: Optional[str] = None
+
+    #: Tag used by the builder/resource model to dispatch ("conv"/"pool"/"fc").
+    kind = "abstract"
+
+    def __post_init__(self) -> None:
+        if self.in_fm < 1 or self.out_fm < 1:
+            raise ConfigurationError(
+                f"{self.name!r}: feature map counts must be >= 1 "
+                f"(got in={self.in_fm}, out={self.out_fm})"
+            )
+        if self.in_ports < 1 or self.out_ports < 1:
+            raise ConfigurationError(
+                f"{self.name!r}: port counts must be >= 1 "
+                f"(got in={self.in_ports}, out={self.out_ports})"
+            )
+        if self.in_fm % self.in_ports:
+            raise ConfigurationError(
+                f"{self.name!r}: IN_FM {self.in_fm} not divisible by "
+                f"IN_PORTS {self.in_ports}"
+            )
+        if self.out_fm % self.out_ports:
+            raise ConfigurationError(
+                f"{self.name!r}: OUT_FM {self.out_fm} not divisible by "
+                f"OUT_PORTS {self.out_ports}"
+            )
+
+    # -- geometry --------------------------------------------------------
+
+    @property
+    def in_group(self) -> int:
+        """Feature maps interleaved per input port."""
+        return self.in_fm // self.in_ports
+
+    @property
+    def out_group(self) -> int:
+        """Feature maps interleaved per output port."""
+        return self.out_fm // self.out_ports
+
+    def out_hw(self, h: int, w: int) -> Tuple[int, int]:
+        """Output spatial size given the input spatial size."""
+        raise NotImplementedError
+
+    def out_shape(self, in_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """``(C, H, W) -> (K, OH, OW)`` with channel-count validation."""
+        c, h, w = in_shape
+        if c != self.in_fm:
+            raise ShapeError(
+                f"{self.name!r} expects {self.in_fm} input FMs, got {c}"
+            )
+        oh, ow = self.out_hw(h, w)
+        return (self.out_fm, oh, ow)
+
+    # -- performance-related ---------------------------------------------------
+
+    @property
+    def ii(self) -> int:
+        """Initiation interval of the computation core (Eq. 4)."""
+        return initiation_interval(self.in_fm, self.in_ports, self.out_fm, self.out_ports)
+
+    def macs_per_image(self, h: int, w: int) -> int:
+        """Multiply-accumulate operations per image."""
+        raise NotImplementedError
+
+    def flops_per_image(self, h: int, w: int) -> int:
+        """FLOPs per image at the 2-FLOP-per-MAC convention."""
+        return 2 * self.macs_per_image(h, w)
+
+    def weight_count(self) -> int:
+        """Trainable scalars baked on chip (weights + biases)."""
+        return 0
+
+    def with_ports(self, in_ports: int, out_ports: int) -> "LayerSpec":
+        """A copy with different port counts (the scaling knob)."""
+        return replace(self, in_ports=in_ports, out_ports=out_ports)
+
+    def describe(self) -> str:
+        """One-line block-design label (Figures 4/5 style)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, kw_only=True)
+class ConvLayerSpec(LayerSpec):
+    """A convolutional layer (Eq. 1): ``kh x kw`` kernels, stride, padding."""
+
+    kh: int = 5
+    kw: Optional[int] = None
+    stride: int = 1
+    pad: int = 0
+
+    kind = "conv"
+
+    def __post_init__(self) -> None:
+        if self.kw is None:
+            object.__setattr__(self, "kw", self.kh)  # square kernel default
+        super().__post_init__()
+
+    @property
+    def window(self) -> WindowSpec:
+        """The layer's sliding-window geometry."""
+        return WindowSpec(self.kh, self.kw, self.stride, self.pad)
+
+    def out_hw(self, h: int, w: int) -> Tuple[int, int]:
+        return self.window.out_shape(h, w)
+
+    def macs_per_image(self, h: int, w: int) -> int:
+        oh, ow = self.out_hw(h, w)
+        return oh * ow * self.out_fm * self.in_fm * self.kh * self.kw
+
+    def weight_count(self) -> int:
+        return self.out_fm * self.in_fm * self.kh * self.kw + self.out_fm
+
+    def describe(self) -> str:
+        act = f" +{self.activation}" if self.activation else ""
+        return (
+            f"conv {self.kh}x{self.kw} {self.in_fm}->{self.out_fm} "
+            f"[{self.in_ports}in/{self.out_ports}out]{act}"
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class PoolLayerSpec(LayerSpec):
+    """A sub-sampling layer: per-FM max/mean pooling, no FM combination.
+
+    Ports are symmetric (``in_ports == out_ports``) because the paper
+    inserts one parallel pooling core per previous-layer output port.
+    ``in_fm`` must equal ``out_fm``.
+    """
+
+    kh: int = 2
+    kw: Optional[int] = None
+    stride: int = 2
+    mode: str = "max"
+
+    kind = "pool"
+
+    def __post_init__(self) -> None:
+        if self.kw is None:
+            object.__setattr__(self, "kw", self.kh)  # square window default
+        super().__post_init__()
+        if self.in_fm != self.out_fm:
+            raise ConfigurationError(
+                f"{self.name!r}: pooling preserves FM count "
+                f"(got {self.in_fm} -> {self.out_fm})"
+            )
+        if self.in_ports != self.out_ports:
+            raise ConfigurationError(
+                f"{self.name!r}: pooling cores are per-port "
+                f"(in_ports {self.in_ports} != out_ports {self.out_ports})"
+            )
+        if self.mode not in ("max", "mean"):
+            raise ConfigurationError(f"{self.name!r}: unknown pool mode {self.mode!r}")
+
+    @property
+    def window(self) -> WindowSpec:
+        return WindowSpec(self.kh, self.kw, self.stride, pad=0)
+
+    def out_hw(self, h: int, w: int) -> Tuple[int, int]:
+        return self.window.out_shape(h, w)
+
+    def macs_per_image(self, h: int, w: int) -> int:
+        # Pooling performs comparisons/adds, not MACs; Table II counts the
+        # convolution/FC work, so pooling contributes zero MACs.
+        return 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.mode}pool {self.kh}x{self.kw}/s{self.stride} "
+            f"{self.in_fm}FM [{self.in_ports} ports]"
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class FCLayerSpec(LayerSpec):
+    """A fully-connected layer as a 1x1 convolution (Section IV-B).
+
+    ``in_fm``/``out_fm`` are the feature counts; the paper always uses the
+    single-input-port/single-output-port version, which is the default.
+    ``acc_lanes`` is the number of interleaved accumulators hiding the
+    floating-point addition latency (>= add latency for II=1).
+
+    ``weight_streaming`` selects the extension mode for large models: the
+    weight matrix is fetched from off-chip memory per image instead of
+    living in on-chip ROMs. It removes the BRAM footprint (which makes
+    AlexNet/VGG-class classifiers impossible on chip) at the cost of the
+    layer becoming bandwidth-bound — Qiu et al.'s observation that "FC
+    layers are memory centric", made quantitative by the perf model.
+    """
+
+    acc_lanes: int = 12
+    weight_streaming: bool = False
+
+    kind = "fc"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.in_ports != 1 or self.out_ports != 1:
+            raise ConfigurationError(
+                f"{self.name!r}: the FC core is single-input-port/"
+                f"single-output-port (Section IV-B)"
+            )
+        if self.acc_lanes < 1:
+            raise ConfigurationError(
+                f"{self.name!r}: acc_lanes must be >= 1, got {self.acc_lanes}"
+            )
+
+    def out_hw(self, h: int, w: int) -> Tuple[int, int]:
+        if (h, w) != (1, 1):
+            raise ShapeError(
+                f"{self.name!r}: FC input must be flattened to 1x1 spatial, "
+                f"got {h}x{w}"
+            )
+        return (1, 1)
+
+    def macs_per_image(self, h: int, w: int) -> int:
+        return self.in_fm * self.out_fm
+
+    def weight_count(self) -> int:
+        return self.in_fm * self.out_fm + self.out_fm
+
+    def describe(self) -> str:
+        act = f" +{self.activation}" if self.activation else ""
+        return f"fc {self.in_fm}->{self.out_fm} [1in/1out]{act}"

@@ -1,0 +1,166 @@
+"""The paper's two test-case networks (Figures 4 and 5) as presets.
+
+Each test case comes as a pair: the :class:`NetworkDesign` (hardware-side
+description with the paper's port choices) and a matching
+:class:`~repro.nn.network.Sequential` software model for offline training.
+
+Test case 1 (USPS, Figure 4): 16x16x1 input; 5x5 conv 1->6 *fully
+parallelized* (6 output ports), 2x2/2 max-pool fully parallel (6 ports),
+5x5 conv 6->16 with 6 input ports and a *single output port*, FC 64->10.
+
+Test case 2 (CIFAR-10, Figure 5): 32x32x3 input; 5x5 conv 3->12, 2x2/2
+max-pool, 5x5 conv 12->36, 2x2/2 max-pool, FC 900->64, FC 64->10 — all
+layers single-input-port/single-output-port (the design was too large to
+parallelize). The paper does not state the hidden width of the first
+linear layer; 64 is our documented assumption (DESIGN.md Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, PoolLayerSpec
+from repro.core.network_design import NetworkDesign
+from repro.nn.layers import Conv2D, Flatten, Linear, MaxPool2D, Tanh
+from repro.nn.network import Sequential
+
+#: Hidden width of test case 2's first linear layer (paper unspecified).
+CIFAR_HIDDEN = 64
+
+
+def usps_design(name: str = "usps-tc1") -> NetworkDesign:
+    """Test case 1: the USPS network with the paper's parallelization."""
+    return NetworkDesign(
+        name,
+        input_shape=(1, 16, 16),
+        specs=[
+            ConvLayerSpec(
+                name="conv1", in_fm=1, out_fm=6, kh=5, kw=5,
+                in_ports=1, out_ports=6, activation="tanh",
+            ),
+            PoolLayerSpec(
+                name="pool1", in_fm=6, out_fm=6, kh=2, kw=2, stride=2,
+                in_ports=6, out_ports=6, mode="max",
+            ),
+            ConvLayerSpec(
+                name="conv2", in_fm=6, out_fm=16, kh=5, kw=5,
+                in_ports=6, out_ports=1, activation="tanh",
+            ),
+            FCLayerSpec(name="fc1", in_fm=64, out_fm=10),
+        ],
+    )
+
+
+def usps_model(rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Software model matching :func:`usps_design` (for offline training)."""
+    rng = rng or np.random.default_rng(0)
+    return Sequential(
+        [
+            Conv2D(1, 6, 5, rng=rng),
+            Tanh(),
+            MaxPool2D(2),
+            Conv2D(6, 16, 5, rng=rng),
+            Tanh(),
+            Flatten(),
+            Linear(64, 10, rng=rng),
+        ],
+        in_shape=(1, 16, 16),
+    )
+
+
+def cifar10_design(name: str = "cifar10-tc2") -> NetworkDesign:
+    """Test case 2: the CIFAR-10 network, all layers single-port."""
+    return NetworkDesign(
+        name,
+        input_shape=(3, 32, 32),
+        specs=[
+            ConvLayerSpec(
+                name="conv1", in_fm=3, out_fm=12, kh=5, kw=5,
+                in_ports=1, out_ports=1, activation="tanh",
+            ),
+            PoolLayerSpec(
+                name="pool1", in_fm=12, out_fm=12, kh=2, kw=2, stride=2,
+                in_ports=1, out_ports=1, mode="max",
+            ),
+            ConvLayerSpec(
+                name="conv2", in_fm=12, out_fm=36, kh=5, kw=5,
+                in_ports=1, out_ports=1, activation="tanh",
+            ),
+            PoolLayerSpec(
+                name="pool2", in_fm=36, out_fm=36, kh=2, kw=2, stride=2,
+                in_ports=1, out_ports=1, mode="max",
+            ),
+            FCLayerSpec(name="fc1", in_fm=900, out_fm=CIFAR_HIDDEN, activation="tanh"),
+            FCLayerSpec(name="fc2", in_fm=CIFAR_HIDDEN, out_fm=10),
+        ],
+    )
+
+
+def cifar10_model(rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Software model matching :func:`cifar10_design`."""
+    rng = rng or np.random.default_rng(0)
+    return Sequential(
+        [
+            Conv2D(3, 12, 5, rng=rng),
+            Tanh(),
+            MaxPool2D(2),
+            Conv2D(12, 36, 5, rng=rng),
+            Tanh(),
+            MaxPool2D(2),
+            Flatten(),
+            Linear(900, CIFAR_HIDDEN, rng=rng),
+            Tanh(),
+            Linear(CIFAR_HIDDEN, 10, rng=rng),
+        ],
+        in_shape=(3, 32, 32),
+    )
+
+
+def tiny_design(
+    name: str = "tiny",
+    in_shape: Tuple[int, int, int] = (1, 8, 8),
+    conv_ports: Tuple[int, int] = (1, 2),
+) -> NetworkDesign:
+    """A small 3-layer design used by tests and the quickstart example."""
+    c, h, w = in_shape
+    oh = h - 2  # 3x3 conv
+    pw = (oh // 2) * ((w - 2) // 2)
+    return NetworkDesign(
+        name,
+        input_shape=in_shape,
+        specs=[
+            ConvLayerSpec(
+                name="conv1", in_fm=c, out_fm=2, kh=3, kw=3,
+                in_ports=conv_ports[0], out_ports=conv_ports[1],
+                activation="tanh",
+            ),
+            PoolLayerSpec(
+                name="pool1", in_fm=2, out_fm=2, kh=2, kw=2, stride=2,
+                in_ports=conv_ports[1], out_ports=conv_ports[1], mode="max",
+            ),
+            FCLayerSpec(name="fc1", in_fm=2 * pw, out_fm=4),
+        ],
+    )
+
+
+def tiny_model(
+    rng: Optional[np.random.Generator] = None,
+    in_shape: Tuple[int, int, int] = (1, 8, 8),
+) -> Sequential:
+    """Software model matching :func:`tiny_design`."""
+    rng = rng or np.random.default_rng(0)
+    c, h, w = in_shape
+    oh, ow = h - 2, w - 2
+    flat = 2 * (oh // 2) * (ow // 2)
+    return Sequential(
+        [
+            Conv2D(c, 2, 3, rng=rng),
+            Tanh(),
+            MaxPool2D(2),
+            Flatten(),
+            Linear(flat, 4, rng=rng),
+        ],
+        in_shape=in_shape,
+    )

@@ -1,0 +1,137 @@
+"""Multi-FPGA partitioning (the paper's Section VI future work).
+
+Splits a design's layer chain into contiguous segments, one per device.
+The inter-board links are serial streams with their own bandwidth, so a
+split design is still one long pipeline: its steady-state interval is the
+slowest element among all layer stages and all link stages. Splitting
+never speeds up a fixed configuration by itself — it frees resources so
+each segment can be parallelized further, which is exactly the paper's
+motivation ("the layers can be totally parallelized given that there are
+enough available resources").
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.network_design import NetworkDesign
+from repro.core.perf_model import layer_perf, network_perf
+from repro.core.resource_model import BASE_DESIGN, layer_resources
+from repro.errors import ConfigurationError, ResourceError
+from repro.fpga.device import Device, XC7VX485T
+from repro.hls.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A board-to-board streaming link."""
+
+    bandwidth_bytes_per_s: float = 1e9
+    clock_hz: float = 100e6
+
+    def words_per_cycle(self) -> float:
+        return self.bandwidth_bytes_per_s / (4 * self.clock_hz)
+
+    def stream_cycles(self, words: int) -> int:
+        """Cycles to forward ``words`` 32-bit values per image."""
+        if words < 0:
+            raise ConfigurationError(f"words must be >= 0, got {words}")
+        return math.ceil(words / self.words_per_cycle())
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One device's share of the pipeline."""
+
+    device_index: int
+    layer_names: Tuple[str, ...]
+    resources: ResourceVector
+    #: Slowest layer interval within this segment (cycles/image).
+    interval: int
+    #: Words streamed out of this segment per image (to the next board).
+    egress_words: int
+
+
+@dataclass(frozen=True)
+class MultiFpgaPlan:
+    """A full partitioning with its end-to-end performance."""
+
+    design_name: str
+    segments: List[Segment]
+    link: LinkModel
+
+    @property
+    def interval(self) -> int:
+        """Pipeline steady-state interval including link stages."""
+        worst = max(s.interval for s in self.segments)
+        for s in self.segments[:-1]:
+            worst = max(worst, self.link.stream_cycles(s.egress_words))
+        return worst
+
+    def fits(self, device: Device = XC7VX485T) -> bool:
+        return all(s.resources.fits_in(device.resources) for s in self.segments)
+
+
+def plan_split(
+    design: NetworkDesign,
+    n_devices: int,
+    device: Device = XC7VX485T,
+    link: LinkModel = LinkModel(),
+) -> MultiFpgaPlan:
+    """Best contiguous split of ``design`` over ``n_devices`` devices.
+
+    Exhaustively evaluates every cut-point placement (layer counts are
+    single digits), keeping splits whose segments fit ``device`` and
+    minimizing the resulting pipeline interval; ties break toward lower
+    peak resource usage. Raises :class:`~repro.errors.ResourceError` if no
+    split fits.
+    """
+    n = design.n_layers
+    if not (1 <= n_devices <= n):
+        raise ConfigurationError(
+            f"n_devices must be in [1, {n}], got {n_devices}"
+        )
+    placements = design.placements
+    perfs = [layer_perf(p) for p in placements]
+    resources = [layer_resources(p) for p in placements]
+
+    best: Tuple[float, float, MultiFpgaPlan] = None  # (interval, peak_dsp, plan)
+    for cuts in itertools.combinations(range(1, n), n_devices - 1):
+        bounds = [0, *cuts, n]
+        segments: List[Segment] = []
+        ok = True
+        for d in range(n_devices):
+            lo, hi = bounds[d], bounds[d + 1]
+            seg_res = BASE_DESIGN
+            for r in resources[lo:hi]:
+                seg_res = seg_res + r
+            if not seg_res.fits_in(device.resources):
+                ok = False
+                break
+            seg_interval = max(p.interval for p in perfs[lo:hi])
+            last = placements[hi - 1]
+            egress = last.out_shape[0] * last.out_shape[1] * last.out_shape[2]
+            segments.append(
+                Segment(
+                    device_index=d,
+                    layer_names=tuple(p.spec.name for p in placements[lo:hi]),
+                    resources=seg_res,
+                    interval=seg_interval,
+                    egress_words=egress,
+                )
+            )
+        if not ok:
+            continue
+        plan = MultiFpgaPlan(design.name, segments, link)
+        peak = max(s.resources.dsp for s in segments)
+        key = (plan.interval, peak)
+        if best is None or key < (best[0], best[1]):
+            best = (plan.interval, peak, plan)
+    if best is None:
+        raise ResourceError(
+            f"no {n_devices}-way split of {design.name!r} fits {device.name}"
+        )
+    return best[2]

@@ -1,0 +1,198 @@
+"""Whole-network designs: validated layer chains and port matching.
+
+:class:`NetworkDesign` is the artifact a designer produces with this
+methodology (Figures 4/5): an input shape plus a chain of layer specs. It
+propagates shapes, classifies every layer-to-layer connection into the
+three port cases of Section IV-A (direct / demux / widen), validates the
+divisibility the interleaved routing requires, and renders the textual
+block design used to reproduce Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, PortMismatchError, ShapeError
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, LayerSpec, PoolLayerSpec
+
+
+class PortAdapter(Enum):
+    """The three inter-layer connection cases of Section IV-A."""
+
+    DIRECT = "direct"   # OUT_PORTS(i-1) == IN_PORTS(i)
+    DEMUX = "demux"     # OUT_PORTS(i-1) <  IN_PORTS(i)
+    WIDEN = "widen"     # OUT_PORTS(i-1) >  IN_PORTS(i)
+
+
+def classify_adapter(prev_out_ports: int, next_in_ports: int) -> PortAdapter:
+    """Classify a connection and validate routable divisibility.
+
+    The modulo-interleaved FM-to-port mapping routes cleanly only when one
+    port count divides the other; other ratios would require re-ordering
+    buffers the paper does not describe.
+    """
+    if prev_out_ports == next_in_ports:
+        return PortAdapter.DIRECT
+    if prev_out_ports < next_in_ports:
+        if next_in_ports % prev_out_ports:
+            raise PortMismatchError(
+                f"cannot demux {prev_out_ports} ports into {next_in_ports} "
+                f"(not a multiple)"
+            )
+        return PortAdapter.DEMUX
+    if prev_out_ports % next_in_ports:
+        raise PortMismatchError(
+            f"cannot widen {prev_out_ports} ports onto {next_in_ports} "
+            f"(not a multiple)"
+        )
+    return PortAdapter.WIDEN
+
+
+@dataclass(frozen=True)
+class LayerPlacement:
+    """A spec plus its resolved input/output shapes within a network."""
+
+    spec: LayerSpec
+    in_shape: Tuple[int, int, int]
+    out_shape: Tuple[int, int, int]
+    #: Adapter between the *previous* stage and this layer.
+    adapter: PortAdapter
+
+
+class NetworkDesign:
+    """A validated chain of layer specs over a fixed input shape.
+
+    Parameters
+    ----------
+    name: design name (e.g. ``"usps"``).
+    input_shape: ``(C, H, W)`` of the images fed by the DMA.
+    specs: the layer chain, feature extraction first, classifier last.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: Tuple[int, int, int],
+        specs: Sequence[LayerSpec],
+    ):
+        if len(input_shape) != 3 or any(d < 1 for d in input_shape):
+            raise ConfigurationError(
+                f"input_shape must be a positive (C, H, W), got {input_shape}"
+            )
+        if not specs:
+            raise ConfigurationError("a network needs at least one layer")
+        self.name = str(name)
+        self.input_shape = tuple(int(d) for d in input_shape)
+        self.placements: List[LayerPlacement] = []
+
+        shape = self.input_shape
+        prev_out_ports = 1  # the DMA is a single stream
+        seen_fc = False
+        names = set()
+        for spec in specs:
+            if spec.name in names:
+                raise ConfigurationError(f"duplicate layer name {spec.name!r}")
+            names.add(spec.name)
+            if isinstance(spec, FCLayerSpec):
+                # Classifier stage: flatten the remaining volume.
+                flat = shape[0] * shape[1] * shape[2]
+                if flat != spec.in_fm:
+                    raise ShapeError(
+                        f"{spec.name!r}: expects {spec.in_fm} inputs but the "
+                        f"previous stage provides {shape} = {flat}"
+                    )
+                shape = (flat, 1, 1)
+                seen_fc = True
+            elif seen_fc:
+                raise ConfigurationError(
+                    f"{spec.name!r}: feature-extraction layer after the "
+                    f"classifier stage"
+                )
+            adapter = classify_adapter(prev_out_ports, spec.in_ports)
+            out_shape = spec.out_shape(shape)
+            self.placements.append(
+                LayerPlacement(spec, shape, out_shape, adapter)
+            )
+            shape = out_shape
+            prev_out_ports = spec.out_ports
+
+    # -- convenience views ------------------------------------------------------
+
+    @property
+    def specs(self) -> List[LayerSpec]:
+        return [p.spec for p in self.placements]
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.placements)
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int]:
+        return self.placements[-1].out_shape
+
+    @property
+    def n_classes(self) -> int:
+        """Output feature count of the last layer (classification classes)."""
+        return self.output_shape[0]
+
+    def input_words_per_image(self) -> int:
+        """Stream words the DMA sends per image."""
+        c, h, w = self.input_shape
+        return c * h * w
+
+    def output_words_per_image(self) -> int:
+        """Stream words the design emits per image."""
+        k, oh, ow = self.output_shape
+        return k * oh * ow
+
+    def macs_per_image(self) -> int:
+        """Total MAC operations per image across all layers."""
+        return sum(
+            p.spec.macs_per_image(p.in_shape[1], p.in_shape[2])
+            for p in self.placements
+        )
+
+    def flops_per_image(self) -> int:
+        """Total FLOPs per image (2 per MAC)."""
+        return 2 * self.macs_per_image()
+
+    def weight_count(self) -> int:
+        """Total parameters hard-coded on chip."""
+        return sum(p.spec.weight_count() for p in self.placements)
+
+    # -- rendering (Figures 4 / 5) -----------------------------------------------
+
+    def block_design(self) -> str:
+        """Textual block design: the reproduction of Figures 4 and 5.
+
+        Each block shows the window size, input/output channel counts and
+        the number of windows taken as input, as the figure captions
+        describe, plus the resolved shapes and adapters.
+        """
+        c, h, w = self.input_shape
+        lines = [
+            f"=== Block design: {self.name} ===",
+            f"input: {h}x{w}x{c} (DMA stream, 1 port)",
+        ]
+        for p in self.placements:
+            ci, hi, wi = p.in_shape
+            co, ho, wo = p.out_shape
+            if p.adapter is not PortAdapter.DIRECT:
+                lines.append(f"  |- adapter: {p.adapter.value}")
+            windows = (
+                p.spec.in_ports
+                if isinstance(p.spec, (ConvLayerSpec, PoolLayerSpec))
+                else 0
+            )
+            detail = f"{p.spec.describe()}  in={hi}x{wi}x{ci} out={ho}x{wo}x{co}"
+            if windows:
+                detail += f"  windows={windows}"
+            detail += f"  II={p.spec.ii}"
+            lines.append(f"  [{p.spec.name}] {detail}")
+        lines.append(f"output: {self.n_classes} classes")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"NetworkDesign({self.name!r}, {self.n_layers} layers)"

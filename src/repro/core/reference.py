@@ -1,0 +1,83 @@
+"""Vectorized NumPy reference of a design's exact semantics.
+
+Independent of the :mod:`repro.nn` layer stack: computes, layer by layer,
+what the dataflow design *should* output given its specs and weight
+arrays, using the same functional primitives the golden tests rely on.
+Used by :mod:`repro.core.verify` to localize divergence to a single layer
+and by tests as a second, independent oracle next to ``Sequential``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.core.builder import DesignWeights
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, PoolLayerSpec
+from repro.core.network_design import NetworkDesign
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.functional import conv2d, im2col
+from repro.nn.layers.activation import activation_fn
+
+
+def _pool(x: np.ndarray, spec: PoolLayerSpec) -> np.ndarray:
+    n, c, h, w = x.shape
+    oh, ow = spec.out_hw(h, w)
+    cols = im2col(x.reshape(n * c, 1, h, w), spec.window)
+    if spec.mode == "max":
+        out = cols.max(axis=1)
+    else:
+        out = cols.mean(axis=1)
+    return out.reshape(n, c, oh, ow).astype(DTYPE, copy=False)
+
+
+def design_reference_forward(
+    design: NetworkDesign,
+    weights: DesignWeights,
+    batch: np.ndarray,
+    upto: int = -1,
+) -> List[np.ndarray]:
+    """Per-layer outputs of ``design`` on ``batch`` (layers ``0..upto``).
+
+    Returns one ``(N, C, H, W)`` (or ``(N, F)`` for FC) array per layer.
+    ``upto=-1`` runs the whole chain.
+    """
+    if batch.ndim != 4 or tuple(batch.shape[1:]) != design.input_shape:
+        raise ShapeError(
+            f"batch shape {batch.shape} does not match design input "
+            f"{design.input_shape}"
+        )
+    if upto == -1:
+        upto = design.n_layers - 1
+    if not (0 <= upto < design.n_layers):
+        raise ConfigurationError(
+            f"upto must be in [0, {design.n_layers}), got {upto}"
+        )
+    x = batch.astype(DTYPE, copy=False)
+    outs: List[np.ndarray] = []
+    for placement in design.placements[: upto + 1]:
+        spec = placement.spec
+        if isinstance(spec, ConvLayerSpec):
+            if spec.name not in weights:
+                raise ConfigurationError(f"no weights for layer {spec.name!r}")
+            w = weights[spec.name]
+            x = conv2d(x, w["weight"], w["bias"], spec.window)
+            x = activation_fn(spec.activation)(x)
+        elif isinstance(spec, PoolLayerSpec):
+            x = _pool(x, spec)
+        elif isinstance(spec, FCLayerSpec):
+            if spec.name not in weights:
+                raise ConfigurationError(f"no weights for layer {spec.name!r}")
+            w = weights[spec.name]
+            if x.ndim == 4:
+                # Flatten pixel-major, FM-minor: the stream order.
+                n = x.shape[0]
+                x = np.ascontiguousarray(x.transpose(0, 2, 3, 1)).reshape(n, -1)
+            x = (x @ w["weight"].T + w["bias"]).astype(DTYPE, copy=False)
+            x = activation_fn(spec.activation)(x)
+        else:
+            raise ConfigurationError(f"unknown spec kind {spec.kind!r}")
+        outs.append(x)
+    return outs

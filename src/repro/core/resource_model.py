@@ -1,0 +1,166 @@
+"""Analytical resource model: the FF/LUT/BRAM/DSP estimate behind Table I.
+
+The estimate follows how Vivado HLS maps the paper's cores:
+
+* the compute datapath instantiates one multiply lane per MAC the
+  initiation interval forces into the same cycle
+  (``lanes = ceil(total MACs per coordinate / II)``), each lane a float
+  multiplier feeding the adder tree;
+* the window buffers are fully partitioned register files (FF);
+* weights are hard-coded in on-chip memory — BRAM when deep, LUT-ROM when
+  shallow;
+* the memory structure's FIFOs take BRAM per the full-buffering footprint
+  (:mod:`repro.sst.sizing`), shallow ones fold into LUT-based SRLs;
+* a constant *base design* accounts for the Microblaze + AXI DMA +
+  interconnect measurement harness included in Table I's numbers.
+
+Operator costs come from :mod:`repro.hls.ops`; every constant is
+calibratable in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, LayerSpec, PoolLayerSpec
+from repro.core.network_design import LayerPlacement, NetworkDesign
+from repro.errors import ConfigurationError
+from repro.fpga.device import Device, XC7VX485T
+from repro.hls.ops import op_cost
+from repro.hls.resources import ResourceVector, bram36_for_words
+from repro.sst.sizing import layer_buffer_budget
+
+#: Microblaze softcore + AXI DMA + interconnect + timer (Section V-A's
+#: "base design ... used as a support for the testing phase").
+BASE_DESIGN = ResourceVector(ff=12_000, lut=15_000, bram=30, dsp=6)
+
+#: Control/FSM overhead added per core instance.
+CORE_OVERHEAD = ResourceVector(ff=800, lut=1_200, bram=0, dsp=0)
+
+#: LUTs per word of shallow ROM/RAM (32-bit word in distributed memory).
+LUT_PER_SHALLOW_WORD = 4
+
+#: Words at or below which storage stays in LUTs instead of BRAM.
+SHALLOW_WORDS = 512
+
+
+def _storage(words: int) -> ResourceVector:
+    """Resources for a ``words``-deep 32-bit on-chip memory."""
+    if words < 0:
+        raise ConfigurationError(f"words must be >= 0, got {words}")
+    if words <= SHALLOW_WORDS:
+        return ResourceVector(lut=words * LUT_PER_SHALLOW_WORD)
+    return ResourceVector(bram=bram36_for_words(words, 32))
+
+
+def _mac_lanes_resources(lanes: int, dtype: str = "float32") -> ResourceVector:
+    """Datapath for ``lanes`` parallel MACs: multipliers + tree adders."""
+    mul = op_cost("mul", dtype).resources
+    add = op_cost("add", dtype).resources
+    return (mul + add) * lanes
+
+
+def conv_layer_resources(placement: LayerPlacement, dtype: str = "float32") -> ResourceVector:
+    """Estimate for one convolutional layer (memory structure + core)."""
+    spec = placement.spec
+    assert isinstance(spec, ConvLayerSpec)
+    c, h, w = placement.in_shape
+    macs_per_coord = spec.out_fm * spec.in_fm * spec.kh * spec.kw
+    lanes = math.ceil(macs_per_coord / spec.ii)
+    total = _mac_lanes_resources(lanes, dtype)
+    # Fully partitioned window registers: IN_PORTS x kh x kw x 32 bits.
+    total = total + ResourceVector(ff=spec.in_ports * spec.kh * spec.kw * 32)
+    # Hard-coded weights + biases.
+    total = total + _storage(spec.weight_count())
+    # Memory structure FIFOs (full buffering across all chains).
+    budget = layer_buffer_budget(spec.window, w, spec.in_fm, spec.in_ports)
+    total = total + _storage(budget.fifo_words)
+    return total + CORE_OVERHEAD
+
+
+def pool_layer_resources(placement: LayerPlacement, dtype: str = "float32") -> ResourceVector:
+    """Estimate for one sub-sampling layer (per-port cores)."""
+    spec = placement.spec
+    assert isinstance(spec, PoolLayerSpec)
+    _, _, w = placement.in_shape
+    cmp = op_cost("cmp", dtype).resources
+    # One comparator tree (kk-1 comparators) per port at II=1.
+    per_port = cmp * (spec.kh * spec.kw - 1) + ResourceVector(
+        ff=spec.kh * spec.kw * 32
+    )
+    total = per_port * spec.in_ports
+    budget = layer_buffer_budget(spec.window, w, spec.in_fm, spec.in_ports)
+    total = total + _storage(budget.fifo_words)
+    return total + CORE_OVERHEAD
+
+
+def fc_layer_resources(placement: LayerPlacement, dtype: str = "float32") -> ResourceVector:
+    """Estimate for one FC layer (single-port core, Section IV-B).
+
+    With ``weight_streaming`` the matrix never touches on-chip memory —
+    a single stream-fed MAC lane plus a double buffer replaces the ROMs
+    and the per-output lane array (the perf model charges the bandwidth).
+    """
+    spec = placement.spec
+    assert isinstance(spec, FCLayerSpec)
+    if spec.weight_streaming:
+        total = _mac_lanes_resources(1, dtype)
+        total = total + ResourceVector(ff=spec.acc_lanes * 32)
+        total = total + _storage(2 * spec.out_fm)  # weight-column buffer
+        return total + CORE_OVERHEAD
+    # One MAC lane per output FM: all OUT_FM 1x1 convolutions of an input
+    # value happen in the same clock cycle.
+    total = _mac_lanes_resources(spec.out_fm, dtype)
+    # Interleaved accumulator registers: OUT_FM x lanes x 32 bits.
+    total = total + ResourceVector(ff=spec.out_fm * spec.acc_lanes * 32)
+    total = total + _storage(spec.weight_count())
+    return total + CORE_OVERHEAD
+
+
+def layer_resources(placement: LayerPlacement, dtype: str = "float32") -> ResourceVector:
+    """Dispatch on the layer kind."""
+    spec = placement.spec
+    if isinstance(spec, ConvLayerSpec):
+        return conv_layer_resources(placement, dtype)
+    if isinstance(spec, PoolLayerSpec):
+        return pool_layer_resources(placement, dtype)
+    if isinstance(spec, FCLayerSpec):
+        return fc_layer_resources(placement, dtype)
+    raise ConfigurationError(f"unknown spec kind {spec.kind!r}")
+
+
+@dataclass(frozen=True)
+class DesignResources:
+    """Per-layer and total resource usage of a design."""
+
+    design_name: str
+    per_layer: Dict[str, ResourceVector]
+    base: ResourceVector
+
+    @property
+    def total(self) -> ResourceVector:
+        acc = self.base
+        for r in self.per_layer.values():
+            acc = acc + r
+        return acc
+
+    def utilization(self, device: Device = XC7VX485T) -> Dict[str, float]:
+        """Table I row: fractional utilization on ``device``."""
+        return self.total.utilization(device.resources)
+
+    def fits(self, device: Device = XC7VX485T) -> bool:
+        """Whether the design fits the device."""
+        return self.total.fits_in(device.resources)
+
+
+def design_resources(
+    design: NetworkDesign, dtype: str = "float32", include_base: bool = True
+) -> DesignResources:
+    """Estimate the full design's resources (Table I generator)."""
+    per_layer = {
+        p.spec.name: layer_resources(p, dtype) for p in design.placements
+    }
+    base = BASE_DESIGN if include_base else ResourceVector()
+    return DesignResources(design.name, per_layer, base)

@@ -1,0 +1,82 @@
+"""Layer-scaling transformations: single-port <-> fully parallel.
+
+Section IV-A's headline property: each layer "scales up ... from
+single-input-port/single-output-port to fully parallel if enough
+resources are available". These helpers produce rescaled copies of a
+design; the search that picks a configuration under a device budget lives
+in :mod:`repro.dse`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, LayerSpec, PoolLayerSpec
+from repro.core.network_design import NetworkDesign
+from repro.errors import ConfigurationError
+
+
+def divisors(n: int) -> List[int]:
+    """Sorted positive divisors of ``n`` (valid port counts for ``n`` FMs)."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def port_options(spec: LayerSpec) -> List[Tuple[int, int]]:
+    """All (in_ports, out_ports) configurations a layer supports.
+
+    Pool layers keep symmetric ports; FC layers are fixed single-port
+    (Section IV-B); conv layers take any divisor pair.
+    """
+    if isinstance(spec, ConvLayerSpec):
+        return [
+            (i, o) for i in divisors(spec.in_fm) for o in divisors(spec.out_fm)
+        ]
+    if isinstance(spec, PoolLayerSpec):
+        return [(p, p) for p in divisors(spec.in_fm)]
+    if isinstance(spec, FCLayerSpec):
+        return [(1, 1)]
+    raise ConfigurationError(f"unknown spec kind {spec.kind!r}")
+
+
+def with_layer_ports(
+    design: NetworkDesign, layer_name: str, in_ports: int, out_ports: int
+) -> NetworkDesign:
+    """A new design with one layer's port counts replaced (and revalidated).
+
+    Raises if the resulting chain violates the adapter divisibility rules.
+    """
+    new_specs = []
+    found = False
+    for spec in design.specs:
+        if spec.name == layer_name:
+            new_specs.append(spec.with_ports(in_ports, out_ports))
+            found = True
+        else:
+            new_specs.append(spec)
+    if not found:
+        raise ConfigurationError(f"no layer named {layer_name!r} in {design.name!r}")
+    return NetworkDesign(design.name, design.input_shape, new_specs)
+
+
+def single_port_design(design: NetworkDesign) -> NetworkDesign:
+    """Every layer at 1 input / 1 output port (the minimal configuration)."""
+    new_specs = [spec.with_ports(1, 1) for spec in design.specs]
+    return NetworkDesign(design.name, design.input_shape, new_specs)
+
+
+def fully_parallel_design(design: NetworkDesign) -> NetworkDesign:
+    """Every layer at maximum parallelism (``ports == FM counts``).
+
+    The resulting chain is always adapter-valid because each FM gets its
+    own port on both sides. This is the "maxing out the achievable
+    performance" endpoint of Section IV-C — it rarely fits a real device.
+    """
+    new_specs = []
+    for spec in design.specs:
+        if isinstance(spec, FCLayerSpec):
+            new_specs.append(spec)  # FC stays single-port by construction
+        else:
+            new_specs.append(spec.with_ports(spec.in_fm, spec.out_fm))
+    return NetworkDesign(design.name, design.input_shape, new_specs)

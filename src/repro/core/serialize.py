@@ -1,0 +1,104 @@
+"""Design and weight serialization: JSON for specs, NPZ for parameters.
+
+A design round-trips through a plain dictionary (and therefore JSON), so
+configurations found by DSE can be stored, diffed and reloaded;
+weights round-trip through a single ``.npz`` with ``<layer>.<param>``
+keys — the artifact the offline-training phase hands to the elaboration
+step.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.core.builder import DesignWeights
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, LayerSpec, PoolLayerSpec
+from repro.core.network_design import NetworkDesign
+from repro.errors import ConfigurationError
+
+_KINDS = {"conv": ConvLayerSpec, "pool": PoolLayerSpec, "fc": FCLayerSpec}
+
+_COMMON_FIELDS = ("name", "in_fm", "out_fm", "in_ports", "out_ports", "activation")
+_EXTRA_FIELDS = {
+    "conv": ("kh", "kw", "stride", "pad"),
+    "pool": ("kh", "kw", "stride", "mode"),
+    "fc": ("acc_lanes", "weight_streaming"),
+}
+
+
+def spec_to_dict(spec: LayerSpec) -> dict:
+    """One layer spec as a plain dictionary."""
+    if spec.kind not in _KINDS:
+        raise ConfigurationError(f"unknown spec kind {spec.kind!r}")
+    d = {"kind": spec.kind}
+    for f in _COMMON_FIELDS + _EXTRA_FIELDS[spec.kind]:
+        d[f] = getattr(spec, f)
+    return d
+
+
+def spec_from_dict(d: dict) -> LayerSpec:
+    """Rebuild a layer spec from :func:`spec_to_dict` output."""
+    try:
+        kind = d["kind"]
+        cls = _KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(f"missing/unknown spec kind in {d!r}") from None
+    kwargs = {f: d[f] for f in _COMMON_FIELDS + _EXTRA_FIELDS[kind] if f in d}
+    return cls(**kwargs)
+
+
+def design_to_dict(design: NetworkDesign) -> dict:
+    """A whole design as a JSON-safe dictionary."""
+    return {
+        "name": design.name,
+        "input_shape": list(design.input_shape),
+        "layers": [spec_to_dict(s) for s in design.specs],
+    }
+
+
+def design_from_dict(d: dict) -> NetworkDesign:
+    """Rebuild (and re-validate) a design from its dictionary form."""
+    try:
+        name = d["name"]
+        shape = tuple(d["input_shape"])
+        layers = d["layers"]
+    except KeyError as exc:
+        raise ConfigurationError(f"design dict missing key: {exc}") from None
+    return NetworkDesign(name, shape, [spec_from_dict(s) for s in layers])
+
+
+def design_to_json(design: NetworkDesign, indent: int = 2) -> str:
+    """The design as a JSON document."""
+    return json.dumps(design_to_dict(design), indent=indent)
+
+
+def design_from_json(text: str) -> NetworkDesign:
+    """Rebuild a design from :func:`design_to_json` output."""
+    return design_from_dict(json.loads(text))
+
+
+def save_weights(path: str, weights: DesignWeights) -> None:
+    """Persist weights to a single ``.npz`` with ``layer.param`` keys."""
+    flat: Dict[str, np.ndarray] = {}
+    for layer, params in weights.items():
+        for pname, arr in params.items():
+            flat[f"{layer}.{pname}"] = np.asarray(arr, dtype=DTYPE)
+    np.savez(path, **flat)
+
+
+def load_weights(path: str) -> DesignWeights:
+    """Load weights saved by :func:`save_weights`."""
+    out: DesignWeights = {}
+    with np.load(path) as data:
+        for key in data.files:
+            if "." not in key:
+                raise ConfigurationError(
+                    f"weight key {key!r} is not of the form 'layer.param'"
+                )
+            layer, pname = key.rsplit(".", 1)
+            out.setdefault(layer, {})[pname] = data[key].astype(DTYPE)
+    return out

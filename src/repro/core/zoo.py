@@ -1,0 +1,99 @@
+"""Larger network designs: AlexNet- and VGG-16-class models.
+
+Section VI: "We will then also test the proposed approach on bigger and
+more popular CNN models like AlexNet or VGG". These designs exercise the
+*analytical* half of the methodology at full scale — shapes, initiation
+intervals, per-layer intervals, resource bills, DSE and multi-FPGA
+splits — without cycle simulation (a 224x224 simulation is possible but
+pointless for the questions these models answer).
+
+Both are faithful to the original topologies up to features the paper's
+methodology does not define: local response normalization (AlexNet) is
+omitted, the dual-GPU grouping of AlexNet's convolutions is flattened,
+and all activations are ReLU as in the originals.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, LayerSpec, PoolLayerSpec
+from repro.core.network_design import NetworkDesign
+
+
+def alexnet_design(
+    name: str = "alexnet", weight_streaming: bool = False
+) -> NetworkDesign:
+    """AlexNet (Krizhevsky et al. 2012), single-port configuration.
+
+    227x227x3 input; the classic 5-conv / 3-pool / 3-FC topology with
+    ~60M parameters. ``weight_streaming=True`` streams the FC matrices
+    from off-chip memory (extension E7) instead of storing them on chip.
+    """
+    return NetworkDesign(
+        name,
+        input_shape=(3, 227, 227),
+        specs=[
+            ConvLayerSpec(name="conv1", in_fm=3, out_fm=96, kh=11, stride=4,
+                          activation="relu"),
+            PoolLayerSpec(name="pool1", in_fm=96, out_fm=96, kh=3, stride=2),
+            ConvLayerSpec(name="conv2", in_fm=96, out_fm=256, kh=5, pad=2,
+                          activation="relu"),
+            PoolLayerSpec(name="pool2", in_fm=256, out_fm=256, kh=3, stride=2),
+            ConvLayerSpec(name="conv3", in_fm=256, out_fm=384, kh=3, pad=1,
+                          activation="relu"),
+            ConvLayerSpec(name="conv4", in_fm=384, out_fm=384, kh=3, pad=1,
+                          activation="relu"),
+            ConvLayerSpec(name="conv5", in_fm=384, out_fm=256, kh=3, pad=1,
+                          activation="relu"),
+            PoolLayerSpec(name="pool5", in_fm=256, out_fm=256, kh=3, stride=2),
+            FCLayerSpec(name="fc6", in_fm=256 * 6 * 6, out_fm=4096,
+                        activation="relu", weight_streaming=weight_streaming),
+            FCLayerSpec(name="fc7", in_fm=4096, out_fm=4096, activation="relu",
+                        weight_streaming=weight_streaming),
+            FCLayerSpec(name="fc8", in_fm=4096, out_fm=1000,
+                        weight_streaming=weight_streaming),
+        ],
+    )
+
+
+def _vgg_block(prefix: str, in_fm: int, out_fm: int, convs: int) -> List[LayerSpec]:
+    specs: List[LayerSpec] = []
+    fm = in_fm
+    for i in range(convs):
+        specs.append(
+            ConvLayerSpec(name=f"{prefix}_conv{i + 1}", in_fm=fm, out_fm=out_fm,
+                          kh=3, pad=1, activation="relu")
+        )
+        fm = out_fm
+    specs.append(
+        PoolLayerSpec(name=f"{prefix}_pool", in_fm=out_fm, out_fm=out_fm,
+                      kh=2, stride=2)
+    )
+    return specs
+
+
+def vgg16_design(
+    name: str = "vgg16", weight_streaming: bool = False
+) -> NetworkDesign:
+    """VGG-16 (Simonyan & Zisserman 2014), single-port configuration.
+
+    224x224x3 input, 13 convolutions in 5 blocks, 3 FC layers, ~138M
+    parameters. ``weight_streaming=True`` streams the (dominant) FC
+    matrices from off-chip memory (extension E7).
+    """
+    specs: List[LayerSpec] = []
+    specs += _vgg_block("b1", 3, 64, 2)
+    specs += _vgg_block("b2", 64, 128, 2)
+    specs += _vgg_block("b3", 128, 256, 3)
+    specs += _vgg_block("b4", 256, 512, 3)
+    specs += _vgg_block("b5", 512, 512, 3)
+    specs += [
+        FCLayerSpec(name="fc6", in_fm=512 * 7 * 7, out_fm=4096, activation="relu",
+                    weight_streaming=weight_streaming),
+        FCLayerSpec(name="fc7", in_fm=4096, out_fm=4096, activation="relu",
+                    weight_streaming=weight_streaming),
+        FCLayerSpec(name="fc8", in_fm=4096, out_fm=1000,
+                    weight_streaming=weight_streaming),
+    ]
+    return NetworkDesign(name, (3, 224, 224), specs)

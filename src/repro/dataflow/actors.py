@@ -1,0 +1,232 @@
+"""Standard reusable actors: sources, sinks, routing and map stages.
+
+These are the "glue" modules of a dataflow design. The routing actors
+(:class:`ScheduleDemux`, :class:`Interleaver`) implement the paper's port
+adapters (Section IV-A): when ``OUT_PORTS(i-1) < IN_PORTS(i)`` a demux core
+redirects data to the proper input port according to how feature maps are
+interleaved on the producer's output port; the symmetric interleaver merges
+several producer ports onto one consumer port.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence
+
+from repro.dataflow.actor import Actor
+from repro.errors import ConfigurationError
+
+
+class ArraySource(Actor):
+    """Streams a pre-defined sequence of values, one beat per ``interval``.
+
+    Models the DMA feeding the first layer. ``interval=1`` is a full-rate
+    32-bit/cycle stream (the paper's 400 MB/s datapath at 100 MHz).
+
+    Parameters
+    ----------
+    name: actor name.
+    values: values to stream, in order.
+    interval: cycles between consecutive beats (>= 1).
+    port: output port name (default ``"out"``).
+    """
+
+    def __init__(self, name: str, values: Iterable[Any], interval: int = 1, port: str = "out"):
+        super().__init__(name)
+        if interval < 1:
+            raise ConfigurationError(f"source {name!r}: interval must be >= 1")
+        self.values = list(values)
+        self.interval = int(interval)
+        self.port = port
+
+    def run(self) -> Generator:
+        for v in self.values:
+            yield from self.send(self.port, v)
+            if self.interval > 1:
+                yield from self.wait(self.interval - 1)
+
+
+class ListSink(Actor):
+    """Collects values from one input port into :attr:`received`.
+
+    Parameters
+    ----------
+    count:
+        Number of values to consume before finishing; ``None`` consumes
+        forever (the simulation then ends when producers finish and the
+        sink deadlock-stalls — usually you want an explicit count).
+    """
+
+    def __init__(self, name: str, count: Optional[int] = None, port: str = "in"):
+        super().__init__(name)
+        if count is not None and count < 0:
+            raise ConfigurationError(f"sink {name!r}: count must be >= 0")
+        self.count = count
+        self.port = port
+        self.received: List[Any] = []
+        #: Cycle at which each value was received (same index as received).
+        self.timestamps: List[int] = []
+        self._cycle = 0
+
+    def run(self) -> Generator:
+        ch = self.input(self.port)
+        n = 0
+        while self.count is None or n < self.count:
+            while not ch.can_pop():
+                self.blocked_reason = f"sink: {ch.name} empty"
+                ch.note_empty_stall()
+                self._cycle += 1
+                yield
+            self.blocked_reason = None
+            self.received.append(ch.pop())
+            self.timestamps.append(self._cycle)
+            n += 1
+            self._cycle += 1
+            yield
+
+
+class FifoStage(Actor):
+    """A pass-through FIFO pipeline stage (II = 1)."""
+
+    def __init__(self, name: str, src: str = "in", dst: str = "out"):
+        super().__init__(name)
+        self.daemon = True  # free-running; never finishes on its own
+        self.src = src
+        self.dst = dst
+
+    def run(self) -> Generator:
+        yield from self.relay(self.src, self.dst)
+
+
+class MapActor(Actor):
+    """Applies ``fn`` to every value at full rate (II = 1).
+
+    Used e.g. for the non-linear activation applied on each value of a
+    convolutional layer's output volume (Section II-A).
+    """
+
+    def __init__(self, name: str, fn: Callable[[Any], Any], src: str = "in", dst: str = "out"):
+        super().__init__(name)
+        self.daemon = True  # free-running; never finishes on its own
+        self.fn = fn
+        self.src = src
+        self.dst = dst
+
+    def run(self) -> Generator:
+        yield from self.relay(self.src, self.dst, fn=self.fn)
+
+
+class Fork(Actor):
+    """Copies each input value to every output port in the same cycle.
+
+    Output ports are ``out0 .. out{n-1}``.
+    """
+
+    def __init__(self, name: str, n_outputs: int, src: str = "in"):
+        super().__init__(name)
+        if n_outputs < 1:
+            raise ConfigurationError(f"fork {name!r}: n_outputs must be >= 1")
+        self.daemon = True  # free-running; never finishes on its own
+        self.n_outputs = int(n_outputs)
+        self.src = src
+
+    def run(self) -> Generator:
+        in_ch = self.input(self.src)
+        outs = [self.output(f"out{i}") for i in range(self.n_outputs)]
+        while True:
+            while not (in_ch.can_pop() and all(o.can_push() for o in outs)):
+                self.blocked_reason = "fork: waiting on input/outputs"
+                yield
+            self.blocked_reason = None
+            v = in_ch.pop()
+            for o in outs:
+                o.push(v)
+            yield
+
+
+class ScheduleDemux(Actor):
+    """Routes one input stream over several outputs following a schedule.
+
+    ``schedule`` is a sequence of output indices applied cyclically: the
+    k-th input value goes to output ``schedule[k % len(schedule)]``. With
+    ``schedule = range(n)`` this is a round-robin demux, which is exactly
+    the paper's demux core for the ``OUT_PORTS(i-1) < IN_PORTS(i)`` case:
+    feature maps interleaved on one producer port are dealt out to the
+    consumer's input ports.
+
+    Output ports are ``out0 .. out{n-1}``.
+    """
+
+    def __init__(self, name: str, n_outputs: int, schedule: Optional[Sequence[int]] = None, src: str = "in"):
+        super().__init__(name)
+        if n_outputs < 1:
+            raise ConfigurationError(f"demux {name!r}: n_outputs must be >= 1")
+        self.daemon = True  # free-running; never finishes on its own
+        self.n_outputs = int(n_outputs)
+        self.schedule = list(schedule) if schedule is not None else list(range(n_outputs))
+        if not self.schedule:
+            raise ConfigurationError(f"demux {name!r}: empty schedule")
+        for idx in self.schedule:
+            if not (0 <= idx < self.n_outputs):
+                raise ConfigurationError(
+                    f"demux {name!r}: schedule index {idx} out of range 0..{n_outputs - 1}"
+                )
+        self.src = src
+
+    def run(self) -> Generator:
+        in_ch = self.input(self.src)
+        outs = [self.output(f"out{i}") for i in range(self.n_outputs)]
+        k = 0
+        sched = self.schedule
+        period = len(sched)
+        while True:
+            dst = outs[sched[k % period]]
+            while not (in_ch.can_pop() and dst.can_push()):
+                self.blocked_reason = f"demux: waiting ({in_ch.name} -> {dst.name})"
+                yield
+            self.blocked_reason = None
+            dst.push(in_ch.pop())
+            k += 1
+            yield
+
+
+class Interleaver(Actor):
+    """Merges several input streams onto one output following a schedule.
+
+    ``schedule`` is a sequence of input indices applied cyclically. This is
+    the paper's adapter for ``OUT_PORTS(i-1) > IN_PORTS(i)``: the consumer's
+    filter cycles its reads over the producer's output channels.
+
+    Input ports are ``in0 .. in{n-1}``.
+    """
+
+    def __init__(self, name: str, n_inputs: int, schedule: Optional[Sequence[int]] = None, dst: str = "out"):
+        super().__init__(name)
+        if n_inputs < 1:
+            raise ConfigurationError(f"interleaver {name!r}: n_inputs must be >= 1")
+        self.daemon = True  # free-running; never finishes on its own
+        self.n_inputs = int(n_inputs)
+        self.schedule = list(schedule) if schedule is not None else list(range(n_inputs))
+        if not self.schedule:
+            raise ConfigurationError(f"interleaver {name!r}: empty schedule")
+        for idx in self.schedule:
+            if not (0 <= idx < self.n_inputs):
+                raise ConfigurationError(
+                    f"interleaver {name!r}: schedule index {idx} out of range 0..{n_inputs - 1}"
+                )
+        self.dst = dst
+
+    def run(self) -> Generator:
+        ins = [self.input(f"in{i}") for i in range(self.n_inputs)]
+        out_ch = self.output(self.dst)
+        k = 0
+        sched = self.schedule
+        period = len(sched)
+        while True:
+            src = ins[sched[k % period]]
+            while not (src.can_pop() and out_ch.can_push()):
+                self.blocked_reason = f"interleave: waiting ({src.name} -> {out_ch.name})"
+                yield
+            self.blocked_reason = None
+            out_ch.push(src.pop())
+            k += 1
+            yield

@@ -1,0 +1,190 @@
+"""Bounded FIFO channels with cycle-accurate, order-independent semantics.
+
+A :class:`Channel` models a hardware FIFO (the paper's layers communicate via
+AXI4-Stream links backed by FIFOs). The key property the simulator needs is
+*order independence*: within one simulated cycle, the outcome must not depend
+on the order in which actors are resumed. This is achieved with a two-phase
+protocol:
+
+* values pushed during cycle *t* are staged and only become visible to the
+  reader at cycle *t + 1* (like a registered FIFO);
+* ``can_pop``/``can_push`` are answered against the occupancy snapshot taken
+  at the start of the cycle, so a pop freeing space mid-cycle never unblocks
+  a writer within the same cycle.
+
+Channels are strictly single-writer / single-reader; the graph builder binds
+each endpoint exactly once and the channel itself enforces at most one push
+and one pop per cycle (one beat per port per cycle, as on real stream links).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional
+
+from repro.errors import ChannelProtocolError, ConfigurationError
+
+
+@dataclass
+class ChannelStats:
+    """Lifetime statistics of a channel, used for utilisation reports."""
+
+    total_pushed: int = 0
+    total_popped: int = 0
+    high_water: int = 0
+    full_stall_cycles: int = 0
+    empty_stall_cycles: int = 0
+
+    def as_dict(self) -> dict:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "total_pushed": self.total_pushed,
+            "total_popped": self.total_popped,
+            "high_water": self.high_water,
+            "full_stall_cycles": self.full_stall_cycles,
+            "empty_stall_cycles": self.empty_stall_cycles,
+        }
+
+
+class Channel:
+    """A bounded FIFO stream link between exactly one writer and one reader.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, used in traces and deadlock reports.
+    capacity:
+        Maximum number of in-flight values. ``None`` means unbounded, which
+        is what the :class:`~repro.dataflow.functional.FunctionalExecutor`
+        uses to run graphs without timing.
+    """
+
+    def __init__(self, name: str, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(
+                f"channel {name!r}: capacity must be >= 1 or None, got {capacity}"
+            )
+        self.name = str(name)
+        self.capacity = capacity
+        self._q: Deque[Any] = deque()
+        self._staged: List[Any] = []
+        self._occ_at_cycle_start = 0
+        self._pushed_this_cycle = 0
+        self._popped_this_cycle = 0
+        self.stats = ChannelStats()
+        self.writer: Optional[str] = None
+        self.reader: Optional[str] = None
+
+    # -- binding ---------------------------------------------------------
+
+    def bind_writer(self, actor_name: str) -> None:
+        """Register ``actor_name`` as the unique writer of this channel."""
+        if self.writer is not None:
+            raise ChannelProtocolError(
+                f"channel {self.name!r} already written by {self.writer!r}; "
+                f"cannot also bind {actor_name!r}"
+            )
+        self.writer = actor_name
+
+    def bind_reader(self, actor_name: str) -> None:
+        """Register ``actor_name`` as the unique reader of this channel."""
+        if self.reader is not None:
+            raise ChannelProtocolError(
+                f"channel {self.name!r} already read by {self.reader!r}; "
+                f"cannot also bind {actor_name!r}"
+            )
+        self.reader = actor_name
+
+    # -- cycle protocol ---------------------------------------------------
+
+    def begin_cycle(self) -> None:
+        """Commit staged pushes and snapshot occupancy for the new cycle."""
+        if self._staged:
+            self._q.extend(self._staged)
+            self._staged.clear()
+        occ = len(self._q)
+        self._occ_at_cycle_start = occ
+        if occ > self.stats.high_water:
+            self.stats.high_water = occ
+        self._pushed_this_cycle = 0
+        self._popped_this_cycle = 0
+
+    # -- reader/writer API -------------------------------------------------
+
+    def can_push(self) -> bool:
+        """Whether the writer may push a value this cycle."""
+        if self._pushed_this_cycle:
+            return False
+        if self.capacity is None:
+            return True
+        return self._occ_at_cycle_start + len(self._staged) < self.capacity
+
+    def can_pop(self) -> bool:
+        """Whether the reader may pop a value this cycle."""
+        if self._popped_this_cycle:
+            return False
+        return self._popped_this_cycle < self._occ_at_cycle_start
+
+    def push(self, value: Any) -> None:
+        """Stage ``value``; it becomes visible to the reader next cycle."""
+        if not self.can_push():
+            raise ChannelProtocolError(
+                f"push on channel {self.name!r} without can_push() "
+                f"(occupancy {self._occ_at_cycle_start}, capacity {self.capacity})"
+            )
+        self._staged.append(value)
+        self._pushed_this_cycle += 1
+        self.stats.total_pushed += 1
+
+    def pop(self) -> Any:
+        """Remove and return the oldest visible value."""
+        if not self.can_pop():
+            raise ChannelProtocolError(
+                f"pop on channel {self.name!r} without can_pop() "
+                f"(visible occupancy {self._occ_at_cycle_start})"
+            )
+        self._popped_this_cycle += 1
+        self.stats.total_popped += 1
+        return self._q.popleft()
+
+    def peek(self) -> Any:
+        """Return the oldest visible value without removing it."""
+        if not self.can_pop():
+            raise ChannelProtocolError(f"peek on empty channel {self.name!r}")
+        return self._q[0]
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Committed + staged occupancy (for debugging, not firing rules)."""
+        return len(self._q) + len(self._staged)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of committed, visible values."""
+        return len(self._q)
+
+    def note_full_stall(self) -> None:
+        """Record that the writer stalled on a full channel this cycle."""
+        self.stats.full_stall_cycles += 1
+
+    def note_empty_stall(self) -> None:
+        """Record that the reader stalled on an empty channel this cycle."""
+        self.stats.empty_stall_cycles += 1
+
+    def drain(self) -> List[Any]:
+        """Remove and return every value (committed and staged), untimed.
+
+        Only intended for post-simulation inspection and the functional
+        executor's teardown; never call this from an actor process.
+        """
+        out = list(self._q) + list(self._staged)
+        self._q.clear()
+        self._staged.clear()
+        self._occ_at_cycle_start = 0
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"Channel({self.name!r}, occ={len(self)}/{cap})"

@@ -1,0 +1,120 @@
+"""Static buffering analysis of reconvergent dataflow paths.
+
+Feed-forward dataflow graphs can still deadlock at runtime when a *fork*
+splits a stream over parallel branches that later *join*: if one branch
+buffers far less than the schedule skew between the branches, the join
+stalls one side while back-pressure freezes the other (the classic
+reconvergence deadlock of Kahn-style networks with bounded FIFOs).
+
+The paper's designs contain exactly this shape — a fully parallelized
+conv layer fans out over per-FM ports that reconverge at the next
+multi-port core — so the elaborated graphs deserve a static check:
+:func:`analyze_reconvergence` enumerates fork/join pairs with
+edge-disjoint parallel paths and reports each path's total FIFO capacity;
+a large imbalance is flagged as a warning. The check is heuristic (true
+deadlock freedom depends on schedule skew, which is dynamic) but catches
+the under-buffered-branch mistakes designers actually make.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.dataflow.graph import DataflowGraph
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReconvergentPair:
+    """One fork/join pair with its parallel-path buffering."""
+
+    fork: str
+    join: str
+    #: Per-path (node tuple, total FIFO capacity) in discovery order.
+    paths: Tuple[Tuple[Tuple[str, ...], int], ...]
+
+    @property
+    def min_capacity(self) -> int:
+        return min(c for _, c in self.paths)
+
+    @property
+    def max_capacity(self) -> int:
+        return max(c for _, c in self.paths)
+
+    @property
+    def imbalance(self) -> float:
+        """max/min path capacity (1.0 = perfectly balanced)."""
+        return self.max_capacity / max(self.min_capacity, 1)
+
+
+def _edge_capacity(g: nx.MultiDiGraph, u: str, v: str) -> int:
+    """Smallest capacity among parallel edges u->v (worst case)."""
+    caps = [
+        (data["capacity"] if data["capacity"] is not None else 10**9)
+        for data in g[u][v].values()
+    ]
+    return min(caps)
+
+
+def analyze_reconvergence(
+    graph: DataflowGraph, max_paths: int = 16
+) -> List[ReconvergentPair]:
+    """Enumerate fork/join pairs with >= 2 node-disjoint parallel paths.
+
+    Paths are simple node paths between a node with out-degree >= 2 and a
+    node with in-degree >= 2; path capacity is the sum of the traversed
+    FIFO capacities. ``max_paths`` bounds enumeration per pair.
+    """
+    if max_paths < 2:
+        raise ConfigurationError(f"max_paths must be >= 2, got {max_paths}")
+    g = graph.to_networkx()
+    simple = nx.DiGraph(g)
+    forks = [n for n in simple if simple.out_degree(n) >= 2]
+    joins = [n for n in simple if simple.in_degree(n) >= 2]
+    out: List[ReconvergentPair] = []
+    for f in forks:
+        for j in joins:
+            if f == j or not nx.has_path(simple, f, j):
+                continue
+            paths = []
+            for path in nx.all_simple_paths(simple, f, j, cutoff=12):
+                cap = sum(
+                    _edge_capacity(g, path[i], path[i + 1])
+                    for i in range(len(path) - 1)
+                )
+                paths.append((tuple(path), cap))
+                if len(paths) >= max_paths:
+                    break
+            # Reconvergence needs >= 2 paths that are internally disjoint.
+            if len(paths) >= 2:
+                inner_sets = [set(p[1:-1]) for p, _ in paths]
+                disjoint = any(
+                    not (inner_sets[a] & inner_sets[b])
+                    for a in range(len(paths))
+                    for b in range(a + 1, len(paths))
+                )
+                if disjoint:
+                    out.append(ReconvergentPair(f, j, tuple(paths)))
+    return out
+
+
+def buffering_report(
+    graph: DataflowGraph, warn_imbalance: float = 4.0
+) -> str:
+    """Human-readable reconvergence/buffering report with warnings."""
+    pairs = analyze_reconvergence(graph)
+    if not pairs:
+        return f"graph {graph.name!r}: no reconvergent fork/join pairs"
+    lines = [f"graph {graph.name!r}: {len(pairs)} reconvergent pair(s)"]
+    for p in pairs:
+        lines.append(f"  {p.fork} -> {p.join}: {len(p.paths)} paths, "
+                     f"capacity {p.min_capacity}..{p.max_capacity}")
+        if p.imbalance >= warn_imbalance:
+            lines.append(
+                f"    WARNING: capacity imbalance {p.imbalance:.1f}x — the "
+                f"thin branch may stall the join under schedule skew"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Cycle-level simulator driving actors and channels.
+
+The simulator advances a set of :class:`~repro.dataflow.actor.Actor`
+processes in lock-step clock cycles:
+
+1. every channel commits the pushes staged in the previous cycle and
+   snapshots its occupancy (:meth:`Channel.begin_cycle`);
+2. every live process is resumed once; it performs at most one beat per
+   port and then yields.
+
+Because channel firing rules are answered against the cycle-start snapshot,
+the result (both values *and* timing) is independent of the order in which
+processes are resumed within a cycle.
+
+Deadlock detection: if no channel registers any push or pop for
+``stall_limit`` consecutive cycles while live processes remain, a
+:class:`~repro.errors.DeadlockError` is raised with each actor's last
+blocking reason. Fixed-latency ``wait()`` stalls are far shorter than the
+default limit, so they never trip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.dataflow.actor import Actor
+from repro.dataflow.channel import Channel
+from repro.errors import DeadlockError, SimulationError
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation run."""
+
+    cycles: int
+    finished: bool
+    channel_stats: Dict[str, dict] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        state = "finished" if self.finished else "stopped"
+        return f"SimulationResult({state} after {self.cycles} cycles)"
+
+
+class Simulator:
+    """Drives a set of actors and channels cycle by cycle.
+
+    Parameters
+    ----------
+    actors:
+        The actors to simulate. Their ports must already be bound.
+    channels:
+        All channels in the graph. Channels bound to the actors but missing
+        from this list would silently never commit pushes, so the simulator
+        cross-checks and raises if it finds an unregistered channel.
+    stall_limit:
+        Number of consecutive cycles without any channel activity after
+        which a deadlock is declared (default 10_000).
+    """
+
+    def __init__(
+        self,
+        actors: Sequence[Actor],
+        channels: Sequence[Channel],
+        stall_limit: int = 10_000,
+        tracer=None,
+    ):
+        self.actors = list(actors)
+        self.channels = list(channels)
+        self.stall_limit = int(stall_limit)
+        #: Optional :class:`~repro.dataflow.trace.Tracer` sampling activity.
+        self.tracer = tracer
+        self.cycle = 0
+        self._procs: List[Tuple[Actor, Generator]] = []
+        self._validate()
+
+    def _validate(self) -> None:
+        names = set()
+        for a in self.actors:
+            if a.name in names:
+                raise SimulationError(f"duplicate actor name {a.name!r}")
+            names.add(a.name)
+        registered = set(id(c) for c in self.channels)
+        for a in self.actors:
+            for port in a.input_ports:
+                ch = a.input(port)
+                if id(ch) not in registered:
+                    raise SimulationError(
+                        f"channel {ch.name!r} (input of {a.name!r}) not "
+                        f"registered with the simulator"
+                    )
+            for port in a.output_ports:
+                ch = a.output(port)
+                if id(ch) not in registered:
+                    raise SimulationError(
+                        f"channel {ch.name!r} (output of {a.name!r}) not "
+                        f"registered with the simulator"
+                    )
+
+    # -- running -----------------------------------------------------------
+
+    def _start(self) -> None:
+        self._procs = []
+        for a in self.actors:
+            for gen in a.processes():
+                self._procs.append((a, gen))
+
+    def _activity(self) -> int:
+        """Total channel beats (pushes + pops) observed this cycle."""
+        return sum(
+            ch._pushed_this_cycle + ch._popped_this_cycle for ch in self.channels
+        )
+
+    def run(self, max_cycles: int = 10_000_000, until=None) -> SimulationResult:
+        """Run until completion, a deadlock, ``until()``, or ``max_cycles``.
+
+        Completion means every process of every *non-daemon* actor has
+        finished; free-running daemon actors (routing stages, adapters) do
+        not keep the simulation alive. ``until`` is an optional nullary
+        predicate checked at the end of each cycle for early stopping.
+
+        Returns
+        -------
+        SimulationResult
+            ``finished`` is True when all non-daemon processes completed
+            (not when stopped early by ``until``).
+        """
+        self._start()
+        live = self._procs
+        stall = 0
+        while any(not a.daemon for a, _ in live):
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={max_cycles} with "
+                    f"{len(live)} live processes"
+                )
+            for ch in self.channels:
+                ch.begin_cycle()
+            still_live: List[Tuple[Actor, Generator]] = []
+            for actor, proc in live:
+                actor.now = self.cycle
+                try:
+                    next(proc)
+                except StopIteration:
+                    continue
+                still_live.append((actor, proc))
+            live = still_live
+            if self.tracer is not None:
+                self.tracer.record(self.cycle, self.actors, self.channels)
+            self.cycle += 1
+            if until is not None and until():
+                return SimulationResult(
+                    cycles=self.cycle,
+                    finished=False,
+                    channel_stats={ch.name: ch.stats.as_dict() for ch in self.channels},
+                )
+            if any(not a.daemon for a, _ in live):
+                if self._activity() == 0:
+                    stall += 1
+                    if stall >= self.stall_limit:
+                        blocked = {
+                            a.name: (a.blocked_reason or "running (no channel beat)")
+                            for a, _ in live
+                            if not a.daemon
+                        }
+                        raise DeadlockError(self.cycle, blocked)
+                else:
+                    stall = 0
+        return SimulationResult(
+            cycles=self.cycle,
+            finished=True,
+            channel_stats={ch.name: ch.stats.as_dict() for ch in self.channels},
+        )
+
+    def run_cycles(self, n: int) -> int:
+        """Advance the simulation by exactly ``n`` cycles (for step debugging).
+
+        Starts the processes on first use. Returns the number of still-live
+        processes afterwards.
+        """
+        if not self._procs:
+            self._start()
+            self._live = list(self._procs)
+        live = getattr(self, "_live", list(self._procs))
+        for _ in range(int(n)):
+            if not live:
+                break
+            for ch in self.channels:
+                ch.begin_cycle()
+            nxt: List[Tuple[Actor, Generator]] = []
+            for actor, proc in live:
+                actor.now = self.cycle
+                try:
+                    next(proc)
+                except StopIteration:
+                    continue
+                nxt.append((actor, proc))
+            live = nxt
+            self.cycle += 1
+        self._live = live
+        return len(live)

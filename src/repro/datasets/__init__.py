@@ -1,0 +1,19 @@
+"""Deterministic synthetic datasets standing in for USPS and CIFAR-10.
+
+See DESIGN.md Section 3 for why these substitutions preserve the paper's
+evaluation: the experiments depend on layer dimensions, data layout and
+class count — not on natural-image statistics.
+"""
+
+from repro.datasets.batching import iterate_batches, train_test_split
+from repro.datasets.cifar10 import generate_cifar10, render_sample
+from repro.datasets.usps import generate_usps, render_digit
+
+__all__ = [
+    "generate_cifar10",
+    "generate_usps",
+    "iterate_batches",
+    "render_digit",
+    "render_sample",
+    "train_test_split",
+]

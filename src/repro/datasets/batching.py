@@ -1,0 +1,43 @@
+"""Dataset splitting and batching utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def train_test_split(
+    x: np.ndarray, y: np.ndarray, test_fraction: float = 0.2, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into ``(x_train, y_train, x_test, y_test)``."""
+    if len(x) != len(y):
+        raise DatasetError(f"x/y length mismatch: {len(x)} vs {len(y)}")
+    if not (0.0 < test_fraction < 1.0):
+        raise DatasetError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = len(x)
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise DatasetError(f"test split of {n_test} leaves no training data (n={n})")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+def iterate_batches(
+    x: np.ndarray, y: np.ndarray, batch_size: int, seed: int = 0, shuffle: bool = True
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x_batch, y_batch)`` mini-batches (last may be smaller)."""
+    if len(x) != len(y):
+        raise DatasetError(f"x/y length mismatch: {len(x)} vs {len(y)}")
+    if batch_size < 1:
+        raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(len(x))
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    for start in range(0, len(x), batch_size):
+        idx = order[start : start + batch_size]
+        yield x[idx], y[idx]

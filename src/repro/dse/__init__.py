@@ -1,0 +1,31 @@
+"""Automated design-space exploration (the paper's Section IV-C future work)."""
+
+from repro.dse.explorer import (
+    Candidate,
+    ExplorationResult,
+    evaluate,
+    exhaustive_search,
+    greedy_optimize,
+    optimize_for_target,
+)
+from repro.dse.pareto import pareto_front
+from repro.dse.space import (
+    Configuration,
+    apply_configuration,
+    iter_configurations,
+    space_size,
+)
+
+__all__ = [
+    "Candidate",
+    "Configuration",
+    "ExplorationResult",
+    "apply_configuration",
+    "evaluate",
+    "exhaustive_search",
+    "greedy_optimize",
+    "iter_configurations",
+    "optimize_for_target",
+    "pareto_front",
+    "space_size",
+]

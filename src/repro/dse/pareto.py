@@ -1,0 +1,42 @@
+"""Pareto-front extraction over (performance, resource) trade-offs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dse.explorer import Candidate
+from repro.errors import ConfigurationError
+
+
+def pareto_front(candidates: List[Candidate]) -> List[Candidate]:
+    """Non-dominated candidates: minimize interval AND DSP usage.
+
+    A candidate dominates another if it is no worse on both axes and
+    strictly better on at least one. Returned sorted by interval.
+    """
+    if not candidates:
+        raise ConfigurationError("pareto_front of an empty candidate list")
+    front: List[Candidate] = []
+    for c in candidates:
+        dominated = False
+        for other in candidates:
+            if other is c:
+                continue
+            if (
+                other.interval <= c.interval
+                and other.dsp <= c.dsp
+                and (other.interval < c.interval or other.dsp < c.dsp)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(c)
+    # Deduplicate identical (interval, dsp) points, keep stable order.
+    seen = set()
+    unique = []
+    for c in sorted(front, key=lambda c: (c.interval, c.dsp)):
+        key = (c.interval, c.dsp)
+        if key not in seen:
+            seen.add(key)
+            unique.append(c)
+    return unique

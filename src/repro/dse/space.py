@@ -1,0 +1,84 @@
+"""Design-space enumeration: valid port configurations of a network.
+
+The paper did no DSE ("we just determined empirically the levels of
+parallelization", Section IV-C) and lists its automation as future work;
+this subpackage implements it. A *configuration* is a choice of
+``(in_ports, out_ports)`` per layer; it is valid when every layer's port
+counts divide its FM counts and every adjacent pair satisfies the adapter
+divisibility rule.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.network_design import NetworkDesign
+from repro.core.scaling import port_options
+from repro.errors import ConfigurationError
+
+#: One configuration: ((in_ports, out_ports), ...) aligned with the specs.
+Configuration = Tuple[Tuple[int, int], ...]
+
+
+def _adapter_ok(prev_out: int, next_in: int) -> bool:
+    big, small = max(prev_out, next_in), min(prev_out, next_in)
+    return big % small == 0
+
+
+def iter_configurations(
+    design: NetworkDesign, limit: int = 100_000
+) -> Iterator[Configuration]:
+    """Yield every adapter-valid configuration of ``design``.
+
+    Enumerates the per-layer option products with on-the-fly adjacency
+    pruning (invalid prefixes are cut early). ``limit`` bounds the yields
+    as a runaway guard for very wide networks.
+    """
+    if limit < 1:
+        raise ConfigurationError(f"limit must be >= 1, got {limit}")
+    options: List[List[Tuple[int, int]]] = [
+        port_options(spec) for spec in design.specs
+    ]
+
+    count = 0
+
+    def rec(idx: int, prev_out: int, acc: List[Tuple[int, int]]):
+        nonlocal count
+        if count >= limit:
+            return
+        if idx == len(options):
+            count += 1
+            yield tuple(acc)
+            return
+        for (i, o) in options[idx]:
+            if not _adapter_ok(prev_out, i):
+                continue
+            acc.append((i, o))
+            yield from rec(idx + 1, o, acc)
+            acc.pop()
+            if count >= limit:
+                return
+
+    # The DMA presents a single input stream.
+    yield from rec(0, 1, [])
+
+
+def apply_configuration(
+    design: NetworkDesign, config: Configuration
+) -> NetworkDesign:
+    """A new design with the given per-layer port counts."""
+    if len(config) != design.n_layers:
+        raise ConfigurationError(
+            f"configuration has {len(config)} entries for "
+            f"{design.n_layers} layers"
+        )
+    specs = [
+        spec.with_ports(i, o) for spec, (i, o) in zip(design.specs, config)
+    ]
+    return NetworkDesign(design.name, design.input_shape, specs)
+
+
+def space_size(design: NetworkDesign, limit: int = 1_000_000) -> int:
+    """Number of valid configurations (up to ``limit``)."""
+    return sum(1 for _ in iter_configurations(design, limit=limit))

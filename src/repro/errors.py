@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to discriminate the failure domain (simulation, configuration,
+resource fitting, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class ShapeError(ConfigurationError):
+    """Tensor/layer shapes do not line up."""
+
+
+class PortMismatchError(ConfigurationError):
+    """Adjacent layers expose port counts that cannot be adapted."""
+
+
+class GraphError(ReproError):
+    """A dataflow graph is structurally invalid (dangling port, double bind...)."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator failed to make progress or hit a limit."""
+
+
+class DeadlockError(SimulationError):
+    """No actor made progress for the configured number of cycles.
+
+    Attributes
+    ----------
+    cycle:
+        Cycle at which the deadlock was declared.
+    blocked:
+        Mapping of ``actor_name -> reason`` describing what each live actor
+        was waiting on when the deadlock was detected.
+    """
+
+    def __init__(self, cycle: int, blocked: dict):
+        self.cycle = int(cycle)
+        self.blocked = dict(blocked)
+        detail = "; ".join(f"{k}: {v}" for k, v in sorted(self.blocked.items()))
+        super().__init__(f"deadlock at cycle {self.cycle} ({detail or 'no live actors'})")
+
+
+class ChannelProtocolError(SimulationError):
+    """A channel was used outside its single-reader/single-writer contract."""
+
+
+class ResourceError(ReproError):
+    """A design does not fit the targeted device."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset was requested with invalid parameters."""
+
+
+class TrainingError(ReproError):
+    """Training diverged or was configured inconsistently."""

@@ -1,0 +1,27 @@
+"""FPGA platform models: devices, boards, DMA and power."""
+
+from repro.fpga.board import VC707, Board
+from repro.fpga.device import STRATIX_V_D5, XC7VX485T, Device, get_device
+from repro.fpga.dma import PAPER_DMA, DmaModel
+from repro.fpga.power import PAPER_POWER, PowerModel
+from repro.fpga.roofline import (
+    RooflinePoint,
+    device_compute_roof_gflops,
+    roofline_point,
+)
+
+__all__ = [
+    "RooflinePoint",
+    "device_compute_roof_gflops",
+    "roofline_point",
+    "Board",
+    "Device",
+    "DmaModel",
+    "PAPER_DMA",
+    "PAPER_POWER",
+    "PowerModel",
+    "STRATIX_V_D5",
+    "VC707",
+    "XC7VX485T",
+    "get_device",
+]

@@ -1,0 +1,34 @@
+"""Board model: device + clock + DMA + power, i.e. the paper's VC707 setup.
+
+The experimental platform of Section V-A — a VC707 carrying the Virtex-7,
+clocked at 100 MHz, fed by an AXI DMA (Microblaze softcore and AXI timer
+are measurement plumbing subsumed by the simulator's cycle counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import ClockDomain, PAPER_CLOCK
+from repro.fpga.device import Device, XC7VX485T
+from repro.fpga.dma import DmaModel, PAPER_DMA
+from repro.fpga.power import PAPER_POWER, PowerModel
+
+
+@dataclass(frozen=True)
+class Board:
+    """A complete evaluation platform."""
+
+    name: str
+    device: Device
+    clock: ClockDomain = PAPER_CLOCK
+    dma: DmaModel = PAPER_DMA
+    power: PowerModel = PAPER_POWER
+
+    def seconds(self, cycles: float) -> float:
+        """Convert simulated cycles to wall-clock seconds on this board."""
+        return self.clock.cycles_to_seconds(cycles)
+
+
+#: The paper's test platform.
+VC707 = Board(name="vc707", device=XC7VX485T)

@@ -1,0 +1,65 @@
+"""FPGA device models: resource budgets for fit checks and Table I.
+
+:data:`XC7VX485T` is the Virtex-7 part on the paper's VC707 board;
+:data:`STRATIX_V_D5` is the Altera part of the Microsoft comparison [28]
+(modeled loosely — only its identity matters for Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ResourceError
+from repro.hls.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class Device:
+    """An FPGA part: a name, a vendor/family tag and a resource budget."""
+
+    name: str
+    family: str
+    resources: ResourceVector
+
+    def check_fit(self, usage: ResourceVector) -> None:
+        """Raise :class:`~repro.errors.ResourceError` if ``usage`` overflows."""
+        if not usage.fits_in(self.resources):
+            util = usage.utilization(self.resources)
+            over = {k: f"{v:.1%}" for k, v in util.items() if v > 1.0}
+            raise ResourceError(
+                f"design does not fit {self.name}: over budget on {over}"
+            )
+
+    def utilization(self, usage: ResourceVector) -> Dict[str, float]:
+        """Fractional utilization per resource class (a Table I row)."""
+        return usage.utilization(self.resources)
+
+
+#: Xilinx Virtex-7 XC7VX485T (VC707 board): 607,200 FF; 303,600 LUT;
+#: 1,030 BRAM36 (37 Mb); 2,800 DSP48E1 slices.
+XC7VX485T = Device(
+    name="xc7vx485t",
+    family="xilinx-virtex7",
+    resources=ResourceVector(ff=607_200, lut=303_600, bram=1_030, dsp=2_800),
+)
+
+#: Altera Stratix V D5 (the device of ref. [28]); ALMs mapped to the LUT
+#: column, M20K blocks to BRAM — used for identification only.
+STRATIX_V_D5 = Device(
+    name="stratix-v-d5",
+    family="altera-stratixv",
+    resources=ResourceVector(ff=690_400, lut=172_600, bram=2_014, dsp=1_590),
+)
+
+_DEVICES = {d.name: d for d in (XC7VX485T, STRATIX_V_D5)}
+
+
+def get_device(name: str) -> Device:
+    """Look up a device preset by name."""
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        raise ResourceError(
+            f"unknown device {name!r}; available: {sorted(_DEVICES)}"
+        ) from None

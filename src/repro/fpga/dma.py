@@ -1,0 +1,67 @@
+"""DMA transfer-time model (the paper's AXI DMA on the VC707).
+
+Section V-C: "the datapath from the DMA towards the CNN is 32 bits wide
+and the available bandwidth, for all the performed tests, is 400 MB/s",
+and performance is measured with transfers interleaved with computation.
+At 100 MHz that is exactly 4 bytes — one float32 — per cycle, so the DMA
+feeds the first layer at stream rate and the model below reduces to
+"one word per cycle" for the paper's setup while remaining general.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import (
+    DMA_BANDWIDTH_BYTES_PER_S,
+    DMA_DATAPATH_BITS,
+    ClockDomain,
+    PAPER_CLOCK,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DmaModel:
+    """A streaming DMA engine with a fixed datapath width and bandwidth."""
+
+    datapath_bits: int = DMA_DATAPATH_BITS
+    bandwidth_bytes_per_s: float = DMA_BANDWIDTH_BYTES_PER_S
+    clock: ClockDomain = PAPER_CLOCK
+
+    def __post_init__(self) -> None:
+        if self.datapath_bits % 8:
+            raise ConfigurationError(
+                f"datapath must be a whole number of bytes, got {self.datapath_bits} bits"
+            )
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Sustained bytes moved per clock cycle."""
+        return self.bandwidth_bytes_per_s / self.clock.frequency_hz
+
+    def beat_interval(self, word_bits: int = 32) -> int:
+        """Cycles between consecutive word beats on the stream (>= 1).
+
+        The interval is bounded below both by the datapath width (a wide
+        word needs several beats) and by the sustained bandwidth.
+        """
+        if word_bits < 1:
+            raise ConfigurationError(f"word_bits must be >= 1, got {word_bits}")
+        word_bytes = math.ceil(word_bits / 8)
+        width_cycles = math.ceil(word_bits / self.datapath_bits)
+        bw_cycles = math.ceil(word_bytes / self.bytes_per_cycle)
+        return max(1, width_cycles, bw_cycles)
+
+    def transfer_cycles(self, n_words: int, word_bits: int = 32) -> int:
+        """Cycles to stream ``n_words`` (no setup overhead modeled)."""
+        if n_words < 0:
+            raise ConfigurationError(f"n_words must be >= 0, got {n_words}")
+        return n_words * self.beat_interval(word_bits)
+
+
+#: The paper's DMA: 32-bit datapath, 400 MB/s, 100 MHz -> 1 word/cycle.
+PAPER_DMA = DmaModel()

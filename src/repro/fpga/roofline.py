@@ -1,0 +1,105 @@
+"""Roofline model positioning of dataflow CNN designs.
+
+The related work the paper builds on (Zhang et al., FPGA'15, its ref. [10])
+selects designs with the Roofline Model [23]: attainable performance is
+the minimum of the *compute roof* (peak MAC throughput of the DSP budget)
+and the *bandwidth roof* (off-chip bytes/s times the design's operational
+intensity). We provide the same analysis for this methodology's designs:
+where each test case sits relative to both roofs, and how far the chosen
+configuration is from its roof — the quantitative form of the paper's own
+observation that it used the off-chip bandwidth sub-optimally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.fpga.board import Board, VC707
+from repro.hls.ops import mac_cost
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.network_design import NetworkDesign
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One design's position in the roofline plane."""
+
+    design_name: str
+    #: FLOP per off-chip byte of the dominant stream direction (the in-
+    #: and out-streams run full duplex; weights live on chip).
+    operational_intensity: float
+    #: Sustained GFLOPS of the actual (modeled) design.
+    achieved_gflops: float
+    #: Compute roof of the device (GFLOPS).
+    compute_roof_gflops: float
+    #: Bandwidth roof at this intensity (GFLOPS).
+    bandwidth_roof_gflops: float
+
+    @property
+    def attainable_gflops(self) -> float:
+        """min(compute roof, bandwidth roof): the roofline itself."""
+        return min(self.compute_roof_gflops, self.bandwidth_roof_gflops)
+
+    @property
+    def bound(self) -> str:
+        """Which roof limits this design: ``"compute"`` or ``"bandwidth"``."""
+        return (
+            "compute"
+            if self.compute_roof_gflops <= self.bandwidth_roof_gflops
+            else "bandwidth"
+        )
+
+    @property
+    def roof_fraction(self) -> float:
+        """Achieved performance as a fraction of the attainable roof."""
+        return self.achieved_gflops / self.attainable_gflops
+
+
+def device_compute_roof_gflops(board: Board = VC707, dtype: str = "float32") -> float:
+    """Peak MAC throughput of the board's DSP budget (GFLOPS, 2 FLOP/MAC).
+
+    One MAC lane costs one multiplier plus one adder of the given dtype;
+    the DSP column is the binding resource for floating point on this
+    class of device.
+    """
+    mul, add = mac_cost(dtype)
+    dsp_per_lane = mul.resources.dsp + add.resources.dsp
+    if dsp_per_lane == 0:
+        raise ConfigurationError(
+            f"dtype {dtype!r} uses no DSPs; the compute roof is LUT-bound "
+            f"and outside this model"
+        )
+    lanes = board.device.resources.dsp / dsp_per_lane
+    return lanes * 2.0 * board.clock.frequency_hz / 1e9
+
+
+def roofline_point(
+    design: "NetworkDesign", board: Board = VC707, dtype: str = "float32"
+) -> RooflinePoint:
+    """Position ``design`` in the roofline plane of ``board``."""
+    # Imported here: repro.core depends on repro.fpga, not the other way
+    # round at import time (this function is the one late binding).
+    from repro.core.perf_model import network_perf
+
+    flops = design.flops_per_image()
+    # Input and output DMA streams are independent (full duplex); the
+    # binding off-chip traffic is the larger direction.
+    bytes_per_image = 4 * max(
+        design.input_words_per_image(), design.output_words_per_image()
+    )
+    oi = flops / bytes_per_image
+    perf = network_perf(design, board)
+    achieved = flops * perf.images_per_second(board) / 1e9
+    compute_roof = device_compute_roof_gflops(board, dtype)
+    bw_roof = board.dma.bandwidth_bytes_per_s * oi / 1e9
+    return RooflinePoint(
+        design_name=design.name,
+        operational_intensity=oi,
+        achieved_gflops=achieved,
+        compute_roof_gflops=compute_roof,
+        bandwidth_roof_gflops=bw_roof,
+    )

@@ -1,0 +1,36 @@
+"""HLS cost model: operator tables, pipeline math, reduction structures.
+
+The simulated counterpart of Vivado HLS: everything the paper gets from
+the synthesis tool — initiation intervals (Eq. 4), operator latencies
+(11-cycle float add), tree-adder depth, interleaved accumulators, and
+per-core resource estimates — is modeled here.
+"""
+
+from repro.hls.accumulator import AccumulatorModel, interleaved_sum
+from repro.hls.datatypes import DEFAULT_FIXED, FixedPointFormat
+from repro.hls.ops import FIXED16_OPS, FIXED32_OPS, FLOAT32_OPS, OpCost, mac_cost, op_cost
+from repro.hls.pipeline import PipelineSchedule, initiation_interval, tree_depth
+from repro.hls.resources import ZERO, ResourceVector, bram36_for_words
+from repro.hls.tree_adder import AdderTreeModel, chain_reduce, tree_reduce
+
+__all__ = [
+    "AccumulatorModel",
+    "AdderTreeModel",
+    "DEFAULT_FIXED",
+    "FIXED16_OPS",
+    "FIXED32_OPS",
+    "FLOAT32_OPS",
+    "FixedPointFormat",
+    "OpCost",
+    "PipelineSchedule",
+    "ResourceVector",
+    "ZERO",
+    "bram36_for_words",
+    "chain_reduce",
+    "initiation_interval",
+    "interleaved_sum",
+    "mac_cost",
+    "op_cost",
+    "tree_depth",
+    "tree_reduce",
+]

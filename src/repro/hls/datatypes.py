@@ -1,0 +1,103 @@
+"""Numeric datatype models: float32 and ``ap_fixed``-style fixed point.
+
+The paper implements both networks in single precision and leaves the
+integer path as future study (Section IV-B). We implement that future path:
+:class:`FixedPointFormat` emulates Vivado HLS ``ap_fixed<W, I>`` semantics
+(two's-complement, configurable rounding/saturation) on NumPy arrays, and
+is used by :mod:`repro.nn.quantize` and the fixed-point benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """An ``ap_fixed<width, integer_bits>`` signed fixed-point format.
+
+    ``width`` counts all bits including sign; ``integer_bits`` counts the
+    bits left of the binary point including sign (so fractional bits are
+    ``width - integer_bits``).
+
+    Parameters mirror HLS: ``rounding`` is "trunc" (``AP_TRN``, default of
+    HLS) or "round" (``AP_RND``); saturation is always on (``AP_SAT``),
+    matching what a careful designer would pick for CNN inference.
+    """
+
+    width: int
+    integer_bits: int
+    rounding: str = "round"
+
+    def __post_init__(self) -> None:
+        if not (2 <= self.width <= 64):
+            raise ConfigurationError(f"width must be in [2, 64], got {self.width}")
+        if not (1 <= self.integer_bits <= self.width):
+            raise ConfigurationError(
+                f"integer_bits must be in [1, width], got {self.integer_bits}"
+            )
+        if self.rounding not in ("round", "trunc"):
+            raise ConfigurationError(f"unknown rounding {self.rounding!r}")
+
+    @property
+    def frac_bits(self) -> int:
+        """Bits right of the binary point."""
+        return self.width - self.integer_bits
+
+    @property
+    def scale(self) -> float:
+        """Value of one LSB."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (2 ** (self.width - 1) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value."""
+        return -(2 ** (self.width - 1)) * self.scale
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_raw(self, values: np.ndarray) -> np.ndarray:
+        """Quantize real values to raw integer codes (int64), saturating."""
+        arr = np.asarray(values, dtype=np.float64) / self.scale
+        if self.rounding == "round":
+            raw = np.floor(arr + 0.5)
+        else:
+            raw = np.floor(arr)
+        lo = -(2 ** (self.width - 1))
+        hi = 2 ** (self.width - 1) - 1
+        return np.clip(raw, lo, hi).astype(np.int64)
+
+    def from_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Convert raw codes back to real values (float64)."""
+        return np.asarray(raw, dtype=np.int64) * self.scale
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round-trip real values through the format (float64 out)."""
+        return self.from_raw(self.to_raw(values))
+
+    def quantization_error(self, values: np.ndarray) -> float:
+        """Max absolute quantization error over ``values``."""
+        v = np.asarray(values, dtype=np.float64)
+        return float(np.max(np.abs(self.quantize(v) - v))) if v.size else 0.0
+
+    @property
+    def dtype_key(self) -> str:
+        """Operator-table key for this width (``fixed16``/``fixed32``)."""
+        return "fixed16" if self.width <= 18 else "fixed32"
+
+    def describe(self) -> str:
+        """HLS-style name, e.g. ``ap_fixed<16,6>``."""
+        return f"ap_fixed<{self.width},{self.integer_bits}>"
+
+
+#: A sensible default for CNN inference: 16 bits, 6 integer bits.
+DEFAULT_FIXED = FixedPointFormat(16, 6)

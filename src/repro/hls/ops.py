@@ -1,0 +1,83 @@
+"""Per-operator latency and resource tables (the HLS operator library).
+
+The figures approximate Vivado HLS 2016.x floating point operator cores on
+Virtex-7 at 100 MHz — the toolchain/board of the paper. The single number
+the paper itself states is the 11-cycle single-precision accumulation
+latency (Section IV-B); the rest follow the Xilinx Floating-Point Operator
+datasheet ballpark (full-DSP implementations) and standard fixed-point
+costs. Exactness is not required: Table I reproduction targets utilization
+*shape*, and every constant lives here so it can be recalibrated in one
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.config import FADD_LATENCY_CYCLES, FMUL_LATENCY_CYCLES
+from repro.errors import ConfigurationError
+from repro.hls.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cost of one fully pipelined (II=1) operator instance."""
+
+    latency: int
+    resources: ResourceVector
+
+
+#: name -> OpCost for IEEE-754 single precision (the paper's datatype).
+FLOAT32_OPS: Dict[str, OpCost] = {
+    "add": OpCost(FADD_LATENCY_CYCLES, ResourceVector(ff=490, lut=320, dsp=2)),
+    "mul": OpCost(FMUL_LATENCY_CYCLES, ResourceVector(ff=250, lut=120, dsp=3)),
+    "cmp": OpCost(1, ResourceVector(ff=66, lut=94, dsp=0)),
+    "div": OpCost(28, ResourceVector(ff=2100, lut=1800, dsp=0)),
+    "exp": OpCost(17, ResourceVector(ff=1400, lut=1100, dsp=7)),
+}
+
+#: name -> OpCost for 16-bit fixed point (the integer path of Section IV-B).
+FIXED16_OPS: Dict[str, OpCost] = {
+    "add": OpCost(1, ResourceVector(ff=16, lut=16, dsp=0)),
+    "mul": OpCost(1, ResourceVector(ff=33, lut=20, dsp=1)),
+    "cmp": OpCost(1, ResourceVector(ff=16, lut=16, dsp=0)),
+}
+
+#: name -> OpCost for 32-bit fixed point.
+FIXED32_OPS: Dict[str, OpCost] = {
+    "add": OpCost(1, ResourceVector(ff=32, lut=32, dsp=0)),
+    "mul": OpCost(2, ResourceVector(ff=96, lut=60, dsp=4)),
+    "cmp": OpCost(1, ResourceVector(ff=32, lut=32, dsp=0)),
+}
+
+_TABLES: Dict[str, Dict[str, OpCost]] = {
+    "float32": FLOAT32_OPS,
+    "fixed16": FIXED16_OPS,
+    "fixed32": FIXED32_OPS,
+}
+
+
+def op_cost(op: str, dtype: str = "float32") -> OpCost:
+    """Look up the cost of operator ``op`` (``add``/``mul``/``cmp``/...).
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown entries so
+    typos fail loudly rather than costing zero.
+    """
+    try:
+        table = _TABLES[dtype]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dtype {dtype!r}; expected one of {sorted(_TABLES)}"
+        ) from None
+    try:
+        return table[op]
+    except KeyError:
+        raise ConfigurationError(
+            f"dtype {dtype!r} has no operator {op!r}; expected one of {sorted(table)}"
+        ) from None
+
+
+def mac_cost(dtype: str = "float32") -> Tuple[OpCost, OpCost]:
+    """(multiply, add) operator pair for one multiply-accumulate lane."""
+    return op_cost("mul", dtype), op_cost("add", dtype)

@@ -1,0 +1,103 @@
+"""FPGA resource vectors (FF / LUT / BRAM / DSP) and helpers.
+
+:class:`ResourceVector` is the unit of account for the whole resource
+model: operator tables produce them, core models sum them, and the device
+model checks them against the chip budget (Table I's four columns).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Amounts of the four FPGA resource classes tracked by Table I.
+
+    ``bram`` counts BRAM36 blocks (two BRAM18 = one BRAM36).
+    """
+
+    ff: float = 0.0
+    lut: float = 0.0
+    bram: float = 0.0
+    dsp: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.ff + other.ff,
+            self.lut + other.lut,
+            self.bram + other.bram,
+            self.dsp + other.dsp,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.ff - other.ff,
+            self.lut - other.lut,
+            self.bram - other.bram,
+            self.dsp - other.dsp,
+        )
+
+    def __mul__(self, k: float) -> "ResourceVector":
+        return ResourceVector(self.ff * k, self.lut * k, self.bram * k, self.dsp * k)
+
+    __rmul__ = __mul__
+
+    def fits_in(self, budget: "ResourceVector") -> bool:
+        """Whether this usage is within ``budget`` on every class."""
+        return (
+            self.ff <= budget.ff
+            and self.lut <= budget.lut
+            and self.bram <= budget.bram
+            and self.dsp <= budget.dsp
+        )
+
+    def utilization(self, budget: "ResourceVector") -> dict:
+        """Fractional utilization per resource class (Table I rows)."""
+        def frac(used: float, avail: float) -> float:
+            if avail <= 0:
+                raise ConfigurationError("budget has a non-positive resource class")
+            return used / avail
+
+        return {
+            "ff": frac(self.ff, budget.ff),
+            "lut": frac(self.lut, budget.lut),
+            "bram": frac(self.bram, budget.bram),
+            "dsp": frac(self.dsp, budget.dsp),
+        }
+
+    def rounded(self) -> "ResourceVector":
+        """Round every class up to whole units (for final reporting)."""
+        return ResourceVector(
+            math.ceil(self.ff), math.ceil(self.lut), math.ceil(self.bram), math.ceil(self.dsp)
+        )
+
+    def as_dict(self) -> dict:
+        return {"ff": self.ff, "lut": self.lut, "bram": self.bram, "dsp": self.dsp}
+
+
+#: The zero vector, handy as a sum() start value.
+ZERO = ResourceVector()
+
+
+def bram36_for_words(words: int, width_bits: int = 32) -> int:
+    """BRAM36 blocks needed to store ``words`` of ``width_bits`` each.
+
+    A BRAM36 holds 36 Kib; usable capacity for 32-bit words is 1024 words
+    (1Kx36 aspect). Small buffers below the LUTRAM threshold cost zero
+    block RAM (Vivado maps them to distributed RAM).
+    """
+    if words < 0:
+        raise ConfigurationError(f"words must be >= 0, got {words}")
+    if words == 0:
+        return 0
+    if words * width_bits <= 1024:  # shallow FIFOs become LUTRAM/SRL
+        return 0
+    words_per_bram = (36 * 1024) // max(width_bits + width_bits // 8, 1)
+    # 36Kb with parity lanes: for 32-bit data the practical depth is 1024.
+    if width_bits == 32:
+        words_per_bram = 1024
+    return math.ceil(words / words_per_bram)

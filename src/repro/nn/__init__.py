@@ -1,0 +1,61 @@
+"""From-scratch NumPy CNN library (training and golden-reference inference).
+
+The software model of the paper's networks: vectorized conv/pool/linear
+layers with backprop, an SGD trainer for the offline-training phase, the
+Eq. 3 normalization, metrics and fixed-point quantization.
+"""
+
+from repro.nn.functional import col2im, conv2d, conv2d_naive, im2col
+from repro.nn.layers import (
+    Conv2D,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2D,
+    MeanPool2D,
+    ReLU,
+    Tanh,
+    activation_fn,
+    make_activation,
+)
+from repro.nn.losses import cross_entropy, log_softmax, softmax
+from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
+from repro.nn.network import Sequential
+from repro.nn.quantize import (
+    QuantizationReport,
+    QuantizeActivations,
+    quantize_network,
+    with_quantized_activations,
+)
+from repro.nn.train import SGD, TrainResult, train_classifier
+
+__all__ = [
+    "Conv2D",
+    "Flatten",
+    "Layer",
+    "Linear",
+    "MaxPool2D",
+    "MeanPool2D",
+    "QuantizationReport",
+    "QuantizeActivations",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Tanh",
+    "TrainResult",
+    "accuracy",
+    "activation_fn",
+    "col2im",
+    "confusion_matrix",
+    "conv2d",
+    "conv2d_naive",
+    "cross_entropy",
+    "im2col",
+    "log_softmax",
+    "make_activation",
+    "quantize_network",
+    "softmax",
+    "top_k_accuracy",
+    "train_classifier",
+    "with_quantized_activations",
+]

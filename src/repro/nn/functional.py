@@ -1,0 +1,124 @@
+"""Vectorized tensor primitives: im2col/col2im and direct convolution.
+
+These are the hot paths of the functional library; following the
+HPC-Python guidance they are fully vectorized (stride-trick window
+extraction, a single matmul per conv) with no per-pixel Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.errors import ShapeError
+from repro.sst.window import WindowSpec
+
+
+def im2col(x: np.ndarray, spec: WindowSpec) -> np.ndarray:
+    """Extract sliding windows of a batch into a column matrix.
+
+    Parameters
+    ----------
+    x: ``(N, C, H, W)`` input batch.
+    spec: window geometry.
+
+    Returns
+    -------
+    ``(N, C * kh * kw, OH * OW)`` array; column ``(oy * OW + ox)`` holds the
+    window at output coordinate ``(oy, ox)``, features ordered ``(c, r, s)``.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects (N, C, H, W), got {x.shape}")
+    n, c, h, w = x.shape
+    oh, ow = spec.out_shape(h, w)
+    if spec.pad:
+        x = np.pad(x, ((0, 0), (0, 0), (spec.pad, spec.pad), (spec.pad, spec.pad)))
+    s = spec.stride
+    # Windowed view: (N, C, OH, OW, kh, kw) without copying.
+    sn, sc, sh, sw = x.strides
+    shape = (n, c, oh, ow, spec.kh, spec.kw)
+    strides = (sn, sc, sh * s, sw * s, sh, sw)
+    windows = np.lib.stride_tricks.as_strided(
+        x, shape=shape, strides=strides, writeable=False
+    )
+    # -> (N, C, kh, kw, OH, OW) -> (N, C*kh*kw, OH*OW)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * spec.kh * spec.kw, oh * ow)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray, x_shape: Tuple[int, int, int, int], spec: WindowSpec
+) -> np.ndarray:
+    """Scatter-add columns back to image space (adjoint of :func:`im2col`)."""
+    n, c, h, w = x_shape
+    oh, ow = spec.out_shape(h, w)
+    hp, wp = h + 2 * spec.pad, w + 2 * spec.pad
+    if cols.shape != (n, c * spec.kh * spec.kw, oh * ow):
+        raise ShapeError(
+            f"col2im expects {(n, c * spec.kh * spec.kw, oh * ow)}, got {cols.shape}"
+        )
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, spec.kh, spec.kw, oh, ow)
+    s = spec.stride
+    for r in range(spec.kh):
+        y_end = r + s * oh
+        for q in range(spec.kw):
+            x_end = q + s * ow
+            out[:, :, r:y_end:s, q:x_end:s] += cols6[:, :, r, q]
+    if spec.pad:
+        out = out[:, :, spec.pad : hp - spec.pad, spec.pad : wp - spec.pad]
+    return out
+
+
+def conv2d(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, spec: WindowSpec
+) -> np.ndarray:
+    """Batched 2-D convolution (cross-correlation, as in Eq. 1).
+
+    Parameters
+    ----------
+    x: ``(N, C, H, W)`` input.
+    weight: ``(K, C, kh, kw)`` filters.
+    bias: ``(K,)`` biases.
+
+    Returns
+    -------
+    ``(N, K, OH, OW)`` output volume (no nonlinearity).
+    """
+    if weight.ndim != 4:
+        raise ShapeError(f"weight must be (K, C, kh, kw), got {weight.shape}")
+    k, c, kh, kw = weight.shape
+    if (kh, kw) != (spec.kh, spec.kw):
+        raise ShapeError(f"weight kernel {kh}x{kw} != spec {spec.kh}x{spec.kw}")
+    if x.shape[1] != c:
+        raise ShapeError(f"input has {x.shape[1]} channels, weight expects {c}")
+    if bias.shape != (k,):
+        raise ShapeError(f"bias must be ({k},), got {bias.shape}")
+    n, _, h, w = x.shape
+    oh, ow = spec.out_shape(h, w)
+    cols = im2col(x, spec)  # (N, C*kh*kw, OH*OW)
+    wflat = weight.reshape(k, c * kh * kw)
+    out = np.einsum("kf,nfp->nkp", wflat, cols, optimize=True)
+    out += bias[None, :, None]
+    return out.reshape(n, k, oh, ow).astype(DTYPE, copy=False)
+
+
+def conv2d_naive(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, spec: WindowSpec
+) -> np.ndarray:
+    """Loop-based reference convolution (tests only; O(everything))."""
+    n, c, h, w = x.shape
+    k = weight.shape[0]
+    oh, ow = spec.out_shape(h, w)
+    xp = np.pad(x, ((0, 0), (0, 0), (spec.pad, spec.pad), (spec.pad, spec.pad)))
+    out = np.zeros((n, k, oh, ow), dtype=np.float64)
+    for i in range(n):
+        for f in range(k):
+            for oy in range(oh):
+                for ox in range(ow):
+                    ys, xs = oy * spec.stride, ox * spec.stride
+                    patch = xp[i, :, ys : ys + spec.kh, xs : xs + spec.kw]
+                    out[i, f, oy, ox] = np.sum(patch * weight[f]) + bias[f]
+    return out.astype(DTYPE)

@@ -1,0 +1,39 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.errors import ConfigurationError
+
+
+def _fans(shape: Sequence[int]) -> Tuple[int, int]:
+    """(fan_in, fan_out) for dense (out, in) or conv (K, C, KH, KW) shapes."""
+    if len(shape) == 2:
+        out_f, in_f = shape
+        return in_f, out_f
+    if len(shape) == 4:
+        k, c, kh, kw = shape
+        return c * kh * kw, k * kh * kw
+    raise ConfigurationError(f"unsupported weight shape {tuple(shape)}")
+
+
+def glorot_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init, suited to tanh networks (LeNet-style)."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(DTYPE)
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He normal init, suited to ReLU networks."""
+    fan_in, _ = _fans(shape)
+    return (rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)).astype(DTYPE)
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros(shape, dtype=DTYPE)

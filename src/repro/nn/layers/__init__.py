@@ -1,0 +1,21 @@
+"""Layer implementations for the NumPy CNN library."""
+
+from repro.nn.layers.activation import ReLU, Tanh, activation_fn, make_activation
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.pool import MaxPool2D, MeanPool2D
+
+__all__ = [
+    "Conv2D",
+    "Flatten",
+    "Layer",
+    "Linear",
+    "MaxPool2D",
+    "MeanPool2D",
+    "ReLU",
+    "Tanh",
+    "activation_fn",
+    "make_activation",
+]

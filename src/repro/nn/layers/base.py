@@ -1,0 +1,55 @@
+"""Layer protocol for the NumPy CNN library.
+
+Every layer implements ``forward`` / ``backward`` on batched tensors and
+exposes its parameters and gradients by name so optimizers can update them
+generically. Convention: feature tensors are ``(N, C, H, W)``; flattened
+activations are ``(N, F)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class Layer:
+    """Base class: stateless by default, parameterized layers override."""
+
+    #: Human-readable type tag used in network summaries.
+    kind: str = "layer"
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Compute the layer output; caches what backward needs if ``train``."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Given dL/d(output), accumulate parameter grads, return dL/d(input)."""
+        raise NotImplementedError
+
+    def params(self) -> Dict[str, np.ndarray]:
+        """Trainable parameter arrays by name (possibly empty)."""
+        return {}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Gradient arrays matching :meth:`params` keys."""
+        return {}
+
+    def out_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Output shape (without batch) for a given input shape."""
+        raise NotImplementedError
+
+    def n_params(self) -> int:
+        """Total trainable scalars."""
+        return int(sum(p.size for p in self.params().values()))
+
+    def _require_4d(self, x: np.ndarray) -> None:
+        if x.ndim != 4:
+            raise ShapeError(
+                f"{type(self).__name__} expects (N, C, H, W) input, got {x.shape}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,101 @@
+"""Convolutional layer (Eq. 1) with im2col forward/backward."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.errors import ShapeError
+from repro.nn.functional import col2im, im2col
+from repro.nn.initializers import glorot_uniform, zeros
+from repro.nn.layers.base import Layer
+from repro.sst.window import WindowSpec
+
+
+class Conv2D(Layer):
+    """2-D convolution layer: ``(N, C, H, W) -> (N, K, OH, OW)``.
+
+    Parameters
+    ----------
+    in_channels, out_channels: C and K of Eq. 1.
+    kh, kw: kernel size.
+    stride, pad: the paper's hyper-parameters S and P.
+    rng: generator for weight init (required unless weights are set later).
+    """
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kh: int,
+        kw: Optional[int] = None,
+        stride: int = 1,
+        pad: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        kw = kh if kw is None else kw
+        self.spec = WindowSpec(kh, kw, stride, pad)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        rng = rng or np.random.default_rng(0)
+        self.weight = glorot_uniform(
+            (out_channels, in_channels, kh, kw), rng
+        )
+        self.bias = zeros((out_channels,))
+        self.dweight = np.zeros_like(self.weight)
+        self.dbias = np.zeros_like(self.bias)
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        self._require_4d(x)
+        if x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"conv expects {self.in_channels} channels, got {x.shape[1]}"
+            )
+        n, _, h, w = x.shape
+        oh, ow = self.spec.out_shape(h, w)
+        cols = im2col(x, self.spec)
+        k = self.out_channels
+        wflat = self.weight.reshape(k, -1)
+        out = np.einsum("kf,nfp->nkp", wflat, cols, optimize=True)
+        out += self.bias[None, :, None]
+        if train:
+            self._cache = (cols, x.shape)
+        return out.reshape(n, k, oh, ow).astype(DTYPE, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward(train=True)")
+        cols, x_shape = self._cache
+        n, k = grad_out.shape[:2]
+        g = grad_out.reshape(n, k, -1)  # (N, K, P)
+        self.dweight[...] = np.einsum("nkp,nfp->kf", g, cols, optimize=True).reshape(
+            self.weight.shape
+        )
+        self.dbias[...] = g.sum(axis=(0, 2))
+        wflat = self.weight.reshape(k, -1)
+        dcols = np.einsum("kf,nkp->nfp", wflat, g, optimize=True)
+        return col2im(dcols.astype(DTYPE), x_shape, self.spec)
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.dweight, "bias": self.dbias}
+
+    def out_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = in_shape
+        if c != self.in_channels:
+            raise ShapeError(f"conv expects {self.in_channels} channels, got {c}")
+        oh, ow = self.spec.out_shape(h, w)
+        return (self.out_channels, oh, ow)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Conv2D({self.in_channels}->{self.out_channels}, "
+            f"{self.spec.describe()})"
+        )

@@ -1,0 +1,44 @@
+"""Flatten layer bridging the feature extractor and the classifier.
+
+Flattening order is ``(H, W, C)`` raster-major with channels innermost —
+the same pixel-major, FM-minor order in which the dataflow pipeline streams
+activations into the FC core, so functional and simulated classifiers see
+identical input vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers.base import Layer
+
+
+class Flatten(Layer):
+    """``(N, C, H, W) -> (N, H*W*C)`` with channels innermost."""
+
+    kind = "flatten"
+
+    def __init__(self) -> None:
+        self._cache: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        self._require_4d(x)
+        if train:
+            self._cache = x.shape
+        n = x.shape[0]
+        return np.ascontiguousarray(x.transpose(0, 2, 3, 1)).reshape(n, -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward(train=True)")
+        n, c, h, w = self._cache
+        return np.ascontiguousarray(
+            grad_out.reshape(n, h, w, c).transpose(0, 3, 1, 2)
+        )
+
+    def out_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = in_shape
+        return (c * h * w,)

@@ -1,0 +1,68 @@
+"""Fully-connected (linear / perceptron) layer — Eq. 2."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.errors import ShapeError
+from repro.nn.initializers import glorot_uniform, zeros
+from repro.nn.layers.base import Layer
+
+
+class Linear(Layer):
+    """Dense layer: ``(N, in_features) -> (N, out_features)``.
+
+    Weight layout is ``(out_features, in_features)`` so a row holds one
+    perceptron's weights (matches how the FC core streams them).
+    """
+
+    kind = "linear"
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        rng = rng or np.random.default_rng(0)
+        self.weight = glorot_uniform((out_features, in_features), rng)
+        self.bias = zeros((out_features,))
+        self.dweight = np.zeros_like(self.weight)
+        self.dbias = np.zeros_like(self.bias)
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"linear expects (N, {self.in_features}), got {x.shape}"
+            )
+        if train:
+            self._cache = x
+        return (x @ self.weight.T + self.bias).astype(DTYPE, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward(train=True)")
+        x = self._cache
+        self.dweight[...] = grad_out.T @ x
+        self.dbias[...] = grad_out.sum(axis=0)
+        return (grad_out @ self.weight).astype(DTYPE, copy=False)
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.dweight, "bias": self.dbias}
+
+    def out_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if in_shape != (self.in_features,):
+            raise ShapeError(f"linear expects ({self.in_features},), got {in_shape}")
+        return (self.out_features,)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear({self.in_features}->{self.out_features})"

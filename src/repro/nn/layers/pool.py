@@ -1,0 +1,103 @@
+"""Sub-sampling (pooling) layers: max-pooling and mean-pooling.
+
+Section II-A: the sub-sampling layer applies its filter on each channel
+separately, substituting each input submatrix with its maximum (max-pooling)
+or its mean (mean-pooling).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.errors import ShapeError
+from repro.nn.functional import col2im, im2col
+from repro.nn.layers.base import Layer
+from repro.sst.window import WindowSpec
+
+
+class _Pool2D(Layer):
+    """Shared machinery: per-channel im2col over a stride-``s`` window."""
+
+    def __init__(self, kh: int = 2, kw: Optional[int] = None, stride: Optional[int] = None):
+        kw = kh if kw is None else kw
+        stride = kh if stride is None else stride
+        self.spec = WindowSpec(kh, kw, stride, pad=0)
+        self._cache = None
+
+    def _window_cols(self, x: np.ndarray) -> np.ndarray:
+        """(N*C, kh*kw, P) windows treating channels as batch entries."""
+        n, c, h, w = x.shape
+        return im2col(x.reshape(n * c, 1, h, w), self.spec)
+
+    def out_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = in_shape
+        oh, ow = self.spec.out_shape(h, w)
+        return (c, oh, ow)
+
+
+class MaxPool2D(_Pool2D):
+    """Max-pooling; default 2x2 window with stride 2 (the paper's layers)."""
+
+    kind = "maxpool"
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        self._require_4d(x)
+        n, c, h, w = x.shape
+        oh, ow = self.spec.out_shape(h, w)
+        cols = self._window_cols(x)  # (N*C, kh*kw, P)
+        idx = np.argmax(cols, axis=1)  # (N*C, P)
+        out = np.take_along_axis(cols, idx[:, None, :], axis=1)[:, 0, :]
+        if train:
+            self._cache = (idx, x.shape)
+        return out.reshape(n, c, oh, ow).astype(DTYPE, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward(train=True)")
+        idx, x_shape = self._cache
+        n, c, h, w = x_shape
+        p = idx.shape[1]
+        dcols = np.zeros((n * c, self.spec.kh * self.spec.kw, p), dtype=DTYPE)
+        np.put_along_axis(
+            dcols, idx[:, None, :], grad_out.reshape(n * c, 1, p), axis=1
+        )
+        dx = col2im(dcols, (n * c, 1, h, w), self.spec)
+        return dx.reshape(n, c, h, w)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MaxPool2D({self.spec.describe()})"
+
+
+class MeanPool2D(_Pool2D):
+    """Mean-pooling over each window."""
+
+    kind = "meanpool"
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        self._require_4d(x)
+        n, c, h, w = x.shape
+        oh, ow = self.spec.out_shape(h, w)
+        cols = self._window_cols(x)
+        out = cols.mean(axis=1)
+        if train:
+            self._cache = x.shape
+        return out.reshape(n, c, oh, ow).astype(DTYPE, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward(train=True)")
+        x_shape = self._cache
+        n, c, h, w = x_shape
+        p = grad_out.shape[2] * grad_out.shape[3]
+        kk = self.spec.kh * self.spec.kw
+        dcols = np.repeat(
+            grad_out.reshape(n * c, 1, p) / kk, kk, axis=1
+        ).astype(DTYPE)
+        dx = col2im(dcols, (n * c, 1, h, w), self.spec)
+        return dx.reshape(n, c, h, w)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MeanPool2D({self.spec.describe()})"

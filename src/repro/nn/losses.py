@@ -1,0 +1,58 @@
+"""Log-softmax normalization (Eq. 3) and the cross-entropy training loss."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.errors import ShapeError
+
+
+def log_softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax along the last axis.
+
+    ``exp`` of this is the paper's normalization operator sigma (Eq. 3):
+    values in [0, 1] summing to 1 per row.
+    """
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    return (shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))).astype(
+        DTYPE, copy=False
+    )
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Eq. 3 exactly: class-affinity probabilities along the last axis."""
+    return np.exp(log_softmax(x))
+
+
+def cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean NLL of ``labels`` under ``softmax(logits)`` and its gradient.
+
+    Parameters
+    ----------
+    logits: ``(N, K)`` raw scores.
+    labels: ``(N,)`` integer class labels in ``[0, K)``.
+
+    Returns
+    -------
+    ``(loss, dlogits)`` where ``dlogits`` is the gradient with respect to
+    ``logits`` (already divided by the batch size).
+    """
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be (N, K), got {logits.shape}")
+    n, k = logits.shape
+    labels = np.asarray(labels)
+    if labels.shape != (n,):
+        raise ShapeError(f"labels must be ({n},), got {labels.shape}")
+    if labels.min() < 0 or labels.max() >= k:
+        raise ShapeError(f"labels out of range [0, {k})")
+    logp = log_softmax(logits)
+    loss = float(-logp[np.arange(n), labels].mean())
+    grad = np.exp(logp)
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad.astype(DTYPE, copy=False)

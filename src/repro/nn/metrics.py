@@ -1,0 +1,45 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of exact matches between predictions and labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ShapeError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ShapeError("accuracy of an empty prediction set")
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """``(n_classes, n_classes)`` counts; rows = true class, cols = predicted."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ShapeError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    m = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(m, (labels, predictions), 1)
+    return m
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true class is in the top ``k`` logits."""
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be (N, K), got {logits.shape}")
+    if k < 1 or k > logits.shape[1]:
+        raise ShapeError(f"k must be in [1, {logits.shape[1]}], got {k}")
+    topk = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float(np.mean(np.any(topk == np.asarray(labels)[:, None], axis=1)))

@@ -1,0 +1,105 @@
+"""Sequential network container: the software model a design is trained as.
+
+A :class:`Sequential` chains layers exactly like the paper's CNN structure
+(Figure 1): feature extraction (conv / pool / activation), a flatten, then
+the classifier's linear layers; the normalization operator (Eq. 3) is
+applied by :meth:`predict_proba` rather than stored as a layer, matching
+how the paper's designs end at the last linear layer's logits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers.base import Layer
+from repro.nn.losses import softmax
+
+
+class Sequential:
+    """An ordered chain of layers with shared forward/backward plumbing."""
+
+    def __init__(self, layers: Sequence[Layer], in_shape: Tuple[int, ...]):
+        self.layers: List[Layer] = list(layers)
+        self.in_shape = tuple(in_shape)
+        # Pre-validate shape propagation once; raises early on mismatch.
+        self.shapes = [self.in_shape]
+        for layer in self.layers:
+            self.shapes.append(layer.out_shape(self.shapes[-1]))
+
+    @property
+    def out_shape(self) -> Tuple[int, ...]:
+        """Shape of the network output (per sample)."""
+        return self.shapes[-1]
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Run the full chain; ``train=True`` caches for backward."""
+        if tuple(x.shape[1:]) != self.in_shape:
+            raise ShapeError(
+                f"network expects per-sample shape {self.in_shape}, got {x.shape[1:]}"
+            )
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad`` through the chain (reverse order)."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities (Eq. 3 applied to the logits)."""
+        return softmax(self.forward(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        return np.argmax(self.forward(x), axis=-1)
+
+    def n_params(self) -> int:
+        """Total trainable scalars across all layers."""
+        return sum(layer.n_params() for layer in self.layers)
+
+    def parameters(self):
+        """Yield ``(layer_index, name, param, grad)`` for every parameter."""
+        for i, layer in enumerate(self.layers):
+            grads = layer.grads()
+            for name, p in layer.params().items():
+                yield i, name, p, grads[name]
+
+    def state_dict(self) -> dict:
+        """All parameters as ``{"<layer_index>.<name>": array}`` copies."""
+        return {
+            f"{i}.{name}": p.copy() for i, name, p, _ in self.parameters()
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load parameters saved by :meth:`state_dict` (strict matching)."""
+        own = {f"{i}.{name}": p for i, name, p, _ in self.parameters()}
+        if set(own) != set(state):
+            missing = set(own) - set(state)
+            extra = set(state) - set(own)
+            raise ShapeError(
+                f"state dict mismatch (missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)})"
+            )
+        for key, p in own.items():
+            arr = np.asarray(state[key])
+            if arr.shape != p.shape:
+                raise ShapeError(
+                    f"parameter {key!r}: shape {arr.shape} != {p.shape}"
+                )
+            p[...] = arr
+
+    def summary(self) -> str:
+        """Multi-line human-readable structure dump."""
+        lines = [f"Sequential(in={self.in_shape})"]
+        for i, layer in enumerate(self.layers):
+            lines.append(
+                f"  [{i}] {layer!r}: {self.shapes[i]} -> {self.shapes[i + 1]} "
+                f"({layer.n_params()} params)"
+            )
+        lines.append(f"  total params: {self.n_params()}")
+        return "\n".join(lines)

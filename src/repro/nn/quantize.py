@@ -1,0 +1,89 @@
+"""Post-training fixed-point quantization (the paper's integer path).
+
+Section IV-B notes the floating-point accumulation-latency problem "does
+not arise when using integer values, and will be subject to further study";
+this module is that study: quantize a trained float network's weights,
+biases and activations to an ``ap_fixed`` format and evaluate the accuracy
+impact, so the fixed-point benchmarks can compare accuracy/resources
+against the float32 designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.errors import ConfigurationError
+from repro.hls.datatypes import FixedPointFormat
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.linear import Linear
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Summary of one quantization pass."""
+
+    fmt: str
+    max_weight_error: float
+    n_quantized_layers: int
+
+
+def quantize_network(net: Sequential, fmt: FixedPointFormat) -> QuantizationReport:
+    """Quantize all Conv2D/Linear weights and biases of ``net`` in place.
+
+    Every parameter is rounded to the nearest representable value of
+    ``fmt`` (saturating), exactly what baking them into fixed-point
+    on-chip ROMs would do.
+    """
+    max_err = 0.0
+    count = 0
+    for layer in net.layers:
+        if isinstance(layer, (Conv2D, Linear)):
+            for p in (layer.weight, layer.bias):
+                err = fmt.quantization_error(p)
+                max_err = max(max_err, err)
+                p[...] = fmt.quantize(p).astype(DTYPE)
+            count += 1
+    if count == 0:
+        raise ConfigurationError("network has no quantizable layers")
+    return QuantizationReport(fmt.describe(), max_err, count)
+
+
+class QuantizeActivations(Layer):
+    """Inference-only layer rounding activations to a fixed-point format.
+
+    Insert after every compute layer to emulate a datapath whose stream
+    values are ``fmt``-typed end to end.
+    """
+
+    kind = "quant"
+
+    def __init__(self, fmt: FixedPointFormat):
+        self.fmt = fmt
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        return self.fmt.quantize(x).astype(DTYPE)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        # Straight-through estimator; quantized nets here are inference-only
+        # but a pass-through keeps the layer usable in a training chain.
+        return grad_out
+
+    def out_shape(self, in_shape):
+        return in_shape
+
+
+def with_quantized_activations(
+    net: Sequential, fmt: FixedPointFormat
+) -> Sequential:
+    """A new network interleaving activation quantization after each layer."""
+    layers: List[Layer] = []
+    for layer in net.layers:
+        layers.append(layer)
+        layers.append(QuantizeActivations(fmt))
+    return Sequential(layers, net.in_shape)

@@ -1,0 +1,153 @@
+"""Registry mapping every paper artifact to its reproduction entry point.
+
+Single source of truth used by the benchmark harness headers and by
+EXPERIMENTS.md; keeps experiment identifiers, paper-reported values and
+bench targets in one queryable place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One table/figure of the paper's evaluation (or a repo ablation)."""
+
+    id: str
+    title: str
+    bench: str
+    paper_values: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+
+_EXPERIMENTS: List[Experiment] = [
+    Experiment(
+        id="fig4",
+        title="Block design of the USPS CNN (test case 1)",
+        bench="benchmarks/bench_fig4_fig5_block_designs.py",
+    ),
+    Experiment(
+        id="fig5",
+        title="Block design of the CIFAR-10 CNN (test case 2)",
+        bench="benchmarks/bench_fig4_fig5_block_designs.py",
+    ),
+    Experiment(
+        id="fig6",
+        title="Mean time per image vs batch size",
+        bench="benchmarks/bench_fig6_batch_convergence.py",
+        paper_values={"tc1_converged_us": 5.8, "tc2_converged_us": 128.1},
+        notes="converges once batch > number of layers",
+    ),
+    Experiment(
+        id="table1",
+        title="FPGA resource usage (FF/LUT/BRAM/DSP %)",
+        bench="benchmarks/bench_table1_resources.py",
+        paper_values={
+            "tc1_ff": 41.10, "tc1_lut": 50.86, "tc1_bram": 3.50, "tc1_dsp": 55.04,
+            "tc2_ff": 61.77, "tc2_lut": 71.24, "tc2_bram": 22.82, "tc2_dsp": 74.32,
+        },
+    ),
+    Experiment(
+        id="table2",
+        title="Performance and power efficiency",
+        bench="benchmarks/bench_table2_performance.py",
+        paper_values={
+            "tc1_gflops": 5.2, "tc1_eff": 0.25, "tc1_latency_ms": 0.0058,
+            "tc1_images_s": 172414,
+            "tc2_gflops": 28.4, "tc2_eff": 1.19, "tc2_latency_ms": 0.128,
+            "tc2_images_s": 7809, "microsoft_images_s": 2318, "speedup": 3.36,
+        },
+    ),
+    Experiment(
+        id="A1",
+        title="Ablation: tree adder vs sequential adder chain",
+        bench="benchmarks/bench_ablation_tree_adder.py",
+    ),
+    Experiment(
+        id="A2",
+        title="Ablation: interleaved accumulators in the FC core",
+        bench="benchmarks/bench_ablation_fc_accumulators.py",
+    ),
+    Experiment(
+        id="A3",
+        title="Ablation: dataflow pipeline vs layer-at-a-time baseline",
+        bench="benchmarks/bench_ablation_pipeline_vs_sequential.py",
+    ),
+    Experiment(
+        id="A4",
+        title="Ablation: port-scaling sweep of the conv layers",
+        bench="benchmarks/bench_ablation_port_scaling.py",
+    ),
+    Experiment(
+        id="A5",
+        title="Ablation: inter-actor FIFO capacity vs throughput",
+        bench="benchmarks/bench_ablation_fifo_capacity.py",
+    ),
+    Experiment(
+        id="A6",
+        title="Ablation: behavioral line buffer vs literal SST filter chain",
+        bench="benchmarks/bench_ablation_memory_system.py",
+    ),
+    Experiment(
+        id="E1",
+        title="Extension: automated DSE (paper future work)",
+        bench="benchmarks/bench_ext_dse.py",
+    ),
+    Experiment(
+        id="E2",
+        title="Extension: multi-FPGA split (paper future work)",
+        bench="benchmarks/bench_ext_multi_fpga.py",
+    ),
+    Experiment(
+        id="E3",
+        title="Extension: fixed-point inference (paper further study)",
+        bench="benchmarks/bench_ext_fixed_point.py",
+    ),
+    Experiment(
+        id="E4",
+        title="Extension: roofline positioning of the designs",
+        bench="benchmarks/bench_ext_roofline.py",
+    ),
+    Experiment(
+        id="E5",
+        title="Extension: automated design flow (paper future work)",
+        bench="benchmarks/bench_ext_flow.py",
+    ),
+    Experiment(
+        id="E6",
+        title="Extension: AlexNet/VGG-16 feasibility (paper future work)",
+        bench="benchmarks/bench_ext_model_zoo.py",
+    ),
+    Experiment(
+        id="E7",
+        title="Extension: FC weight streaming (memory-centric classifiers)",
+        bench="benchmarks/bench_ext_weight_streaming.py",
+    ),
+]
+
+_BY_ID = {e.id: e for e in _EXPERIMENTS}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up one experiment by its id (``fig6``, ``table1``, ``A3``...)."""
+    try:
+        return _BY_ID[exp_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_BY_ID)}"
+        ) from None
+
+
+def all_experiments() -> List[Experiment]:
+    """All registered experiments in paper order."""
+    return list(_EXPERIMENTS)
+
+
+def banner(exp_id: str) -> str:
+    """Header line the benches print before their tables."""
+    e = get_experiment(exp_id)
+    return f"[{e.id}] {e.title}  (paper: {e.paper_values or 'n/a'})"

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats go through ``float_fmt``; everything else through ``str``.
+    """
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    for r in rows:
+        if len(r) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(r)} cells for {len(headers)} columns: {r!r}"
+            )
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    text_rows = [[cell(v) for v in r] for r in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(f"=== {title} ===")
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(title: str, pairs: Sequence[Sequence[object]]) -> str:
+    """Render key/value pairs under a title (for single-design summaries)."""
+    width = max((len(str(k)) for k, _ in pairs), default=0)
+    lines = [f"=== {title} ==="]
+    for k, v in pairs:
+        lines.append(f"{str(k).ljust(width)} : {v}")
+    return "\n".join(lines)

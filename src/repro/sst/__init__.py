@@ -1,0 +1,40 @@
+"""Streaming-Stencil-Timestep memory systems (Section II-B / IV-A).
+
+The per-layer *memory structure*: window geometry, behavioral line-buffer
+actor, the literal filter-chain rendition, and buffer-sizing math for the
+resource model.
+"""
+
+from repro.sst.filter_chain import (
+    TapFilter,
+    WindowAssembler,
+    build_filter_chain,
+    fifo_depths,
+    tap_offsets,
+)
+from repro.sst.line_buffer import SlidingWindowActor, completion_map, reference_windows
+from repro.sst.padding import PadInserter
+from repro.sst.sizing import (
+    BufferBudget,
+    bandwidth_memory_tradeoff,
+    chain_words,
+    layer_buffer_budget,
+)
+from repro.sst.window import WindowSpec
+
+__all__ = [
+    "BufferBudget",
+    "PadInserter",
+    "SlidingWindowActor",
+    "TapFilter",
+    "WindowAssembler",
+    "WindowSpec",
+    "bandwidth_memory_tradeoff",
+    "build_filter_chain",
+    "chain_words",
+    "completion_map",
+    "fifo_depths",
+    "layer_buffer_budget",
+    "reference_windows",
+    "tap_offsets",
+]

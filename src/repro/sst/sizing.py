@@ -1,0 +1,105 @@
+"""On-chip buffer sizing for SST memory systems.
+
+Computes, without simulating, the storage an SST-style memory structure
+needs: the *full buffering* footprint (data read once from off-chip memory
+and held until all dependent computations complete) and the
+memory/bandwidth trade-off of Cattaneo et al. (TACO 2016, ref. [18] of the
+paper): replicating the input stream over ``r`` ports divides the per-port
+buffer at the cost of ``r`` times the input bandwidth.
+
+These numbers feed :mod:`repro.core.resource_model` (BRAM estimation for
+Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.sst.window import WindowSpec
+
+
+@dataclass(frozen=True)
+class BufferBudget:
+    """Storage requirement of one layer's memory structure, in elements."""
+
+    #: FIFO words for full buffering across all input port chains.
+    fifo_words: int
+    #: Window registers (kh*kw per chain) — register slices, not BRAM.
+    window_registers: int
+    #: Number of independent filter chains (one per input port).
+    chains: int
+
+    @property
+    def total_words(self) -> int:
+        """Total on-chip words (FIFO + registers)."""
+        return self.fifo_words + self.window_registers
+
+
+def chain_words(spec: WindowSpec, w: int, group: int = 1) -> int:
+    """Full-buffering words of a single chain over a width-``w`` input.
+
+    ``(kh-1) * w_padded + kw`` raster positions, times the ``group``
+    feature maps interleaved on the port (the paper's FIFO enlargement for
+    the ``OUT_PORTS(i-1) > IN_PORTS(i)`` case).
+    """
+    _, wp = spec.padded_shape(1, w)
+    return spec.footprint(wp) * group
+
+
+def layer_buffer_budget(
+    spec: WindowSpec,
+    w: int,
+    in_fm: int,
+    in_ports: int,
+) -> BufferBudget:
+    """Buffer budget of a layer's whole memory structure.
+
+    Parameters
+    ----------
+    spec: window geometry of the layer.
+    w: input feature-map width.
+    in_fm: number of input feature maps.
+    in_ports: number of physical input ports (chains).
+    """
+    if in_ports < 1:
+        raise ConfigurationError(f"in_ports must be >= 1, got {in_ports}")
+    if in_fm % in_ports != 0:
+        raise ConfigurationError(
+            f"in_fm ({in_fm}) must be a multiple of in_ports ({in_ports})"
+        )
+    group = in_fm // in_ports
+    per_chain = chain_words(spec, w, group)
+    regs = spec.kh * spec.kw * in_ports
+    return BufferBudget(
+        fifo_words=per_chain * in_ports,
+        window_registers=regs,
+        chains=in_ports,
+    )
+
+
+def bandwidth_memory_tradeoff(
+    spec: WindowSpec, w: int, in_fm: int, replicas: List[int]
+) -> List[dict]:
+    """Tabulate the memory/bandwidth trade-off of ref. [18].
+
+    For each port count ``r`` in ``replicas`` (must divide ``in_fm``),
+    report the total buffered words and the relative input bandwidth
+    (``r`` parallel streams). More ports -> more aggregate window
+    registers and bandwidth, same full-buffering FIFO total (each chain
+    holds fewer interleaved FMs).
+    """
+    rows = []
+    for r in replicas:
+        b = layer_buffer_budget(spec, w, in_fm, r)
+        rows.append(
+            {
+                "ports": r,
+                "fifo_words": b.fifo_words,
+                "window_registers": b.window_registers,
+                "total_words": b.total_words,
+                "relative_bandwidth": r,
+            }
+        )
+    return rows

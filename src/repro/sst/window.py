@@ -1,0 +1,90 @@
+"""Window geometry for stencil/convolution memory systems.
+
+A :class:`WindowSpec` captures the sliding-window access pattern of one
+layer: kernel height/width, stride and zero padding (Section II-A's
+hyper-parameters ``S`` and ``P``). It provides the shape arithmetic shared
+by the functional library, the SST memory systems and the performance
+model, so output-size computations exist in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError, ShapeError
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A 2-D sliding window: ``kh`` x ``kw`` kernel, stride, zero padding."""
+
+    kh: int
+    kw: int
+    stride: int = 1
+    pad: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kh < 1 or self.kw < 1:
+            raise ConfigurationError(f"kernel must be >= 1x1, got {self.kh}x{self.kw}")
+        if self.stride < 1:
+            raise ConfigurationError(f"stride must be >= 1, got {self.stride}")
+        if self.pad < 0:
+            raise ConfigurationError(f"pad must be >= 0, got {self.pad}")
+        if self.pad >= self.kh or self.pad >= self.kw:
+            # A window fully inside the padding would contain no real pixel.
+            raise ConfigurationError(
+                f"pad {self.pad} must be smaller than the kernel {self.kh}x{self.kw}"
+            )
+
+    # -- shape arithmetic ----------------------------------------------------
+
+    def out_shape(self, h: int, w: int) -> Tuple[int, int]:
+        """Output (height, width) when sliding over an ``h`` x ``w`` input."""
+        oh = (h + 2 * self.pad - self.kh) // self.stride + 1
+        ow = (w + 2 * self.pad - self.kw) // self.stride + 1
+        if oh < 1 or ow < 1:
+            raise ShapeError(
+                f"window {self.kh}x{self.kw}/s{self.stride}/p{self.pad} does not "
+                f"fit a {h}x{w} input"
+            )
+        return oh, ow
+
+    def num_windows(self, h: int, w: int) -> int:
+        """Number of output coordinates over an ``h`` x ``w`` input."""
+        oh, ow = self.out_shape(h, w)
+        return oh * ow
+
+    def padded_shape(self, h: int, w: int) -> Tuple[int, int]:
+        """Input shape after zero padding."""
+        return h + 2 * self.pad, w + 2 * self.pad
+
+    # -- stencil offsets -------------------------------------------------------
+
+    def linear_offsets(self, w_padded: int) -> List[int]:
+        """Raster-scan offsets of the window taps relative to its top-left.
+
+        These are the per-tap stream delays of the SST filter chain: tap
+        ``(r, c)`` reads the element ``r * w_padded + c`` positions after
+        the window origin in a raster-ordered stream of the padded image.
+        """
+        if w_padded < self.kw:
+            raise ShapeError(f"padded width {w_padded} smaller than kernel {self.kw}")
+        return [r * w_padded + c for r in range(self.kh) for c in range(self.kw)]
+
+    def footprint(self, w_padded: int) -> int:
+        """On-chip elements needed for full buffering of one stream.
+
+        Equals the span between the first and last tap plus one:
+        ``(kh - 1) * w_padded + kw`` — i.e. (kh-1) image lines plus a
+        partial line, the classic line-buffer size.
+        """
+        offs = self.linear_offsets(w_padded)
+        return offs[-1] - offs[0] + 1
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``5x5/s1`` or ``2x2/s2``."""
+        s = f"{self.kh}x{self.kw}/s{self.stride}"
+        if self.pad:
+            s += f"/p{self.pad}"
+        return s

@@ -1,0 +1,23 @@
+"""Unit tests for the host-CPU baseline measurement."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import measure_cpu_inference
+from repro.core import tiny_model
+from repro.errors import ConfigurationError
+
+
+class TestCpuBaseline:
+    def test_measures_positive_throughput(self, rng):
+        net = tiny_model()
+        batch = rng.uniform(0, 1, (8, 1, 8, 8)).astype(np.float32)
+        res = measure_cpu_inference(net, batch, repeats=2, warmup=1)
+        assert res.images_per_second > 0
+        assert res.batch_size == 8 and res.repeats == 2
+
+    def test_invalid_repeats_rejected(self, rng):
+        net = tiny_model()
+        batch = rng.uniform(0, 1, (2, 1, 8, 8)).astype(np.float32)
+        with pytest.raises(ConfigurationError):
+            measure_cpu_inference(net, batch, repeats=0)

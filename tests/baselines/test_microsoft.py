@@ -1,0 +1,27 @@
+"""Unit tests for the published-baseline model of ref. [28]."""
+
+import pytest
+
+from repro.baselines import MICROSOFT_CIFAR10, PAPER_CLAIMED_SPEEDUP
+from repro.errors import ConfigurationError
+
+
+class TestMicrosoftBaseline:
+    def test_published_throughput(self):
+        assert MICROSOFT_CIFAR10.images_per_second == 2318.0
+
+    def test_device_is_stratix(self):
+        assert MICROSOFT_CIFAR10.device.name == "stratix-v-d5"
+
+    def test_speedup_of_paper_number(self):
+        # 7809 img/s over 2318 img/s is the paper's 3.36x.
+        assert MICROSOFT_CIFAR10.speedup_of(7809) == pytest.approx(
+            PAPER_CLAIMED_SPEEDUP, rel=0.01
+        )
+
+    def test_invalid_throughput_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MICROSOFT_CIFAR10.speedup_of(0)
+
+    def test_citation_present(self):
+        assert "Ovtcharov" in MICROSOFT_CIFAR10.citation

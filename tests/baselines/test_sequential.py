@@ -1,0 +1,44 @@
+"""Unit tests for the layer-at-a-time baseline."""
+
+import pytest
+
+from repro.baselines import sequential_perf
+from repro.core import cifar10_design, network_perf, usps_design
+from repro.errors import ConfigurationError
+
+
+class TestSequentialPerf:
+    def test_one_entry_per_layer(self):
+        sp = sequential_perf(usps_design())
+        assert len(sp.per_layer_cycles) == 4
+
+    def test_slower_than_dataflow(self):
+        # The whole point of the paper's pipeline.
+        for d in (usps_design(), cifar10_design()):
+            assert sequential_perf(d).cycles_per_image > network_perf(d).interval
+
+    def test_mean_time_flat_in_batch(self):
+        sp = sequential_perf(usps_design())
+        assert sp.mean_cycles_per_image(1) == sp.mean_cycles_per_image(50)
+
+    def test_batch_strictly_serial(self):
+        sp = sequential_perf(cifar10_design())
+        assert sp.batch_cycles(10) == 10 * sp.cycles_per_image
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sequential_perf(usps_design()).batch_cycles(0)
+
+    def test_includes_dma_roundtrips(self):
+        # Sequential per-layer cost must exceed the pure compute cycles
+        # because every volume crosses off-chip memory.
+        from repro.core import layer_perf
+
+        d = cifar10_design()
+        sp = sequential_perf(d)
+        for cost, placement in zip(sp.per_layer_cycles, d.placements):
+            assert cost > layer_perf(placement).core_cycles
+
+    def test_images_per_second(self):
+        sp = sequential_perf(usps_design())
+        assert sp.images_per_second() == pytest.approx(100e6 / sp.cycles_per_image)

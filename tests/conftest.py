@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_image(rng):
+    """A single-channel 8x8 float32 image in [0, 1]."""
+    return rng.uniform(0.0, 1.0, (8, 8)).astype(np.float32)

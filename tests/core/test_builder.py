@@ -1,0 +1,216 @@
+"""Unit + integration tests for the network builder."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConvLayerSpec,
+    FCLayerSpec,
+    NetworkDesign,
+    PoolLayerSpec,
+    build_network,
+    extract_weights,
+    interleave_images,
+    random_weights,
+    tiny_design,
+    tiny_model,
+)
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import Conv2D, Flatten, Linear, MaxPool2D, Sequential, Tanh
+
+
+class TestInterleave:
+    def test_order_is_pixel_major_fm_minor(self):
+        batch = np.arange(2 * 2 * 2 * 2, dtype=np.float32).reshape(2, 2, 2, 2)
+        stream = interleave_images(batch)
+        # First beats: image 0, pixel (0,0), FM 0 then FM 1.
+        assert stream[0] == batch[0, 0, 0, 0]
+        assert stream[1] == batch[0, 1, 0, 0]
+        assert stream[2] == batch[0, 0, 0, 1]
+
+    def test_requires_4d(self):
+        with pytest.raises(ShapeError):
+            interleave_images(np.zeros((2, 2, 2), dtype=np.float32))
+
+
+class TestWeights:
+    def test_random_weights_cover_parameterized_layers(self):
+        d = tiny_design()
+        w = random_weights(d)
+        assert set(w) == {"conv1", "fc1"}
+        assert w["conv1"]["weight"].shape == (2, 1, 3, 3)
+
+    def test_extract_matches_shapes(self):
+        d = tiny_design()
+        m = tiny_model()
+        w = extract_weights(d, m)
+        assert np.array_equal(w["conv1"]["weight"], m.layers[0].weight)
+        assert np.array_equal(w["fc1"]["bias"], m.layers[4].bias)
+
+    def test_extract_shape_mismatch_rejected(self, rng):
+        d = tiny_design()
+        wrong = Sequential(
+            [Conv2D(1, 3, 3, rng=rng), Tanh(), MaxPool2D(2), Flatten(),
+             Linear(27, 4, rng=rng)],
+            in_shape=(1, 8, 8),
+        )
+        with pytest.raises(ShapeError):
+            extract_weights(d, wrong)
+
+    def test_extract_leftover_layers_rejected(self, rng):
+        d = tiny_design()
+        extra = Sequential(
+            [Conv2D(1, 2, 3, rng=rng), Tanh(), MaxPool2D(2), Flatten(),
+             Linear(18, 4, rng=rng), Linear(4, 4, rng=rng)],
+            in_shape=(1, 8, 8),
+        )
+        with pytest.raises(ConfigurationError):
+            extract_weights(d, extra)
+
+
+class TestBuild:
+    def test_batch_shape_validated(self):
+        d = tiny_design()
+        with pytest.raises(ShapeError):
+            build_network(d, random_weights(d), np.zeros((1, 1, 9, 9), dtype=np.float32))
+
+    def test_missing_weights_rejected(self, rng):
+        d = tiny_design()
+        with pytest.raises(ConfigurationError):
+            build_network(d, {}, rng.uniform(0, 1, (1, 1, 8, 8)).astype(np.float32))
+
+    def test_functional_equals_timed(self, rng):
+        d = tiny_design()
+        w = random_weights(d, seed=3)
+        batch = rng.uniform(0, 1, (2, 1, 8, 8)).astype(np.float32)
+        timed = build_network(d, w, batch)
+        timed.run()
+        funct = build_network(d, w, batch)
+        funct.run_functional()
+        assert np.array_equal(timed.outputs(), funct.outputs())
+
+    def test_outputs_before_run_rejected(self, rng):
+        d = tiny_design()
+        built = build_network(
+            d, random_weights(d), rng.uniform(0, 1, (1, 1, 8, 8)).astype(np.float32)
+        )
+        with pytest.raises(ShapeError):
+            built.outputs()
+
+    def test_demux_adapter_network(self, rng):
+        # First conv with 2 input ports forces a demux from the DMA stream.
+        d = NetworkDesign(
+            "demux-net", (2, 6, 6),
+            [
+                ConvLayerSpec(name="c1", in_fm=2, out_fm=2, kh=3, in_ports=2,
+                              out_ports=2),
+                FCLayerSpec(name="f1", in_fm=2 * 16, out_fm=3),
+            ],
+        )
+        m = Sequential(
+            [Conv2D(2, 2, 3, rng=np.random.default_rng(5)), Flatten(),
+             Linear(32, 3, rng=np.random.default_rng(6))],
+            in_shape=(2, 6, 6),
+        )
+        w = extract_weights(d, m)
+        batch = rng.uniform(0, 1, (2, 2, 6, 6)).astype(np.float32)
+        built = build_network(d, w, batch)
+        built.run()
+        assert np.allclose(built.outputs(), m.forward(batch), atol=1e-4)
+
+    def test_widen_adapter_network(self, rng):
+        # conv out 4 ports -> conv in 2 ports exercises the interleaver.
+        d = NetworkDesign(
+            "widen-net", (1, 8, 8),
+            [
+                ConvLayerSpec(name="c1", in_fm=1, out_fm=4, kh=3, out_ports=4,
+                              activation="tanh"),
+                ConvLayerSpec(name="c2", in_fm=4, out_fm=2, kh=3, in_ports=2),
+                FCLayerSpec(name="f1", in_fm=2 * 16, out_fm=3),
+            ],
+        )
+        rng0 = np.random.default_rng(4)
+        m = Sequential(
+            [Conv2D(1, 4, 3, rng=rng0), Tanh(), Conv2D(4, 2, 3, rng=rng0),
+             Flatten(), Linear(32, 3, rng=rng0)],
+            in_shape=(1, 8, 8),
+        )
+        w = extract_weights(d, m)
+        batch = rng.uniform(0, 1, (2, 1, 8, 8)).astype(np.float32)
+        built = build_network(d, w, batch)
+        built.run()
+        assert np.allclose(built.outputs(), m.forward(batch), atol=1e-4)
+
+    def test_conv_ending_network_output_shape(self, rng):
+        # A design ending in a conv layer reshapes outputs to (N, K, OH, OW).
+        d = NetworkDesign(
+            "conv-end", (1, 6, 6),
+            [ConvLayerSpec(name="c1", in_fm=1, out_fm=2, kh=3, out_ports=2)],
+        )
+        m = Sequential([Conv2D(1, 2, 3, rng=np.random.default_rng(1))], in_shape=(1, 6, 6))
+        w = extract_weights(d, m)
+        batch = rng.uniform(0, 1, (2, 1, 6, 6)).astype(np.float32)
+        built = build_network(d, w, batch)
+        built.run()
+        out = built.outputs()
+        assert out.shape == (2, 2, 4, 4)
+        assert np.allclose(out, m.forward(batch), atol=1e-4)
+
+    def test_image_completion_cycles_monotone(self, rng):
+        d = tiny_design()
+        w = random_weights(d)
+        batch = rng.uniform(0, 1, (4, 1, 8, 8)).astype(np.float32)
+        built = build_network(d, w, batch)
+        built.run()
+        cc = built.image_completion_cycles()
+        assert cc == sorted(cc) and len(cc) == 4
+
+
+class TestGeometryVariants:
+    def test_rectangular_kernel_end_to_end(self, rng):
+        # 1x3 and 3x1 kernels through the full dataflow build.
+        d = NetworkDesign(
+            "rect", (1, 6, 8),
+            [
+                ConvLayerSpec(name="c1", in_fm=1, out_fm=2, kh=1, kw=3,
+                              activation="tanh"),
+                ConvLayerSpec(name="c2", in_fm=2, out_fm=2, kh=3, kw=1),
+                FCLayerSpec(name="f1", in_fm=2 * 4 * 6, out_fm=3),
+            ],
+        )
+        from repro.nn import Conv2D, Flatten, Linear, Sequential, Tanh
+
+        rng0 = np.random.default_rng(8)
+        m = Sequential(
+            [Conv2D(1, 2, 1, 3, rng=rng0), Tanh(),
+             Conv2D(2, 2, 3, 1, rng=rng0), Flatten(), Linear(48, 3, rng=rng0)],
+            in_shape=(1, 6, 8),
+        )
+        batch = rng.uniform(0, 1, (2, 1, 6, 8)).astype(np.float32)
+        built = build_network(d, extract_weights(d, m), batch)
+        built.run()
+        assert np.allclose(built.outputs(), m.forward(batch), atol=1e-4)
+
+    def test_overlapping_pooling_end_to_end(self, rng):
+        # AlexNet-style 3x3/s2 overlapping max pooling.
+        d = NetworkDesign(
+            "overlap", (1, 9, 9),
+            [
+                ConvLayerSpec(name="c1", in_fm=1, out_fm=2, kh=3,
+                              activation="relu"),
+                PoolLayerSpec(name="p1", in_fm=2, out_fm=2, kh=3, stride=2),
+                FCLayerSpec(name="f1", in_fm=2 * 3 * 3, out_fm=4),
+            ],
+        )
+        from repro.nn import Conv2D, Flatten, Linear, MaxPool2D, ReLU, Sequential
+
+        rng0 = np.random.default_rng(9)
+        m = Sequential(
+            [Conv2D(1, 2, 3, rng=rng0), ReLU(), MaxPool2D(3, stride=2),
+             Flatten(), Linear(18, 4, rng=rng0)],
+            in_shape=(1, 9, 9),
+        )
+        batch = rng.uniform(0, 1, (2, 1, 9, 9)).astype(np.float32)
+        built = build_network(d, extract_weights(d, m), batch)
+        built.run()
+        assert np.allclose(built.outputs(), m.forward(batch), atol=1e-4)

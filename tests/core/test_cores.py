@@ -1,0 +1,195 @@
+"""Unit tests for the compute-core actors against NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvCoreActor, FCCoreActor, PoolCoreActor
+from repro.dataflow import ArraySource, DataflowGraph, ListSink
+from repro.errors import ConfigurationError, ShapeError
+from repro.hls import interleaved_sum
+
+
+def run_conv_core(weight, bias, windows_per_port, in_ports, out_ports, n_coords,
+                  activation=None):
+    """windows_per_port: list (per port) of lists of (kh,kw) arrays."""
+    g = DataflowGraph("t")
+    core = g.add_actor(
+        ConvCoreActor("core", weight, bias, in_ports, out_ports,
+                      n_coords=n_coords, activation=activation)
+    )
+    out_fm = weight.shape[0]
+    for p in range(in_ports):
+        src = g.add_actor(ArraySource(f"src{p}", windows_per_port[p]))
+        g.connect(src, "out", core, f"in{p}", capacity=4)
+    sinks = []
+    per_port_out = n_coords * (out_fm // out_ports)
+    for p in range(out_ports):
+        snk = g.add_actor(ListSink(f"snk{p}", count=per_port_out))
+        g.connect(core, f"out{p}", snk, "in", capacity=4)
+        sinks.append(snk)
+    g.build_simulator().run()
+    return sinks
+
+
+class TestConvCore:
+    def test_single_coord_single_port(self, rng):
+        w = rng.standard_normal((2, 1, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(2).astype(np.float32)
+        win = rng.standard_normal((3, 3)).astype(np.float32)
+        sinks = run_conv_core(w, b, [[win]], 1, 1, 1)
+        got = sinks[0].received
+        exp = [np.sum(w[k, 0] * win) + b[k] for k in range(2)]
+        assert np.allclose(got, exp, atol=1e-5)
+
+    def test_multi_group_accumulates_over_fms(self, rng):
+        # 2 input FMs on 1 port: windows arrive fm0 then fm1.
+        w = rng.standard_normal((1, 2, 2, 2)).astype(np.float32)
+        b = np.zeros(1, dtype=np.float32)
+        win0 = rng.standard_normal((2, 2)).astype(np.float32)
+        win1 = rng.standard_normal((2, 2)).astype(np.float32)
+        sinks = run_conv_core(w, b, [[win0, win1]], 1, 1, 1)
+        exp = np.sum(w[0, 0] * win0) + np.sum(w[0, 1] * win1)
+        assert sinks[0].received[0] == pytest.approx(exp, abs=1e-5)
+
+    def test_parallel_ports_fm_assignment(self, rng):
+        # 2 ports: port p carries FM p.
+        w = rng.standard_normal((1, 2, 2, 2)).astype(np.float32)
+        b = np.zeros(1, dtype=np.float32)
+        wins = [
+            [rng.standard_normal((2, 2)).astype(np.float32)],
+            [rng.standard_normal((2, 2)).astype(np.float32)],
+        ]
+        sinks = run_conv_core(w, b, wins, 2, 1, 1)
+        exp = np.sum(w[0, 0] * wins[0][0]) + np.sum(w[0, 1] * wins[1][0])
+        assert sinks[0].received[0] == pytest.approx(exp, abs=1e-5)
+
+    def test_output_interleaving_over_ports(self, rng):
+        # 4 output FMs on 2 ports: port p gets FMs p, p+2.
+        w = rng.standard_normal((4, 1, 1, 1)).astype(np.float32)
+        b = np.zeros(4, dtype=np.float32)
+        win = np.ones((1, 1), dtype=np.float32)
+        sinks = run_conv_core(w, b, [[win]], 1, 2, 1)
+        assert np.allclose(sinks[0].received, [w[0, 0, 0, 0], w[2, 0, 0, 0]], atol=1e-6)
+        assert np.allclose(sinks[1].received, [w[1, 0, 0, 0], w[3, 0, 0, 0]], atol=1e-6)
+
+    def test_activation_applied(self, rng):
+        w = np.full((1, 1, 1, 1), 5.0, dtype=np.float32)
+        b = np.zeros(1, dtype=np.float32)
+        win = np.full((1, 1), -2.0, dtype=np.float32)
+        sinks = run_conv_core(w, b, [[win]], 1, 1, 1, activation="relu")
+        assert sinks[0].received[0] == 0.0
+
+    def test_steady_state_interval_is_ii(self, rng):
+        # 4 input FMs on 1 port, 1 output FM: II = 4 per coordinate.
+        w = rng.standard_normal((1, 4, 1, 1)).astype(np.float32)
+        b = np.zeros(1, dtype=np.float32)
+        wins = [[rng.standard_normal((1, 1)).astype(np.float32) for _ in range(16)]]
+        sinks = run_conv_core(w, b, wins, 1, 1, 4)
+        ts = sinks[0].timestamps
+        deltas = [b_ - a_ for a_, b_ in zip(ts, ts[1:])]
+        assert all(d == 4 for d in deltas)
+
+    def test_weight_shape_validated(self):
+        with pytest.raises(ShapeError):
+            ConvCoreActor("c", np.zeros((2, 3)), np.zeros(2), 1, 1, 1)
+
+    def test_bias_shape_validated(self):
+        with pytest.raises(ShapeError):
+            ConvCoreActor("c", np.zeros((2, 1, 3, 3)), np.zeros(3), 1, 1, 1)
+
+    def test_port_divisibility_validated(self):
+        with pytest.raises(ConfigurationError):
+            ConvCoreActor("c", np.zeros((2, 3, 3, 3)), np.zeros(2), 2, 1, 1)
+
+
+class TestPoolCore:
+    def _run(self, mode, windows):
+        g = DataflowGraph("t")
+        core = g.add_actor(PoolCoreActor("p", mode, count=len(windows)))
+        src = g.add_actor(ArraySource("src", windows))
+        snk = g.add_actor(ListSink("snk", count=len(windows)))
+        g.connect(src, "out", core, "in", capacity=4)
+        g.connect(core, "out", snk, "in", capacity=4)
+        g.build_simulator().run()
+        return snk
+
+    def test_max_mode(self, rng):
+        wins = [rng.standard_normal((2, 2)).astype(np.float32) for _ in range(5)]
+        snk = self._run("max", wins)
+        assert np.allclose(snk.received, [w.max() for w in wins])
+
+    def test_mean_mode(self, rng):
+        wins = [rng.standard_normal((2, 2)).astype(np.float32) for _ in range(5)]
+        snk = self._run("mean", wins)
+        assert np.allclose(snk.received, [w.mean() for w in wins], atol=1e-6)
+
+    def test_full_rate(self, rng):
+        wins = [rng.standard_normal((2, 2)).astype(np.float32) for _ in range(6)]
+        snk = self._run("max", wins)
+        deltas = [b - a for a, b in zip(snk.timestamps, snk.timestamps[1:])]
+        assert all(d == 1 for d in deltas)  # "perfect pipelining"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoolCoreActor("p", "median", count=1)
+
+
+class TestFCCore:
+    def _run(self, weight, bias, values, images=1, lanes=4, activation=None):
+        g = DataflowGraph("t")
+        core = g.add_actor(
+            FCCoreActor("fc", weight, bias, acc_lanes=lanes, images=images,
+                        activation=activation)
+        )
+        src = g.add_actor(ArraySource("src", values))
+        snk = g.add_actor(ListSink("snk", count=images * weight.shape[0]))
+        g.connect(src, "out", core, "in", capacity=4)
+        g.connect(core, "out", snk, "in", capacity=4)
+        g.build_simulator().run()
+        return snk
+
+    def test_matches_matvec(self, rng):
+        w = rng.standard_normal((3, 8)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+        x = rng.standard_normal(8).astype(np.float32)
+        snk = self._run(w, b, x)
+        assert np.allclose(snk.received, w @ x + b, atol=1e-5)
+
+    def test_interleaved_accumulator_rounding(self, rng):
+        # The core's float rounding equals the lane-interleaved order.
+        w = rng.standard_normal((2, 16)).astype(np.float32)
+        b = np.zeros(2, dtype=np.float32)
+        x = (rng.standard_normal(16) * 1e3).astype(np.float32)
+        snk = self._run(w, b, x, lanes=4)
+        exp = interleaved_sum(w * x[None, :], 4)
+        assert np.array_equal(np.asarray(snk.received), exp)
+
+    def test_multiple_images(self, rng):
+        w = rng.standard_normal((2, 4)).astype(np.float32)
+        b = rng.standard_normal(2).astype(np.float32)
+        xs = rng.standard_normal((3, 4)).astype(np.float32)
+        snk = self._run(w, b, xs.ravel(), images=3)
+        got = np.asarray(snk.received).reshape(3, 2)
+        assert np.allclose(got, xs @ w.T + b, atol=1e-5)
+
+    def test_activation(self, rng):
+        w = np.array([[1.0]], dtype=np.float32)
+        b = np.array([0.0], dtype=np.float32)
+        snk = self._run(w, b, np.array([-5.0], dtype=np.float32), activation="relu")
+        assert snk.received[0] == 0.0
+
+    def test_outputs_after_all_inputs(self, rng):
+        # Section IV-B: outputs are sent sequentially after all inputs.
+        w = rng.standard_normal((2, 6)).astype(np.float32)
+        b = np.zeros(2, dtype=np.float32)
+        x = rng.standard_normal(6).astype(np.float32)
+        snk = self._run(w, b, x)
+        assert snk.timestamps[0] >= 6
+
+    def test_weight_must_be_2d(self):
+        with pytest.raises(ShapeError):
+            FCCoreActor("f", np.zeros((2, 2, 2)), np.zeros(2))
+
+    def test_lane_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            FCCoreActor("f", np.zeros((2, 4)), np.zeros(2), acc_lanes=0)

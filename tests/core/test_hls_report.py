@@ -1,0 +1,43 @@
+"""Unit tests for the HLS-style synthesis report."""
+
+from repro.core import cifar10_design, core_reports, render_report, usps_design
+
+
+class TestCoreReports:
+    def test_one_row_per_layer(self):
+        assert len(core_reports(usps_design())) == 4
+        assert len(core_reports(cifar10_design())) == 6
+
+    def test_conv2_figures(self):
+        rows = {c.layer: c for c in core_reports(usps_design())}
+        conv2 = rows["conv2"]
+        assert conv2.ii == 16
+        assert conv2.trip_count == 4
+        assert conv2.mac_lanes == 150
+
+    def test_pool_has_no_mac_lanes(self):
+        rows = {c.layer: c for c in core_reports(usps_design())}
+        assert rows["pool1"].mac_lanes == 0
+        assert rows["pool1"].ii == 1
+
+    def test_fc_lanes_equal_outputs(self):
+        rows = {c.layer: c for c in core_reports(cifar10_design())}
+        assert rows["fc1"].mac_lanes == 64
+        assert rows["fc2"].mac_lanes == 10
+
+    def test_latency_positive(self):
+        for c in core_reports(cifar10_design()):
+            assert c.latency > 0 and c.depth >= 1
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        text = render_report(usps_design())
+        assert "per-core synthesis estimates" in text
+        assert "network summary" in text
+        assert "device utilization" in text
+
+    def test_mentions_bottleneck_and_fit(self):
+        text = render_report(cifar10_design())
+        assert "conv1" in text
+        assert "fits xc7vx485t" in text

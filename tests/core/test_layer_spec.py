@@ -1,0 +1,112 @@
+"""Unit tests for layer specifications."""
+
+import pytest
+
+from repro.core import ConvLayerSpec, FCLayerSpec, PoolLayerSpec
+from repro.errors import ConfigurationError, ShapeError
+
+
+class TestConvSpec:
+    def test_shape_inference(self):
+        s = ConvLayerSpec(name="c", in_fm=3, out_fm=12, kh=5, kw=5)
+        assert s.out_shape((3, 32, 32)) == (12, 28, 28)
+
+    def test_channel_mismatch_rejected(self):
+        s = ConvLayerSpec(name="c", in_fm=3, out_fm=12, kh=5)
+        with pytest.raises(ShapeError):
+            s.out_shape((4, 32, 32))
+
+    def test_ii_equation4(self):
+        s = ConvLayerSpec(name="c", in_fm=6, out_fm=16, kh=5, in_ports=6, out_ports=1)
+        assert s.ii == 16
+
+    def test_fully_parallel_ii_one(self):
+        s = ConvLayerSpec(name="c", in_fm=6, out_fm=16, kh=5, in_ports=6, out_ports=16)
+        assert s.ii == 1
+
+    def test_ports_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            ConvLayerSpec(name="c", in_fm=6, out_fm=16, kh=5, in_ports=4)
+        with pytest.raises(ConfigurationError):
+            ConvLayerSpec(name="c", in_fm=6, out_fm=16, kh=5, out_ports=5)
+
+    def test_groups(self):
+        s = ConvLayerSpec(name="c", in_fm=12, out_fm=36, kh=5, in_ports=3, out_ports=6)
+        assert s.in_group == 4 and s.out_group == 6
+
+    def test_macs_per_image(self):
+        s = ConvLayerSpec(name="c", in_fm=3, out_fm=12, kh=5)
+        assert s.macs_per_image(32, 32) == 28 * 28 * 12 * 3 * 25
+
+    def test_flops_twice_macs(self):
+        s = ConvLayerSpec(name="c", in_fm=1, out_fm=6, kh=5)
+        assert s.flops_per_image(16, 16) == 2 * s.macs_per_image(16, 16)
+
+    def test_weight_count(self):
+        s = ConvLayerSpec(name="c", in_fm=6, out_fm=16, kh=5)
+        assert s.weight_count() == 16 * 6 * 25 + 16
+
+    def test_with_ports(self):
+        s = ConvLayerSpec(name="c", in_fm=6, out_fm=16, kh=5)
+        s2 = s.with_ports(6, 4)
+        assert (s2.in_ports, s2.out_ports) == (6, 4)
+        assert (s.in_ports, s.out_ports) == (1, 1)  # original untouched
+
+    def test_describe_mentions_ports(self):
+        s = ConvLayerSpec(name="c", in_fm=1, out_fm=6, kh=5, out_ports=6, activation="tanh")
+        d = s.describe()
+        assert "1in/6out" in d and "tanh" in d
+
+
+class TestPoolSpec:
+    def test_preserves_fm_count(self):
+        with pytest.raises(ConfigurationError):
+            PoolLayerSpec(name="p", in_fm=6, out_fm=8)
+
+    def test_symmetric_ports_required(self):
+        with pytest.raises(ConfigurationError):
+            PoolLayerSpec(name="p", in_fm=6, out_fm=6, in_ports=2, out_ports=3)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoolLayerSpec(name="p", in_fm=6, out_fm=6, mode="median")
+
+    def test_shape(self):
+        s = PoolLayerSpec(name="p", in_fm=6, out_fm=6)
+        assert s.out_shape((6, 12, 12)) == (6, 6, 6)
+
+    def test_no_macs(self):
+        assert PoolLayerSpec(name="p", in_fm=6, out_fm=6).macs_per_image(12, 12) == 0
+
+    def test_ii_is_group(self):
+        s = PoolLayerSpec(name="p", in_fm=12, out_fm=12, in_ports=1, out_ports=1)
+        assert s.ii == 12
+
+
+class TestFCSpec:
+    def test_single_port_enforced(self):
+        with pytest.raises(ConfigurationError):
+            FCLayerSpec(name="f", in_fm=64, out_fm=10, in_ports=2, out_ports=2)
+
+    def test_requires_flat_input(self):
+        s = FCLayerSpec(name="f", in_fm=64, out_fm=10)
+        with pytest.raises(ShapeError):
+            s.out_shape((64, 2, 2))
+        assert s.out_shape((64, 1, 1)) == (10, 1, 1)
+
+    def test_ii_is_input_count(self):
+        assert FCLayerSpec(name="f", in_fm=900, out_fm=64).ii == 900
+
+    def test_macs(self):
+        assert FCLayerSpec(name="f", in_fm=64, out_fm=10).macs_per_image(1, 1) == 640
+
+    def test_weight_count(self):
+        assert FCLayerSpec(name="f", in_fm=64, out_fm=10).weight_count() == 650
+
+    def test_acc_lanes_validated(self):
+        with pytest.raises(ConfigurationError):
+            FCLayerSpec(name="f", in_fm=64, out_fm=10, acc_lanes=0)
+
+    def test_zero_fm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FCLayerSpec(name="f", in_fm=0, out_fm=10)

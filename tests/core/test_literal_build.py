@@ -1,0 +1,85 @@
+"""Integration tests for the literal (filter-chain) elaboration mode."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConvLayerSpec,
+    FCLayerSpec,
+    NetworkDesign,
+    PoolLayerSpec,
+    extract_weights,
+    random_weights,
+    tiny_design,
+    tiny_model,
+)
+from repro.core.builder import build_network
+from repro.errors import ConfigurationError
+
+
+class TestLiteralMode:
+    def test_invalid_mode_rejected(self, rng):
+        d = tiny_design()
+        with pytest.raises(ConfigurationError):
+            build_network(d, random_weights(d),
+                          rng.uniform(0, 1, (1, 1, 8, 8)).astype(np.float32),
+                          memory_system="magic")
+
+    def test_literal_matches_reference(self, rng):
+        d = tiny_design()
+        m = tiny_model()
+        batch = rng.uniform(0, 1, (2, 1, 8, 8)).astype(np.float32)
+        built = build_network(d, extract_weights(d, m), batch,
+                              memory_system="literal")
+        built.run()
+        assert np.allclose(built.outputs(), m.forward(batch), atol=1e-4)
+
+    def test_literal_matches_behavioral_bitwise(self, rng):
+        d = tiny_design()
+        w = random_weights(d, seed=4)
+        batch = rng.uniform(0, 1, (2, 1, 8, 8)).astype(np.float32)
+        a = build_network(d, w, batch, memory_system="behavioral")
+        a.run()
+        b = build_network(d, w, batch, memory_system="literal")
+        b.run()
+        assert np.array_equal(a.outputs(), b.outputs())
+
+    def test_literal_has_more_actors(self, rng):
+        d = tiny_design()
+        w = random_weights(d)
+        batch = rng.uniform(0, 1, (1, 1, 8, 8)).astype(np.float32)
+        a = build_network(d, w, batch, memory_system="behavioral")
+        b = build_network(d, w, batch, memory_system="literal")
+        # One actor per tap plus assemblers: much larger graph.
+        assert len(b.graph.actors) > len(a.graph.actors) + 5
+
+    def test_literal_with_padding_inserter(self, rng):
+        d = NetworkDesign(
+            "pad-lit", (1, 6, 6),
+            [
+                ConvLayerSpec(name="c1", in_fm=1, out_fm=2, kh=3, pad=1,
+                              activation="tanh"),
+                PoolLayerSpec(name="p1", in_fm=2, out_fm=2),
+                FCLayerSpec(name="f1", in_fm=2 * 9, out_fm=3),
+            ],
+        )
+        w = random_weights(d, seed=2)
+        batch = rng.uniform(0, 1, (2, 1, 6, 6)).astype(np.float32)
+        a = build_network(d, w, batch, memory_system="behavioral")
+        a.run()
+        b = build_network(d, w, batch, memory_system="literal")
+        b.run()
+        assert np.array_equal(a.outputs(), b.outputs())
+
+    def test_literal_timing_same_steady_interval(self, rng):
+        # The chain realizes the same rates as the behavioral line buffer.
+        d = tiny_design()
+        w = random_weights(d)
+        batch = rng.uniform(0, 1, (5, 1, 8, 8)).astype(np.float32)
+        a = build_network(d, w, batch, memory_system="behavioral")
+        a.run()
+        b = build_network(d, w, batch, memory_system="literal")
+        b.run()
+        ia = np.diff(a.image_completion_cycles()).mean()
+        ib = np.diff(b.image_completion_cycles()).mean()
+        assert ib == pytest.approx(ia, rel=0.10)

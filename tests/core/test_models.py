@@ -1,0 +1,88 @@
+"""Unit tests for the paper's preset networks (Figures 4 and 5)."""
+
+import numpy as np
+
+from repro.core import (
+    cifar10_design,
+    cifar10_model,
+    extract_weights,
+    tiny_design,
+    tiny_model,
+    usps_design,
+    usps_model,
+)
+from repro.core.network_design import PortAdapter
+
+
+class TestUspsPreset:
+    def test_figure4_layer_chain(self):
+        d = usps_design()
+        kinds = [p.spec.kind for p in d.placements]
+        assert kinds == ["conv", "pool", "conv", "fc"]
+
+    def test_figure4_shapes(self):
+        d = usps_design()
+        assert [p.out_shape for p in d.placements] == [
+            (6, 12, 12), (6, 6, 6), (16, 2, 2), (10, 1, 1),
+        ]
+
+    def test_figure4_parallelization(self):
+        # Paper: conv1 and pool1 fully parallel, conv2 single output port.
+        d = usps_design()
+        conv1, pool1, conv2, fc1 = d.specs
+        assert conv1.out_ports == 6
+        assert pool1.in_ports == pool1.out_ports == 6
+        assert (conv2.in_ports, conv2.out_ports) == (6, 1)
+        assert (fc1.in_ports, fc1.out_ports) == (1, 1)
+
+    def test_all_connections_direct(self):
+        assert all(p.adapter is PortAdapter.DIRECT for p in usps_design().placements)
+
+    def test_model_matches_design(self):
+        extract_weights(usps_design(), usps_model())  # raises on mismatch
+
+    def test_conv2_ii_sixteen(self):
+        assert usps_design().specs[2].ii == 16
+
+
+class TestCifarPreset:
+    def test_figure5_layer_chain(self):
+        kinds = [p.spec.kind for p in cifar10_design().placements]
+        assert kinds == ["conv", "pool", "conv", "pool", "fc", "fc"]
+
+    def test_figure5_shapes(self):
+        d = cifar10_design()
+        assert [p.out_shape for p in d.placements] == [
+            (12, 28, 28), (12, 14, 14), (36, 10, 10), (36, 5, 5),
+            (64, 1, 1), (10, 1, 1),
+        ]
+
+    def test_all_single_port(self):
+        # "this time we could not perform any parallelization optimization".
+        for spec in cifar10_design().specs:
+            assert spec.in_ports == 1 and spec.out_ports == 1
+
+    def test_model_matches_design(self):
+        extract_weights(cifar10_design(), cifar10_model())
+
+    def test_six_layers(self):
+        assert cifar10_design().n_layers == 6
+
+    def test_conv_iis(self):
+        d = cifar10_design()
+        assert d.specs[0].ii == 12 and d.specs[2].ii == 36
+
+
+class TestTinyPreset:
+    def test_model_matches_design(self):
+        extract_weights(tiny_design(), tiny_model())
+
+    def test_custom_shape(self):
+        d = tiny_design(in_shape=(1, 10, 10))
+        m = tiny_model(in_shape=(1, 10, 10))
+        extract_weights(d, m)
+
+    def test_model_forward_runs(self, rng):
+        m = tiny_model()
+        out = m.forward(rng.uniform(0, 1, (2, 1, 8, 8)).astype(np.float32))
+        assert out.shape == (2, 4)

@@ -1,0 +1,61 @@
+"""Unit tests for the multi-FPGA partitioning extension."""
+
+import pytest
+
+from repro.core import LinkModel, cifar10_design, network_perf, plan_split, usps_design
+from repro.errors import ConfigurationError, ResourceError
+from repro.fpga import Device, XC7VX485T
+from repro.hls import ResourceVector
+
+
+class TestLinkModel:
+    def test_stream_cycles(self):
+        link = LinkModel(bandwidth_bytes_per_s=1e9, clock_hz=100e6)
+        # 2.5 words/cycle -> 100 words need 40 cycles.
+        assert link.stream_cycles(100) == 40
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkModel().stream_cycles(-1)
+
+
+class TestPlanSplit:
+    def test_single_device_plan(self):
+        plan = plan_split(cifar10_design(), 1)
+        assert len(plan.segments) == 1
+        assert plan.interval == network_perf(cifar10_design()).interval
+
+    def test_two_device_split_contiguous(self):
+        plan = plan_split(cifar10_design(), 2)
+        names = [n for s in plan.segments for n in s.layer_names]
+        assert names == [s.name for s in cifar10_design().specs]
+
+    def test_split_never_slower_than_monolithic(self):
+        mono = plan_split(cifar10_design(), 1).interval
+        duo = plan_split(cifar10_design(), 2).interval
+        assert duo <= mono
+
+    def test_segments_fit_device(self):
+        plan = plan_split(cifar10_design(), 2)
+        assert plan.fits(XC7VX485T)
+
+    def test_too_many_devices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_split(usps_design(), 10)
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_split(usps_design(), 0)
+
+    def test_tiny_device_unfit_raises(self):
+        matchbox = Device("matchbox", "toy", ResourceVector(ff=10, lut=10, bram=1, dsp=1))
+        with pytest.raises(ResourceError):
+            plan_split(usps_design(), 2, device=matchbox)
+
+    def test_slow_link_becomes_bottleneck(self):
+        # A link slower than every layer paces the split pipeline.
+        slow = LinkModel(bandwidth_bytes_per_s=1e6, clock_hz=100e6)
+        plan = plan_split(cifar10_design(), 2, link=slow)
+        egress = plan.segments[0].egress_words
+        assert plan.interval == slow.stream_cycles(egress)
+        assert plan.interval > network_perf(cifar10_design()).interval

@@ -1,0 +1,124 @@
+"""Unit tests for network designs and port-adapter classification."""
+
+import pytest
+
+from repro.core import (
+    ConvLayerSpec,
+    FCLayerSpec,
+    NetworkDesign,
+    PoolLayerSpec,
+    PortAdapter,
+    classify_adapter,
+)
+from repro.errors import ConfigurationError, PortMismatchError, ShapeError
+
+
+class TestClassifyAdapter:
+    def test_direct(self):
+        assert classify_adapter(6, 6) is PortAdapter.DIRECT
+
+    def test_demux(self):
+        assert classify_adapter(1, 6) is PortAdapter.DEMUX
+        assert classify_adapter(2, 6) is PortAdapter.DEMUX
+
+    def test_widen(self):
+        assert classify_adapter(6, 1) is PortAdapter.WIDEN
+        assert classify_adapter(6, 3) is PortAdapter.WIDEN
+
+    def test_nondivisible_demux_rejected(self):
+        with pytest.raises(PortMismatchError):
+            classify_adapter(2, 5)
+
+    def test_nondivisible_widen_rejected(self):
+        with pytest.raises(PortMismatchError):
+            classify_adapter(5, 2)
+
+
+class TestNetworkDesign:
+    def _usps_like(self):
+        return NetworkDesign(
+            "net",
+            (1, 16, 16),
+            [
+                ConvLayerSpec(name="c1", in_fm=1, out_fm=6, kh=5, out_ports=6, activation="tanh"),
+                PoolLayerSpec(name="p1", in_fm=6, out_fm=6, in_ports=6, out_ports=6),
+                ConvLayerSpec(name="c2", in_fm=6, out_fm=16, kh=5, in_ports=6, out_ports=1),
+                FCLayerSpec(name="f1", in_fm=64, out_fm=10),
+            ],
+        )
+
+    def test_shape_chain(self):
+        d = self._usps_like()
+        assert [p.out_shape for p in d.placements] == [
+            (6, 12, 12), (6, 6, 6), (16, 2, 2), (10, 1, 1),
+        ]
+
+    def test_adapters_resolved(self):
+        d = self._usps_like()
+        assert [p.adapter for p in d.placements] == [
+            PortAdapter.DIRECT, PortAdapter.DIRECT, PortAdapter.DIRECT,
+            PortAdapter.DIRECT,
+        ]
+
+    def test_fc_flattening_validated(self):
+        with pytest.raises(ShapeError):
+            NetworkDesign(
+                "bad", (1, 16, 16),
+                [ConvLayerSpec(name="c1", in_fm=1, out_fm=6, kh=5), FCLayerSpec(name="f1", in_fm=99, out_fm=10)],
+            )
+
+    def test_feature_layer_after_fc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkDesign(
+                "bad", (4, 1, 1),
+                [FCLayerSpec(name="f1", in_fm=4, out_fm=4), ConvLayerSpec(name="c1", in_fm=4, out_fm=4, kh=1)],
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkDesign(
+                "bad", (1, 8, 8),
+                [ConvLayerSpec(name="x", in_fm=1, out_fm=2, kh=3), ConvLayerSpec(name="x", in_fm=2, out_fm=4, kh=3)],
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkDesign("bad", (1, 8, 8), [])
+
+    def test_invalid_input_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkDesign("bad", (0, 8, 8), [ConvLayerSpec(name="c", in_fm=1, out_fm=2, kh=3)])
+
+    def test_stream_word_counts(self):
+        d = self._usps_like()
+        assert d.input_words_per_image() == 256
+        assert d.output_words_per_image() == 10
+
+    def test_macs_per_image_totals(self):
+        d = self._usps_like()
+        expected = 144 * 6 * 25 + 4 * 16 * 6 * 25 + 64 * 10
+        assert d.macs_per_image() == expected
+
+    def test_weight_count_totals(self):
+        d = self._usps_like()
+        assert d.weight_count() == (150 + 6) + (2400 + 16) + (640 + 10)
+
+    def test_n_classes(self):
+        assert self._usps_like().n_classes == 10
+
+    def test_block_design_mentions_every_layer(self):
+        text = self._usps_like().block_design()
+        for name in ("c1", "p1", "c2", "f1"):
+            assert f"[{name}]" in text
+        assert "II=" in text
+
+    def test_block_design_shows_adapters(self):
+        d = NetworkDesign(
+            "net", (1, 8, 8),
+            [
+                ConvLayerSpec(name="c1", in_fm=1, out_fm=4, kh=3, out_ports=4),
+                ConvLayerSpec(name="c2", in_fm=4, out_fm=4, kh=3, in_ports=2),
+                FCLayerSpec(name="f1", in_fm=4 * 4 * 4, out_fm=4),
+            ],
+        )
+        assert "widen" in d.block_design()

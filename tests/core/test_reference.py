@@ -1,0 +1,97 @@
+"""Unit tests for the design-semantics reference forward."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    cifar10_design,
+    cifar10_model,
+    design_reference_forward,
+    extract_weights,
+    tiny_design,
+    tiny_model,
+    usps_design,
+    usps_model,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+
+class TestAgainstSequential:
+    """The reference must agree with the independent nn.Sequential oracle."""
+
+    @pytest.mark.parametrize(
+        "design_fn,model_fn,shape",
+        [
+            (tiny_design, tiny_model, (1, 8, 8)),
+            (usps_design, usps_model, (1, 16, 16)),
+            (cifar10_design, cifar10_model, (3, 32, 32)),
+        ],
+    )
+    def test_final_output_matches_model(self, rng, design_fn, model_fn, shape):
+        design = design_fn()
+        model = model_fn(np.random.default_rng(1))
+        weights = extract_weights(design, model)
+        batch = rng.uniform(0, 1, (2,) + shape).astype(np.float32)
+        outs = design_reference_forward(design, weights, batch)
+        assert np.allclose(outs[-1], model.forward(batch), atol=1e-4)
+
+    def test_intermediate_count(self, rng):
+        design = usps_design()
+        weights = extract_weights(design, usps_model())
+        batch = rng.uniform(0, 1, (1, 1, 16, 16)).astype(np.float32)
+        outs = design_reference_forward(design, weights, batch)
+        assert len(outs) == 4
+        assert outs[0].shape == (1, 6, 12, 12)
+        assert outs[1].shape == (1, 6, 6, 6)
+        assert outs[2].shape == (1, 16, 2, 2)
+        assert outs[3].shape == (1, 10)
+
+
+class TestUptoAndValidation:
+    def test_upto_truncates(self, rng):
+        design = tiny_design()
+        from repro.core import random_weights
+
+        weights = random_weights(design)
+        batch = rng.uniform(0, 1, (1, 1, 8, 8)).astype(np.float32)
+        outs = design_reference_forward(design, weights, batch, upto=1)
+        assert len(outs) == 2
+
+    def test_bad_upto_rejected(self, rng):
+        design = tiny_design()
+        from repro.core import random_weights
+
+        batch = rng.uniform(0, 1, (1, 1, 8, 8)).astype(np.float32)
+        with pytest.raises(ConfigurationError):
+            design_reference_forward(design, random_weights(design), batch, upto=5)
+
+    def test_bad_batch_rejected(self):
+        design = tiny_design()
+        from repro.core import random_weights
+
+        with pytest.raises(ShapeError):
+            design_reference_forward(
+                design, random_weights(design),
+                np.zeros((1, 1, 9, 9), dtype=np.float32),
+            )
+
+    def test_missing_weights_rejected(self, rng):
+        design = tiny_design()
+        batch = rng.uniform(0, 1, (1, 1, 8, 8)).astype(np.float32)
+        with pytest.raises(ConfigurationError):
+            design_reference_forward(design, {}, batch)
+
+    def test_mean_pool_supported(self, rng):
+        from repro.core import ConvLayerSpec, NetworkDesign, PoolLayerSpec, random_weights
+
+        design = NetworkDesign(
+            "mp", (1, 6, 6),
+            [
+                ConvLayerSpec(name="c", in_fm=1, out_fm=2, kh=3),
+                PoolLayerSpec(name="p", in_fm=2, out_fm=2, mode="mean"),
+            ],
+        )
+        weights = random_weights(design)
+        batch = rng.uniform(0, 1, (1, 1, 6, 6)).astype(np.float32)
+        outs = design_reference_forward(design, weights, batch)
+        assert outs[-1].shape == (1, 2, 2, 2)

@@ -1,0 +1,105 @@
+"""Unit tests for the analytical resource model (Table I machinery)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    cifar10_design,
+    design_resources,
+    layer_resources,
+    usps_design,
+)
+from repro.core.resource_model import BASE_DESIGN
+from repro.fpga import XC7VX485T
+from repro.hls import op_cost
+
+
+class TestLayerEstimates:
+    def test_conv_dsp_tracks_mac_lanes(self):
+        # USPS conv2: 2400 MACs per coordinate at II=16 -> 150 lanes.
+        placement = usps_design().placements[2]
+        r = layer_resources(placement)
+        lanes = math.ceil(16 * 6 * 25 / 16)
+        per_lane = op_cost("mul").resources.dsp + op_cost("add").resources.dsp
+        assert r.dsp == lanes * per_lane
+
+    def test_parallelism_costs_dsp(self):
+        d1 = usps_design()   # conv1 fully parallel (II=1)
+        from repro.core import with_layer_ports
+
+        d2 = with_layer_ports(d1, "conv1", 1, 1)  # single port (II=6)
+        r_par = layer_resources(d1.placements[0])
+        r_ser = layer_resources(d2.placements[0])
+        assert r_par.dsp > r_ser.dsp
+
+    def test_fc_dsp_is_out_fm_lanes(self):
+        placement = usps_design().placements[3]  # fc 64 -> 10
+        r = layer_resources(placement)
+        per_lane = op_cost("mul").resources.dsp + op_cost("add").resources.dsp
+        assert r.dsp == 10 * per_lane
+
+    def test_pool_uses_no_dsp(self):
+        assert layer_resources(usps_design().placements[1]).dsp == 0
+
+    def test_deep_weights_use_bram(self):
+        # CIFAR fc1 holds 900*64 + 64 words: far past the LUT threshold.
+        placement = cifar10_design().placements[4]
+        assert layer_resources(placement).bram >= 57
+
+    def test_shallow_weights_use_lut(self):
+        # USPS conv1 has 156 weight words: stays out of BRAM.
+        assert layer_resources(usps_design().placements[0]).bram == 0
+
+
+class TestDesignResources:
+    def test_base_design_included_by_default(self):
+        res = design_resources(usps_design())
+        no_base = design_resources(usps_design(), include_base=False)
+        assert res.total.bram - no_base.total.bram == BASE_DESIGN.bram
+
+    def test_both_testcases_fit_the_virtex7(self):
+        assert design_resources(usps_design()).fits(XC7VX485T)
+        assert design_resources(cifar10_design()).fits(XC7VX485T)
+
+    def test_tc2_uses_more_than_tc1_everywhere(self):
+        # Table I ordering: test case 2 > test case 1 on every class.
+        t1 = design_resources(usps_design()).total
+        t2 = design_resources(cifar10_design()).total
+        assert t2.ff > t1.ff and t2.lut > t1.lut
+        assert t2.bram > t1.bram and t2.dsp > t1.dsp
+
+    def test_utilization_fractions(self):
+        util = design_resources(usps_design()).utilization(XC7VX485T)
+        assert set(util) == {"ff", "lut", "bram", "dsp"}
+        assert all(0 < v < 1 for v in util.values())
+
+    def test_per_layer_names(self):
+        res = design_resources(usps_design())
+        assert set(res.per_layer) == {"conv1", "pool1", "conv2", "fc1"}
+
+    def test_fixed_point_cheaper_than_float(self):
+        f = design_resources(usps_design(), dtype="float32").total
+        x = design_resources(usps_design(), dtype="fixed16").total
+        assert x.dsp < f.dsp and x.ff < f.ff
+
+
+class TestPaperShape:
+    @pytest.mark.parametrize(
+        "design_fn,paper",
+        [
+            (usps_design, {"ff": 0.4110, "lut": 0.5086, "bram": 0.0350, "dsp": 0.5504}),
+            (cifar10_design, {"ff": 0.6177, "lut": 0.7124, "bram": 0.2282, "dsp": 0.7432}),
+        ],
+    )
+    def test_utilization_tracks_table1(self, design_fn, paper):
+        """FF/LUT/DSP within a third of the paper's Table I figures.
+
+        BRAM is excluded from the tight check: the paper's BRAM includes
+        buffering we cannot see from the text (EXPERIMENTS.md discusses
+        the gap); we only require the same small-vs-large ordering.
+        """
+        util = design_resources(design_fn()).utilization(XC7VX485T)
+        for key in ("ff", "lut", "dsp"):
+            assert util[key] == pytest.approx(paper[key], rel=0.34), key
+        assert util["bram"] < 0.30

@@ -1,0 +1,85 @@
+"""Unit tests for layer-scaling transformations."""
+
+import pytest
+
+from repro.core import (
+    cifar10_design,
+    divisors,
+    fully_parallel_design,
+    network_perf,
+    port_options,
+    single_port_design,
+    usps_design,
+    with_layer_ports,
+)
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, PoolLayerSpec
+from repro.errors import ConfigurationError
+
+
+class TestDivisors:
+    def test_twelve(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            divisors(0)
+
+
+class TestPortOptions:
+    def test_conv_cartesian_divisors(self):
+        s = ConvLayerSpec(name="c", in_fm=2, out_fm=4, kh=3)
+        assert port_options(s) == [
+            (1, 1), (1, 2), (1, 4), (2, 1), (2, 2), (2, 4),
+        ]
+
+    def test_pool_symmetric(self):
+        s = PoolLayerSpec(name="p", in_fm=6, out_fm=6)
+        assert port_options(s) == [(1, 1), (2, 2), (3, 3), (6, 6)]
+
+    def test_fc_fixed(self):
+        assert port_options(FCLayerSpec(name="f", in_fm=8, out_fm=4)) == [(1, 1)]
+
+
+class TestTransformations:
+    def test_single_port_everywhere(self):
+        d = single_port_design(usps_design())
+        assert all(s.in_ports == 1 and s.out_ports == 1 for s in d.specs)
+
+    def test_single_port_slower_than_paper_config(self):
+        paper = network_perf(usps_design()).interval
+        serial = network_perf(single_port_design(usps_design())).interval
+        assert serial > paper
+
+    def test_fully_parallel_ii_one_for_convs(self):
+        d = fully_parallel_design(cifar10_design())
+        for s in d.specs:
+            if s.kind == "conv":
+                assert s.ii == 1
+
+    def test_fully_parallel_keeps_fc_single_port(self):
+        d = fully_parallel_design(cifar10_design())
+        for s in d.specs:
+            if s.kind == "fc":
+                assert (s.in_ports, s.out_ports) == (1, 1)
+
+    def test_with_layer_ports_replaces_one(self):
+        d = with_layer_ports(cifar10_design(), "conv1", 3, 12)
+        assert d.specs[0].in_ports == 3 and d.specs[0].out_ports == 12
+        assert d.specs[2].in_ports == 1  # untouched
+
+    def test_with_layer_ports_unknown_layer(self):
+        with pytest.raises(ConfigurationError):
+            with_layer_ports(usps_design(), "nope", 1, 1)
+
+    def test_scaling_is_monotone_in_interval(self):
+        # More conv1 parallelism never slows the network down.
+        base = single_port_design(cifar10_design())
+        prev = network_perf(base).interval
+        for out_p in (2, 3, 4, 6, 12):
+            d = with_layer_ports(base, "conv1", 1, out_p)
+            cur = network_perf(d).interval
+            assert cur <= prev
+            prev = cur

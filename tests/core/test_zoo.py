@@ -1,0 +1,111 @@
+"""Unit tests for the AlexNet/VGG-16 designs."""
+
+import pytest
+
+from repro.core import design_resources, network_perf
+from repro.core.zoo import alexnet_design, vgg16_design
+from repro.fpga import XC7VX485T
+
+
+class TestAlexNet:
+    def test_parameter_count_matches_literature(self):
+        # AlexNet has ~60-62M parameters.
+        assert 58e6 < alexnet_design().weight_count() < 64e6
+
+    def test_mac_count_matches_literature(self):
+        # ~1.1 GMAC per image (724M conv + 59M FC is the grouped variant;
+        # the flattened single-tower form used here is ~1.1G).
+        assert 0.9e9 < alexnet_design().macs_per_image() < 1.3e9
+
+    def test_shapes_through_the_stack(self):
+        d = alexnet_design()
+        shapes = [p.out_shape for p in d.placements]
+        assert shapes[0] == (96, 55, 55)
+        assert shapes[1] == (96, 27, 27)
+        assert shapes[3] == (256, 13, 13)
+        assert shapes[7] == (256, 6, 6)
+        assert shapes[-1] == (1000, 1, 1)
+
+    def test_does_not_fit_one_virtex7(self):
+        # The quantified reason the paper's evaluation stopped at small
+        # networks: with on-chip weights and Eq. 4's minimum parallelism,
+        # AlexNet overflows every resource class.
+        res = design_resources(alexnet_design())
+        util = res.utilization(XC7VX485T)
+        assert not res.fits(XC7VX485T)
+        assert all(v > 1.0 for v in util.values())
+
+    def test_perf_model_runs_at_scale(self):
+        perf = network_perf(alexnet_design())
+        assert perf.interval > 0
+        assert perf.bottleneck == "conv1"
+
+
+class TestVgg16:
+    def test_parameter_count_matches_literature(self):
+        # VGG-16 has ~138M parameters.
+        assert 135e6 < vgg16_design().weight_count() < 141e6
+
+    def test_mac_count_matches_literature(self):
+        # ~15.5 GMAC per image.
+        assert 15e9 < vgg16_design().macs_per_image() < 16e9
+
+    def test_layer_count(self):
+        # 13 convs + 5 pools + 3 FCs.
+        d = vgg16_design()
+        kinds = [s.kind for s in d.specs]
+        assert kinds.count("conv") == 13
+        assert kinds.count("pool") == 5
+        assert kinds.count("fc") == 3
+
+    def test_spatial_chain(self):
+        d = vgg16_design()
+        pools = [p.out_shape for p in d.placements if p.spec.kind == "pool"]
+        assert [s[1] for s in pools] == [112, 56, 28, 14, 7]
+
+    def test_massively_exceeds_one_device(self):
+        res = design_resources(vgg16_design())
+        util = res.utilization(XC7VX485T)
+        # BRAM is the worst: the 138M on-chip weights need two orders of
+        # magnitude more block RAM than the chip has.
+        assert util["bram"] > 50.0
+
+    def test_fc6_dominates_weight_storage(self):
+        res = design_resources(vgg16_design())
+        fc6 = res.per_layer["fc6"].bram
+        assert fc6 > 0.5 * res.total.bram
+
+
+class TestWeightStreaming:
+    def test_streaming_slashes_bram(self):
+        onchip = design_resources(alexnet_design()).total.bram
+        streamed = design_resources(alexnet_design(weight_streaming=True)).total.bram
+        assert streamed < 0.2 * onchip
+
+    def test_streaming_shifts_bottleneck_to_fc(self):
+        perf = network_perf(alexnet_design(weight_streaming=True))
+        assert perf.bottleneck == "fc6"
+
+    def test_streamed_fc_interval_is_matrix_size(self):
+        from repro.core import layer_perf
+
+        d = vgg16_design(weight_streaming=True)
+        fc6 = next(p for p in d.placements if p.spec.name == "fc6")
+        assert layer_perf(fc6).core_cycles == 25088 * 4096
+
+    def test_streaming_serializes(self):
+        from repro.core import design_from_json, design_to_json
+
+        d = alexnet_design(weight_streaming=True)
+        d2 = design_from_json(design_to_json(d))
+        assert d2.specs == d.specs
+
+    def test_streaming_cheaper_fc_resources(self):
+        from repro.core import layer_resources
+
+        d_on = alexnet_design()
+        d_st = alexnet_design(weight_streaming=True)
+        fc_on = next(p for p in d_on.placements if p.spec.name == "fc6")
+        fc_st = next(p for p in d_st.placements if p.spec.name == "fc6")
+        assert layer_resources(fc_st).dsp < layer_resources(fc_on).dsp
+        assert layer_resources(fc_st).bram < layer_resources(fc_on).bram

@@ -1,0 +1,155 @@
+"""Unit tests for the Actor coroutine helpers."""
+
+import pytest
+
+from repro.dataflow import Actor, ArraySource, Channel, DataflowGraph, ListSink
+from repro.errors import GraphError
+
+
+class Echo(Actor):
+    def run(self):
+        while True:
+            v = yield from self.recv("in")
+            yield from self.send("out", v)
+
+
+def run_pair(actor, values, out_count, capacity=2):
+    g = DataflowGraph("t")
+    src = g.add_actor(ArraySource("src", values))
+    g.add_actor(actor)
+    snk = g.add_actor(ListSink("snk", count=out_count))
+    g.connect(src, "out", actor, "in", capacity=capacity)
+    g.connect(actor, "out", snk, "in", capacity=capacity)
+    actor.daemon = True
+    g.build_simulator().run()
+    return snk
+
+
+class TestBinding:
+    def test_double_input_bind_rejected(self):
+        a = Actor("a")
+        a.bind_input("in", Channel("c1"))
+        with pytest.raises(GraphError):
+            a.bind_input("in", Channel("c2"))
+
+    def test_double_output_bind_rejected(self):
+        a = Actor("a")
+        a.bind_output("out", Channel("c1"))
+        with pytest.raises(GraphError):
+            a.bind_output("out", Channel("c2"))
+
+    def test_unbound_input_raises(self):
+        with pytest.raises(GraphError):
+            Actor("a").input("in")
+
+    def test_unbound_output_raises(self):
+        with pytest.raises(GraphError):
+            Actor("a").output("out")
+
+    def test_port_lists(self):
+        a = Actor("a")
+        a.bind_input("x", Channel("c1"))
+        a.bind_output("y", Channel("c2"))
+        assert a.input_ports == ["x"]
+        assert a.output_ports == ["y"]
+
+    def test_run_must_be_overridden(self):
+        with pytest.raises(NotImplementedError):
+            next(Actor("a").run())
+
+
+class TestHelpers:
+    def test_recv_send_roundtrip(self):
+        snk = run_pair(Echo("echo"), [1, 2, 3], 3)
+        assert snk.received == [1, 2, 3]
+
+    def test_recv_send_takes_two_cycles_per_item(self):
+        snk = run_pair(Echo("echo"), list(range(8)), 8)
+        # II of a recv-then-send loop is 2.
+        deltas = [b - a for a, b in zip(snk.timestamps, snk.timestamps[1:])]
+        assert all(d == 2 for d in deltas)
+
+    def test_relay_is_ii1(self):
+        class R(Actor):
+            def run(self):
+                yield from self.relay("in", "out")
+
+        snk = run_pair(R("r"), list(range(8)), 8)
+        deltas = [b - a for a, b in zip(snk.timestamps, snk.timestamps[1:])]
+        assert all(d == 1 for d in deltas)
+
+    def test_relay_with_fn(self):
+        class R(Actor):
+            def run(self):
+                yield from self.relay("in", "out", fn=lambda v: v * 10)
+
+        snk = run_pair(R("r"), [1, 2], 2)
+        assert snk.received == [10, 20]
+
+    def test_relay_count_limits(self):
+        class R(Actor):
+            def run(self):
+                yield from self.relay("in", "out", count=2)
+
+        # Relay only 2 of 5; capacity must let the source drain fully or
+        # its process never finishes.
+        snk = run_pair(R("r"), [1, 2, 3, 4, 5], 2, capacity=8)
+        assert snk.received == [1, 2]
+
+    def test_wait_delays(self):
+        class W(Actor):
+            def run(self):
+                v = yield from self.recv("in")
+                yield from self.wait(10)
+                yield from self.send("out", v)
+
+        snk = run_pair(W("w"), [5], 1)
+        assert snk.timestamps[0] >= 12
+
+    def test_recv_all_reads_simultaneously(self):
+        class Join(Actor):
+            def run(self):
+                for _ in range(3):
+                    a, b = yield from self.recv_all(["a", "b"])
+                    yield from self.send("out", a + b)
+
+        g = DataflowGraph("t")
+        s1 = g.add_actor(ArraySource("s1", [1, 2, 3]))
+        s2 = g.add_actor(ArraySource("s2", [10, 20, 30]))
+        j = g.add_actor(Join("join"))
+        snk = g.add_actor(ListSink("snk", count=3))
+        g.connect(s1, "out", j, "a")
+        g.connect(s2, "out", j, "b")
+        g.connect(j, "out", snk, "in")
+        g.build_simulator().run()
+        assert snk.received == [11, 22, 33]
+
+    def test_send_all_writes_simultaneously(self):
+        class Split(Actor):
+            def run(self):
+                for i in range(3):
+                    v = yield from self.recv("in")
+                    yield from self.send_all({"a": v, "b": -v})
+
+        g = DataflowGraph("t")
+        src = g.add_actor(ArraySource("src", [1, 2, 3]))
+        sp = g.add_actor(Split("split"))
+        sa = g.add_actor(ListSink("sa", count=3))
+        sb = g.add_actor(ListSink("sb", count=3))
+        g.connect(src, "out", sp, "in")
+        g.connect(sp, "a", sa, "in")
+        g.connect(sp, "b", sb, "in")
+        g.build_simulator().run()
+        assert sa.received == [1, 2, 3]
+        assert sb.received == [-1, -2, -3]
+
+    def test_blocked_reason_set_while_stalled(self):
+        a = Echo("echo")
+        ch_in = Channel("in_ch", 2)
+        ch_out = Channel("out_ch", 2)
+        a.bind_input("in", ch_in)
+        a.bind_output("out", ch_out)
+        proc = a.run()
+        ch_in.begin_cycle()
+        next(proc)  # stalls on empty input
+        assert "empty" in a.blocked_reason

@@ -1,0 +1,107 @@
+"""Stateful property test: Channel vs an abstract two-phase queue model.
+
+Hypothesis drives random interleavings of push / pop / begin_cycle against
+a plain-Python reference model of the intended semantics (staged pushes
+become visible at the next cycle boundary; firing rules answered against
+the cycle-start snapshot; at most one beat per direction per cycle). Any
+divergence in observable behaviour — firing-rule answers or popped
+values — is a bug in the channel.
+"""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.dataflow.channel import Channel
+
+
+class ChannelModel:
+    """Reference semantics of a capacity-``cap`` two-phase channel."""
+
+    def __init__(self, cap):
+        self.cap = cap
+        self.committed = deque()
+        self.staged = []
+        self.visible_at_start = 0
+        self.pushed = 0
+        self.popped = 0
+
+    def begin_cycle(self):
+        self.committed.extend(self.staged)
+        self.staged.clear()
+        self.visible_at_start = len(self.committed)
+        self.pushed = 0
+        self.popped = 0
+
+    def can_push(self):
+        if self.pushed:
+            return False
+        if self.cap is None:
+            return True
+        return self.visible_at_start + len(self.staged) < self.cap
+
+    def can_pop(self):
+        return self.popped == 0 and self.popped < self.visible_at_start
+
+    def push(self, v):
+        self.staged.append(v)
+        self.pushed += 1
+
+    def pop(self):
+        self.popped += 1
+        return self.committed.popleft()
+
+
+class ChannelComparison(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.counter = 0
+        self.cap = None
+        self.ch = None
+        self.model = None
+
+    @precondition(lambda self: self.ch is None)
+    @rule(cap=st.one_of(st.none(), st.integers(1, 5)))
+    def create(self, cap):
+        self.cap = cap
+        self.ch = Channel("ch", cap)
+        self.model = ChannelModel(cap)
+        self.ch.begin_cycle()
+        self.model.begin_cycle()
+
+    @precondition(lambda self: self.ch is not None)
+    @rule()
+    def begin_cycle(self):
+        self.ch.begin_cycle()
+        self.model.begin_cycle()
+
+    @precondition(lambda self: self.ch is not None)
+    @rule()
+    def push_if_possible(self):
+        assert self.ch.can_push() == self.model.can_push()
+        if self.model.can_push():
+            self.counter += 1
+            self.ch.push(self.counter)
+            self.model.push(self.counter)
+
+    @precondition(lambda self: self.ch is not None)
+    @rule()
+    def pop_if_possible(self):
+        assert self.ch.can_pop() == self.model.can_pop()
+        if self.model.can_pop():
+            assert self.ch.pop() == self.model.pop()
+
+    @invariant()
+    def occupancy_agrees(self):
+        if self.ch is None:
+            return
+        assert self.ch.occupancy == len(self.model.committed)
+        assert len(self.ch) == len(self.model.committed) + len(self.model.staged)
+
+
+TestChannelStateful = ChannelComparison.TestCase
+TestChannelStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

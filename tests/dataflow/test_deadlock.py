@@ -1,0 +1,85 @@
+"""Unit tests for the reconvergence/buffering analysis."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import ArraySource, DataflowGraph, FifoStage, Fork, Interleaver, ListSink
+from repro.dataflow.deadlock import ReconvergentPair, analyze_reconvergence, buffering_report
+from repro.errors import ConfigurationError
+
+
+def diamond(cap_a=2, cap_b=2):
+    """src -> fork -> {a, b} -> join -> sink."""
+    g = DataflowGraph("diamond")
+    src = g.add_actor(ArraySource("src", list(range(4))))
+    fork = g.add_actor(Fork("fork", n_outputs=2))
+    a = g.add_actor(FifoStage("a"))
+    b = g.add_actor(FifoStage("b"))
+    join = g.add_actor(Interleaver("join", n_inputs=2))
+    snk = g.add_actor(ListSink("snk", count=8))
+    g.connect(src, "out", fork, "in")
+    g.connect(fork, "out0", a, "in", capacity=cap_a)
+    g.connect(fork, "out1", b, "in", capacity=cap_b)
+    g.connect(a, "out", join, "in0", capacity=cap_a)
+    g.connect(b, "out", join, "in1", capacity=cap_b)
+    g.connect(join, "out", snk, "in")
+    return g
+
+
+class TestAnalyze:
+    def test_diamond_detected(self):
+        pairs = analyze_reconvergence(diamond())
+        assert any(p.fork == "fork" and p.join == "join" for p in pairs)
+
+    def test_path_capacities_summed(self):
+        pairs = analyze_reconvergence(diamond(cap_a=2, cap_b=8))
+        p = next(p for p in pairs if p.fork == "fork" and p.join == "join")
+        assert p.min_capacity == 4 and p.max_capacity == 16
+
+    def test_imbalance_ratio(self):
+        pairs = analyze_reconvergence(diamond(cap_a=2, cap_b=8))
+        p = next(p for p in pairs if p.fork == "fork" and p.join == "join")
+        assert p.imbalance == pytest.approx(4.0)
+
+    def test_chain_has_no_reconvergence(self):
+        g = DataflowGraph("chain")
+        src = g.add_actor(ArraySource("src", [1]))
+        f = g.add_actor(FifoStage("f"))
+        snk = g.add_actor(ListSink("snk", count=1))
+        g.connect(src, "out", f, "in")
+        g.connect(f, "out", snk, "in")
+        assert analyze_reconvergence(g) == []
+
+    def test_invalid_max_paths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analyze_reconvergence(diamond(), max_paths=1)
+
+    def test_usps_network_graph_has_parallel_branches(self, rng):
+        from repro.core import random_weights, usps_design
+        from repro.core.builder import build_network
+
+        d = usps_design()
+        built = build_network(
+            d, random_weights(d), rng.uniform(0, 1, (1, 1, 16, 16)).astype(np.float32)
+        )
+        pairs = analyze_reconvergence(built.graph)
+        # conv1's 6 output ports reconverge at conv2's core.
+        assert any(p.fork == "conv1.core" and p.join == "conv2.core" for p in pairs)
+
+
+class TestReport:
+    def test_balanced_no_warning(self):
+        text = buffering_report(diamond(2, 2))
+        assert "WARNING" not in text
+        assert "reconvergent pair" in text
+
+    def test_imbalanced_warns(self):
+        text = buffering_report(diamond(2, 16), warn_imbalance=4.0)
+        assert "WARNING" in text
+
+    def test_chain_report(self):
+        g = DataflowGraph("c")
+        src = g.add_actor(ArraySource("src", [1]))
+        snk = g.add_actor(ListSink("snk", count=1))
+        g.connect(src, "out", snk, "in")
+        assert "no reconvergent" in buffering_report(g)

@@ -1,0 +1,95 @@
+"""Unit tests for dataflow graph assembly and analysis."""
+
+import networkx as nx
+import pytest
+
+from repro.dataflow import ArraySource, DataflowGraph, FifoStage, ListSink
+from repro.errors import GraphError
+
+
+def chain_graph():
+    g = DataflowGraph("chain")
+    src = g.add_actor(ArraySource("src", [1]))
+    f1 = g.add_actor(FifoStage("f1"))
+    f2 = g.add_actor(FifoStage("f2"))
+    snk = g.add_actor(ListSink("snk", count=1))
+    g.connect(src, "out", f1, "in")
+    g.connect(f1, "out", f2, "in")
+    g.connect(f2, "out", snk, "in")
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_actor_rejected(self):
+        g = DataflowGraph("t")
+        g.add_actor(FifoStage("x"))
+        with pytest.raises(GraphError):
+            g.add_actor(FifoStage("x"))
+
+    def test_duplicate_channel_rejected(self):
+        g = DataflowGraph("t")
+        g.add_channel("c")
+        with pytest.raises(GraphError):
+            g.add_channel("c")
+
+    def test_connect_requires_registered_actors(self):
+        g = DataflowGraph("t")
+        a = ArraySource("a", [1])
+        b = ListSink("b", count=1)
+        g.add_actor(a)
+        with pytest.raises(GraphError):
+            g.connect(a, "out", b, "in")
+
+    def test_connect_names_channel(self):
+        g = DataflowGraph("t")
+        a = g.add_actor(ArraySource("a", [1]))
+        b = g.add_actor(ListSink("b", count=1))
+        ch = g.connect(a, "out", b, "in")
+        assert "a.out" in ch.name and "b.in" in ch.name
+
+    def test_default_capacity_applied(self):
+        g = DataflowGraph("t", default_capacity=7)
+        a = g.add_actor(ArraySource("a", [1]))
+        b = g.add_actor(ListSink("b", count=1))
+        assert g.connect(a, "out", b, "in").capacity == 7
+
+
+class TestValidation:
+    def test_dangling_channel_rejected(self):
+        g = DataflowGraph("t")
+        g.add_channel("dangling")
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_valid_graph_passes(self):
+        chain_graph().validate()
+
+
+class TestAnalysis:
+    def test_to_networkx_structure(self):
+        nxg = chain_graph().to_networkx()
+        assert set(nxg.nodes) == {"src", "f1", "f2", "snk"}
+        assert nxg.number_of_edges() == 3
+
+    def test_topological_layers(self):
+        layers = chain_graph().topological_layers()
+        assert layers == [["src"], ["f1"], ["f2"], ["snk"]]
+
+    def test_sources_and_sinks(self):
+        g = chain_graph()
+        assert g.sources() == ["src"]
+        assert g.sinks() == ["snk"]
+
+    def test_edge_annotations(self):
+        nxg = chain_graph().to_networkx()
+        _, _, data = next(iter(nxg.edges(data=True)))
+        assert "channel" in data and "capacity" in data
+
+    def test_cycle_detection(self):
+        g = DataflowGraph("t")
+        f1 = g.add_actor(FifoStage("f1"))
+        f2 = g.add_actor(FifoStage("f2", src="in2", dst="out2"))
+        g.connect(f1, "out", f2, "in2")
+        g.connect(f2, "out2", f1, "in")
+        with pytest.raises(GraphError):
+            g.topological_layers()

@@ -1,0 +1,73 @@
+"""Unit tests for splitting and batching."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import iterate_batches, train_test_split
+from repro.errors import DatasetError
+
+
+def data(n=50):
+    x = np.arange(n * 2, dtype=np.float32).reshape(n, 2)
+    y = np.arange(n) % 3
+    return x, y
+
+
+class TestSplit:
+    def test_sizes(self):
+        x, y = data(50)
+        xt, yt, xv, yv = train_test_split(x, y, 0.2, seed=0)
+        assert len(xv) == 10 and len(xt) == 40
+
+    def test_partition_is_exact(self):
+        x, y = data(30)
+        xt, yt, xv, yv = train_test_split(x, y, 0.3, seed=0)
+        all_rows = np.concatenate([xt, xv])
+        assert sorted(map(tuple, all_rows)) == sorted(map(tuple, x))
+
+    def test_labels_follow_rows(self):
+        x, y = data(30)
+        xt, yt, _, _ = train_test_split(x, y, 0.2, seed=0)
+        # Row i of x is [2i, 2i+1], its label is i % 3.
+        for row, label in zip(xt, yt):
+            assert label == (int(row[0]) // 2) % 3
+
+    def test_deterministic(self):
+        x, y = data()
+        a = train_test_split(x, y, 0.2, seed=5)
+        b = train_test_split(x, y, 0.2, seed=5)
+        assert all(np.array_equal(p, q) for p, q in zip(a, b))
+
+    def test_invalid_fraction_rejected(self):
+        x, y = data()
+        with pytest.raises(DatasetError):
+            train_test_split(x, y, 0.0)
+        with pytest.raises(DatasetError):
+            train_test_split(x, y, 1.0)
+
+    def test_mismatch_rejected(self):
+        x, y = data()
+        with pytest.raises(DatasetError):
+            train_test_split(x, y[:-1], 0.2)
+
+
+class TestBatches:
+    def test_covers_all_samples(self):
+        x, y = data(25)
+        seen = sum(len(xb) for xb, _ in iterate_batches(x, y, 8))
+        assert seen == 25
+
+    def test_last_batch_smaller(self):
+        x, y = data(25)
+        sizes = [len(xb) for xb, _ in iterate_batches(x, y, 8)]
+        assert sizes == [8, 8, 8, 1]
+
+    def test_no_shuffle_preserves_order(self):
+        x, y = data(10)
+        xb, yb = next(iterate_batches(x, y, 4, shuffle=False))
+        assert np.array_equal(xb, x[:4])
+
+    def test_invalid_batch_size_rejected(self):
+        x, y = data()
+        with pytest.raises(DatasetError):
+            list(iterate_batches(x, y, 0))

@@ -1,0 +1,60 @@
+"""Unit tests for the synthetic CIFAR-10-like generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_cifar10
+from repro.datasets.cifar10 import render_sample
+from repro.errors import DatasetError
+
+
+class TestRenderSample:
+    def test_shape_and_range(self, rng):
+        img = render_sample(4, rng)
+        assert img.shape == (3, 32, 32)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_invalid_label_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            render_sample(10, rng)
+
+    def test_all_classes_render(self, rng):
+        for label in range(10):
+            img = render_sample(label, rng)
+            assert np.isfinite(img).all()
+
+    def test_samples_vary_within_class(self):
+        rng = np.random.default_rng(0)
+        a = render_sample(0, rng)
+        b = render_sample(0, rng)
+        assert not np.array_equal(a, b)
+
+
+class TestGenerate:
+    def test_shapes(self):
+        x, y = generate_cifar10(20, seed=1)
+        assert x.shape == (20, 3, 32, 32)
+        assert y.shape == (20,)
+
+    def test_balanced(self):
+        _, y = generate_cifar10(50, seed=1)
+        assert np.array_equal(np.bincount(y), np.full(10, 5))
+
+    def test_deterministic(self):
+        x1, _ = generate_cifar10(5, seed=9)
+        x2, _ = generate_cifar10(5, seed=9)
+        assert np.array_equal(x1, x2)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_cifar10(0)
+
+    def test_classes_statistically_distinct(self):
+        # Mean per-class images should differ: the classes are separable.
+        x, y = generate_cifar10(200, seed=2)
+        means = np.stack([x[y == c].mean(axis=0) for c in range(10)])
+        dists = []
+        for i in range(10):
+            for j in range(i + 1, 10):
+                dists.append(np.abs(means[i] - means[j]).mean())
+        assert min(dists) > 0.01

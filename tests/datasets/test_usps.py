@@ -1,0 +1,74 @@
+"""Unit tests for the synthetic USPS generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_usps, render_digit
+from repro.errors import DatasetError
+
+
+class TestRenderDigit:
+    def test_shape_and_range(self, rng):
+        img = render_digit(3, rng)
+        assert img.shape == (16, 16)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_invalid_digit_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            render_digit(10, rng)
+
+    def test_canonical_prototypes_distinct(self):
+        rng = np.random.default_rng(0)
+        protos = [render_digit(d, rng, jitter=0.0) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert np.abs(protos[i] - protos[j]).max() > 0.3
+
+    def test_jitter_creates_variation(self):
+        rng = np.random.default_rng(0)
+        a = render_digit(5, rng)
+        b = render_digit(5, rng)
+        assert not np.array_equal(a, b)
+
+    def test_one_has_fewer_ink_than_eight(self):
+        rng = np.random.default_rng(0)
+        one = render_digit(1, rng, jitter=0.0).sum()
+        eight = render_digit(8, rng, jitter=0.0).sum()
+        assert one < eight
+
+
+class TestGenerate:
+    def test_shapes_and_dtype(self):
+        x, y = generate_usps(30, seed=1)
+        assert x.shape == (30, 1, 16, 16)
+        assert x.dtype == np.float32
+        assert y.shape == (30,) and y.dtype == np.int64
+
+    def test_balanced_classes(self):
+        _, y = generate_usps(100, seed=1)
+        assert np.array_equal(np.bincount(y), np.full(10, 10))
+
+    def test_deterministic_per_seed(self):
+        x1, y1 = generate_usps(10, seed=7)
+        x2, y2 = generate_usps(10, seed=7)
+        assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+
+    def test_seeds_differ(self):
+        x1, _ = generate_usps(10, seed=1)
+        x2, _ = generate_usps(10, seed=2)
+        assert not np.array_equal(x1, x2)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_usps(0)
+
+    def test_trainable_to_high_accuracy(self):
+        # The dataset must actually support the paper's TC1 workflow.
+        from repro.nn import train_classifier
+        from repro.core import usps_model
+
+        x, y = generate_usps(300, seed=3)
+        net = usps_model(np.random.default_rng(0))
+        res = train_classifier(net, x[:240], y[:240], epochs=6, lr=0.08,
+                               x_test=x[240:], y_test=y[240:], seed=0)
+        assert res.test_accuracy > 0.8

@@ -1,0 +1,109 @@
+"""Unit tests for DSE search strategies."""
+
+import pytest
+
+from repro.core import cifar10_design, network_perf, usps_design
+from repro.dse import evaluate, exhaustive_search, greedy_optimize
+from repro.errors import ResourceError
+from repro.fpga import Device
+from repro.hls import ResourceVector
+
+
+class TestEvaluate:
+    def test_fields(self):
+        c = evaluate(usps_design())
+        assert c.interval == 256
+        assert c.fits
+        assert c.profile[0] == c.interval
+
+    def test_profile_sorted_descending(self):
+        c = evaluate(cifar10_design())
+        assert list(c.profile) == sorted(c.profile, reverse=True)
+
+
+class TestExhaustive:
+    def test_usps_best_matches_paper_throughput(self):
+        # The paper's hand-picked config reaches the DMA bound; exhaustive
+        # search can do no better (and must do no worse).
+        res = exhaustive_search(usps_design())
+        assert res.best.interval == network_perf(usps_design()).interval == 256
+
+    def test_evaluated_counts_whole_space(self):
+        res = exhaustive_search(usps_design())
+        assert res.evaluated == 250
+
+    def test_impossible_device_raises(self):
+        matchbox = Device("matchbox", "toy", ResourceVector(ff=1, lut=1, bram=0, dsp=0))
+        with pytest.raises(ResourceError):
+            exhaustive_search(usps_design(), device=matchbox)
+
+
+class TestGreedy:
+    def test_usps_reaches_dma_bound(self):
+        res = greedy_optimize(usps_design())
+        assert res.best.interval == 256
+
+    def test_cifar_improves_over_paper_config(self):
+        # Extension result: DSE finds a faster TC2 than the paper's
+        # all-single-port configuration, still fitting the device.
+        res = greedy_optimize(cifar10_design())
+        assert res.best.interval < network_perf(cifar10_design()).interval
+        assert res.best.fits
+
+    def test_greedy_never_worse_than_start(self):
+        from repro.core import single_port_design
+
+        start = evaluate(single_port_design(cifar10_design()))
+        res = greedy_optimize(cifar10_design())
+        assert res.best.interval <= start.interval
+
+    def test_greedy_matches_exhaustive_on_usps(self):
+        g = greedy_optimize(usps_design()).best.interval
+        e = exhaustive_search(usps_design()).best.interval
+        assert g == e
+
+    def test_history_monotone(self):
+        res = greedy_optimize(cifar10_design())
+        profiles = [c.profile for c in res.history]
+        assert profiles == sorted(profiles, reverse=True)
+
+    def test_impossible_device_raises(self):
+        matchbox = Device("matchbox", "toy", ResourceVector(ff=1, lut=1, bram=0, dsp=0))
+        with pytest.raises(ResourceError):
+            greedy_optimize(usps_design(), device=matchbox)
+
+
+class TestOptimizeForTarget:
+    def test_relaxed_target_gets_single_port(self):
+        from repro.dse import optimize_for_target
+
+        # A very loose target: the cheapest (single-port) config wins.
+        res = optimize_for_target(usps_design(), target_interval=10_000)
+        assert res.best.ports == ((1, 1), (1, 1), (1, 1), (1, 1))
+
+    def test_tight_target_buys_parallelism(self):
+        from repro.dse import optimize_for_target
+
+        loose = optimize_for_target(usps_design(), target_interval=10_000)
+        tight = optimize_for_target(usps_design(), target_interval=256)
+        assert tight.best.interval <= 256
+        assert tight.best.dsp > loose.best.dsp
+
+    def test_cheaper_than_fastest_when_target_allows(self):
+        from repro.dse import exhaustive_search, optimize_for_target
+
+        fastest = exhaustive_search(usps_design()).best
+        thrifty = optimize_for_target(usps_design(), target_interval=864)
+        assert thrifty.best.dsp <= fastest.dsp
+
+    def test_impossible_target_raises(self):
+        from repro.dse import optimize_for_target
+
+        with pytest.raises(ResourceError):
+            optimize_for_target(usps_design(), target_interval=1)
+
+    def test_invalid_target_rejected(self):
+        from repro.dse import optimize_for_target
+
+        with pytest.raises(ResourceError):
+            optimize_for_target(usps_design(), target_interval=0)

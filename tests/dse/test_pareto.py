@@ -1,0 +1,54 @@
+"""Unit tests for Pareto-front extraction."""
+
+import pytest
+
+from repro.core import usps_design
+from repro.dse import apply_configuration, evaluate, iter_configurations, pareto_front
+from repro.errors import ConfigurationError
+
+
+def usps_candidates(limit=60):
+    d = usps_design()
+    return [
+        evaluate(apply_configuration(d, c))
+        for c in iter_configurations(d, limit=limit)
+    ]
+
+
+class TestParetoFront:
+    def test_front_nonempty_subset(self):
+        cands = usps_candidates()
+        front = pareto_front(cands)
+        assert front
+        ids = {id(c) for c in cands}
+        assert all(id(c) in ids for c in front)
+
+    def test_no_dominated_points_on_front(self):
+        cands = usps_candidates()
+        front = pareto_front(cands)
+        for f in front:
+            for c in cands:
+                dominates = (
+                    c.interval <= f.interval and c.dsp <= f.dsp
+                    and (c.interval < f.interval or c.dsp < f.dsp)
+                )
+                assert not dominates
+
+    def test_front_sorted_by_interval(self):
+        front = pareto_front(usps_candidates())
+        intervals = [c.interval for c in front]
+        assert intervals == sorted(intervals)
+
+    def test_front_tradeoff_monotone(self):
+        # Along the front, faster must mean more DSP.
+        front = pareto_front(usps_candidates(limit=250))
+        dsps = [c.dsp for c in front]
+        assert dsps == sorted(dsps, reverse=True)
+
+    def test_single_candidate(self):
+        cands = usps_candidates(limit=1)
+        assert pareto_front(cands) == cands
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pareto_front([])

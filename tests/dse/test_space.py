@@ -1,0 +1,48 @@
+"""Unit tests for design-space enumeration."""
+
+import pytest
+
+from repro.core import tiny_design, usps_design
+from repro.dse import apply_configuration, iter_configurations, space_size
+from repro.errors import ConfigurationError
+
+
+class TestEnumeration:
+    def test_all_configurations_valid(self):
+        d = usps_design()
+        for config in iter_configurations(d):
+            nd = apply_configuration(d, config)  # raises if invalid
+            assert nd.n_layers == d.n_layers
+
+    def test_space_contains_single_port(self):
+        d = usps_design()
+        configs = set(iter_configurations(d))
+        assert ((1, 1),) * 4 in configs
+
+    def test_space_contains_paper_config(self):
+        d = usps_design()
+        paper = tuple((s.in_ports, s.out_ports) for s in d.specs)
+        assert paper in set(iter_configurations(d))
+
+    def test_adjacent_divisibility_enforced(self):
+        d = usps_design()
+        for config in iter_configurations(d):
+            prev_out = 1
+            for (i, o) in config:
+                assert max(prev_out, i) % min(prev_out, i) == 0
+                prev_out = o
+
+    def test_limit_caps_yields(self):
+        d = usps_design()
+        assert sum(1 for _ in iter_configurations(d, limit=5)) == 5
+
+    def test_space_size(self):
+        assert space_size(usps_design()) == 250
+
+    def test_apply_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_configuration(usps_design(), ((1, 1),))
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(iter_configurations(tiny_design(), limit=0))

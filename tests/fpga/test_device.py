@@ -1,0 +1,38 @@
+"""Unit tests for device models."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.fpga import STRATIX_V_D5, XC7VX485T, get_device
+from repro.hls import ResourceVector
+
+
+class TestVirtex7:
+    def test_published_budget(self):
+        r = XC7VX485T.resources
+        assert (r.ff, r.lut, r.bram, r.dsp) == (607_200, 303_600, 1_030, 2_800)
+
+    def test_check_fit_passes_within(self):
+        XC7VX485T.check_fit(ResourceVector(ff=1000, lut=1000, bram=1, dsp=10))
+
+    def test_check_fit_raises_over(self):
+        with pytest.raises(ResourceError):
+            XC7VX485T.check_fit(ResourceVector(dsp=2801))
+
+    def test_utilization_row(self):
+        u = XC7VX485T.utilization(ResourceVector(dsp=1400))
+        assert u["dsp"] == pytest.approx(0.5)
+
+
+class TestLookup:
+    def test_get_device(self):
+        assert get_device("xc7vx485t") is XC7VX485T
+        assert get_device("stratix-v-d5") is STRATIX_V_D5
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ResourceError):
+            get_device("zynq")
+
+    def test_families(self):
+        assert XC7VX485T.family.startswith("xilinx")
+        assert STRATIX_V_D5.family.startswith("altera")

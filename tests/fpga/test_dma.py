@@ -1,0 +1,50 @@
+"""Unit tests for the DMA transfer model."""
+
+import pytest
+
+from repro.config import ClockDomain
+from repro.errors import ConfigurationError
+from repro.fpga import PAPER_DMA, DmaModel
+
+
+class TestPaperDma:
+    def test_paper_setup_is_one_word_per_cycle(self):
+        # 400 MB/s at 100 MHz over a 32-bit datapath = 4 B/cycle = 1 float.
+        assert PAPER_DMA.bytes_per_cycle == pytest.approx(4.0)
+        assert PAPER_DMA.beat_interval(32) == 1
+
+    def test_transfer_cycles_for_usps_image(self):
+        assert PAPER_DMA.transfer_cycles(16 * 16) == 256
+
+    def test_transfer_cycles_for_cifar_image(self):
+        assert PAPER_DMA.transfer_cycles(3 * 32 * 32) == 3072
+
+
+class TestGeneralModel:
+    def test_narrow_datapath_slows_wide_words(self):
+        dma = DmaModel(datapath_bits=16, bandwidth_bytes_per_s=1e9)
+        assert dma.beat_interval(32) == 2
+
+    def test_low_bandwidth_dominates(self):
+        dma = DmaModel(datapath_bits=32, bandwidth_bytes_per_s=100e6)
+        assert dma.beat_interval(32) == 4  # 1 B/cycle at 100 MHz
+
+    def test_different_clock(self):
+        dma = DmaModel(clock=ClockDomain(200e6))
+        # Same 400 MB/s at 200 MHz = 2 B/cycle -> 2 cycles per float.
+        assert dma.beat_interval(32) == 2
+
+    def test_zero_words(self):
+        assert PAPER_DMA.transfer_cycles(0) == 0
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_DMA.transfer_cycles(-1)
+
+    def test_fractional_byte_datapath_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DmaModel(datapath_bits=12)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DmaModel(bandwidth_bytes_per_s=0)

@@ -1,0 +1,57 @@
+"""Unit tests for the power model and the board wrapper."""
+
+import pytest
+
+from repro.config import PAPER_CLOCK
+from repro.errors import ConfigurationError
+from repro.fpga import PAPER_POWER, VC707, PowerModel
+from repro.hls import ResourceVector
+
+
+class TestPowerModel:
+    def test_static_floor(self):
+        assert PAPER_POWER.total_power_w(ResourceVector()) == PAPER_POWER.static_w
+
+    def test_monotone_in_usage(self):
+        small = PAPER_POWER.total_power_w(ResourceVector(dsp=100))
+        big = PAPER_POWER.total_power_w(ResourceVector(dsp=2000))
+        assert big > small
+
+    def test_paper_operating_envelope(self):
+        # Both paper designs imply board power in the ~18-28 W range.
+        tc1 = ResourceVector(ff=250_000, lut=155_000, bram=36, dsp=1_540)
+        tc2 = ResourceVector(ff=375_000, lut=216_000, bram=235, dsp=2_080)
+        for usage in (tc1, tc2):
+            p = PAPER_POWER.total_power_w(usage)
+            assert 17.0 < p < 29.0
+
+    def test_frequency_scaling(self):
+        usage = ResourceVector(dsp=1000)
+        base = PAPER_POWER.total_power_w(usage)
+        double = PAPER_POWER.total_power_w(usage, frequency_scale=2.0)
+        assert double > base
+        assert double - PAPER_POWER.static_w == pytest.approx(
+            2 * (base - PAPER_POWER.static_w)
+        )
+
+    def test_invalid_frequency_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_POWER.total_power_w(ResourceVector(), frequency_scale=0)
+
+    def test_efficiency(self):
+        usage = ResourceVector(dsp=1000)
+        eff = PAPER_POWER.efficiency_gflops_per_w(10.0, usage)
+        assert eff == pytest.approx(10.0 / PAPER_POWER.total_power_w(usage))
+
+    def test_negative_gflops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_POWER.efficiency_gflops_per_w(-1.0, ResourceVector())
+
+
+class TestBoard:
+    def test_vc707_composition(self):
+        assert VC707.device.name == "xc7vx485t"
+        assert VC707.clock is PAPER_CLOCK
+
+    def test_seconds_conversion(self):
+        assert VC707.seconds(100) == pytest.approx(1e-6)

@@ -1,0 +1,56 @@
+"""Unit tests for the roofline analysis."""
+
+import pytest
+
+from repro.core import cifar10_design, usps_design
+from repro.errors import ConfigurationError
+from repro.fpga import VC707
+from repro.fpga.roofline import (
+    device_compute_roof_gflops,
+    roofline_point,
+)
+
+
+class TestComputeRoof:
+    def test_virtex7_float_roof(self):
+        # 2800 DSP / 5 per lane = 560 lanes * 2 FLOP * 100 MHz = 112 GFLOPS.
+        assert device_compute_roof_gflops(VC707) == pytest.approx(112.0)
+
+    def test_fixed16_roof_higher(self):
+        # 1 DSP per fixed16 MAC lane -> far higher roof.
+        assert device_compute_roof_gflops(VC707, "fixed16") > \
+            device_compute_roof_gflops(VC707, "float32")
+
+
+class TestRooflinePoints:
+    def test_tc1_low_intensity(self):
+        p = roofline_point(usps_design())
+        # ~64k FLOP over ~1 kB: intensity around 60 FLOP/byte.
+        assert 20 < p.operational_intensity < 100
+
+    def test_tc2_higher_intensity(self):
+        p1 = roofline_point(usps_design())
+        p2 = roofline_point(cifar10_design())
+        assert p2.operational_intensity > p1.operational_intensity
+
+    def test_achieved_below_roof(self):
+        for d in (usps_design(), cifar10_design()):
+            p = roofline_point(d)
+            assert p.achieved_gflops <= p.attainable_gflops * 1.001
+
+    def test_tc1_is_bandwidth_limited_in_practice(self):
+        # TC1's pipeline is DMA-bound (the perf model's bottleneck), and
+        # the roofline sees plenty of compute headroom.
+        p = roofline_point(usps_design())
+        assert p.achieved_gflops < p.compute_roof_gflops
+
+    def test_roof_fraction_meaningful(self):
+        for d in (usps_design(), cifar10_design()):
+            p = roofline_point(d)
+            assert 0.0 < p.roof_fraction <= 1.0
+
+    def test_bound_classification(self):
+        p = roofline_point(cifar10_design())
+        assert p.bound in ("compute", "bandwidth")
+        if p.bound == "compute":
+            assert p.compute_roof_gflops <= p.bandwidth_roof_gflops

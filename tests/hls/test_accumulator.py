@@ -1,0 +1,83 @@
+"""Unit + property tests for interleaved accumulators (Section IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.hls import AccumulatorModel, interleaved_sum
+
+
+class TestFunctional:
+    def test_single_lane_is_sequential_sum(self):
+        vals = np.array([1, 2, 3, 4], dtype=np.float32)
+        assert interleaved_sum(vals, 1) == np.float32(10)
+
+    def test_lanes_partition_by_index(self):
+        vals = np.array([1, 10, 2, 20], dtype=np.float32)
+        # lane0: 1+2, lane1: 10+20, tree: 3+30.
+        assert interleaved_sum(vals, 2) == np.float32(33)
+
+    def test_more_lanes_than_values(self):
+        vals = np.array([1, 2], dtype=np.float32)
+        assert interleaved_sum(vals, 8) == np.float32(3)
+
+    def test_batched(self):
+        vals = np.arange(8, dtype=np.float32).reshape(2, 4)
+        got = interleaved_sum(vals, 2)
+        assert np.allclose(got, vals.sum(axis=-1))
+
+    def test_invalid_lanes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interleaved_sum(np.ones(4, dtype=np.float32), 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interleaved_sum(np.zeros((0,), dtype=np.float32), 2)
+
+    @settings(max_examples=50)
+    @given(
+        arrays(np.float32, st.integers(1, 64), elements=st.floats(-1e3, 1e3, width=32)),
+        st.integers(1, 16),
+    )
+    def test_property_close_to_float64(self, vals, lanes):
+        got = float(interleaved_sum(vals, lanes))
+        exp = float(np.sum(vals, dtype=np.float64))
+        assert got == pytest.approx(exp, abs=1e-2, rel=1e-4)
+
+
+class TestModel:
+    def test_single_accumulator_ii_is_add_latency(self):
+        assert AccumulatorModel(64, 1).ii == 11
+
+    def test_enough_lanes_reach_ii1(self):
+        # Paper: "a higher number of accumulators than the single addition
+        # latency" pipelines fully.
+        assert AccumulatorModel(64, 11).ii == 1
+        assert AccumulatorModel(64, 12).ii == 1
+
+    def test_partial_unroll_intermediate_ii(self):
+        assert AccumulatorModel(64, 4).ii == 3  # ceil(11/4)
+
+    def test_latency_decreases_with_lanes(self):
+        lat = [AccumulatorModel(64, l).total_latency for l in (1, 2, 4, 12)]
+        assert lat == sorted(lat, reverse=True)
+
+    def test_resource_increase_with_lanes(self):
+        # The paper's trade-off: lower latency, higher resource utilization.
+        assert (
+            AccumulatorModel(64, 12).resources.dsp
+            > AccumulatorModel(64, 1).resources.dsp
+        )
+
+    def test_speedup_vs_single(self):
+        assert AccumulatorModel(900, 12).speedup_vs_single() > 5
+
+    def test_invalid_terms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccumulatorModel(0, 1)
+
+    def test_fixed_point_has_no_issue(self):
+        # Section IV-B: "the issue does not arise when using integer values".
+        assert AccumulatorModel(64, 1, dtype="fixed16").ii == 1

@@ -1,0 +1,103 @@
+"""Unit + property tests for the ap_fixed datatype model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hls import DEFAULT_FIXED, FixedPointFormat
+
+
+class TestValidation:
+    def test_width_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(1, 1)
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(65, 8)
+
+    def test_integer_bits_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(16, 0)
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(16, 17)
+
+    def test_unknown_rounding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(16, 6, rounding="stochastic")
+
+
+class TestProperties:
+    def test_frac_bits(self):
+        assert FixedPointFormat(16, 6).frac_bits == 10
+
+    def test_scale(self):
+        assert FixedPointFormat(16, 6).scale == 2.0 ** -10
+
+    def test_range(self):
+        f = FixedPointFormat(8, 4)
+        assert f.max_value == (2 ** 7 - 1) / 16
+        assert f.min_value == -(2 ** 7) / 16
+
+    def test_describe(self):
+        assert FixedPointFormat(16, 6).describe() == "ap_fixed<16,6>"
+
+    def test_dtype_key(self):
+        assert FixedPointFormat(16, 6).dtype_key == "fixed16"
+        assert FixedPointFormat(32, 12).dtype_key == "fixed32"
+
+
+class TestQuantization:
+    def test_exactly_representable_roundtrips(self):
+        f = FixedPointFormat(16, 6)
+        vals = np.array([0.5, -1.25, 3.0625])
+        assert np.array_equal(f.quantize(vals), vals)
+
+    def test_rounding_to_nearest(self):
+        f = FixedPointFormat(8, 4, rounding="round")
+        # scale = 1/16; 0.04 -> 0.0625 (nearest multiple is 1/16*1=0.0625? no: 0.04*16=0.64 -> 1)
+        assert f.quantize(np.array([0.04]))[0] == pytest.approx(1 / 16)
+
+    def test_truncation_mode(self):
+        f = FixedPointFormat(8, 4, rounding="trunc")
+        assert f.quantize(np.array([0.059]))[0] == 0.0
+
+    def test_saturation_high(self):
+        f = FixedPointFormat(8, 4)
+        assert f.quantize(np.array([100.0]))[0] == f.max_value
+
+    def test_saturation_low(self):
+        f = FixedPointFormat(8, 4)
+        assert f.quantize(np.array([-100.0]))[0] == f.min_value
+
+    def test_error_bounded_by_half_lsb(self):
+        f = FixedPointFormat(16, 6)
+        vals = np.linspace(-20, 20, 1001)
+        assert f.quantization_error(vals) <= f.scale / 2 + 1e-12
+
+    def test_error_empty_is_zero(self):
+        assert FixedPointFormat(16, 6).quantization_error(np.array([])) == 0.0
+
+    @settings(max_examples=50)
+    @given(
+        st.integers(4, 24),
+        st.floats(-30, 30),
+    )
+    def test_property_idempotent(self, width, value):
+        f = FixedPointFormat(width, min(6, width))
+        once = f.quantize(np.array([value]))
+        twice = f.quantize(once)
+        assert np.array_equal(once, twice)
+
+    @settings(max_examples=50)
+    @given(st.floats(-30, 30))
+    def test_property_within_range_error_bounded(self, value):
+        f = DEFAULT_FIXED
+        if not (f.min_value <= value <= f.max_value):
+            return
+        q = float(f.quantize(np.array([value]))[0])
+        assert abs(q - value) <= f.scale / 2 + 1e-12
+
+    def test_raw_roundtrip(self):
+        f = FixedPointFormat(12, 4)
+        raw = f.to_raw(np.array([1.5, -2.25]))
+        assert np.allclose(f.from_raw(raw), [1.5, -2.25])

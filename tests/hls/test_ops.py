@@ -1,0 +1,48 @@
+"""Unit tests for the operator cost tables."""
+
+import pytest
+
+from repro.config import FADD_LATENCY_CYCLES, FMUL_LATENCY_CYCLES
+from repro.errors import ConfigurationError
+from repro.hls import mac_cost, op_cost
+
+
+class TestLookup:
+    def test_float_add_latency_is_papers_11_cycles(self):
+        assert op_cost("add", "float32").latency == FADD_LATENCY_CYCLES == 11
+
+    def test_float_mul_latency(self):
+        assert op_cost("mul", "float32").latency == FMUL_LATENCY_CYCLES
+
+    def test_float_ops_use_dsps(self):
+        assert op_cost("mul", "float32").resources.dsp == 3
+        assert op_cost("add", "float32").resources.dsp == 2
+
+    def test_fixed16_single_cycle(self):
+        assert op_cost("add", "fixed16").latency == 1
+        assert op_cost("mul", "fixed16").latency == 1
+
+    def test_fixed16_mul_one_dsp(self):
+        assert op_cost("mul", "fixed16").resources.dsp == 1
+
+    def test_fixed_add_no_dsp(self):
+        assert op_cost("add", "fixed16").resources.dsp == 0
+        assert op_cost("add", "fixed32").resources.dsp == 0
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ConfigurationError):
+            op_cost("add", "float64")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            op_cost("fma", "float32")
+
+    def test_mac_cost_pair(self):
+        mul, add = mac_cost("float32")
+        assert mul.resources.dsp == 3 and add.resources.dsp == 2
+
+    def test_fixed_cheaper_than_float_everywhere(self):
+        for op in ("add", "mul", "cmp"):
+            f = op_cost(op, "float32").resources
+            x = op_cost(op, "fixed16").resources
+            assert x.dsp <= f.dsp and x.lut <= f.lut and x.ff <= f.ff

@@ -1,0 +1,85 @@
+"""Unit tests for Eq. 4 and pipeline latency math."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hls import PipelineSchedule, initiation_interval, tree_depth
+
+
+class TestEquation4:
+    def test_balanced_ports(self):
+        # II = max(OUT_FM/OUT_PORTS, IN_FM/IN_PORTS).
+        assert initiation_interval(6, 6, 16, 1) == 16
+
+    def test_input_bound(self):
+        assert initiation_interval(12, 1, 12, 12) == 12
+
+    def test_fully_parallel_is_ii1(self):
+        assert initiation_interval(6, 6, 16, 16) == 1
+
+    def test_paper_tc2_conv2(self):
+        assert initiation_interval(12, 1, 36, 1) == 36
+
+    def test_paper_tc1_conv1(self):
+        assert initiation_interval(1, 1, 6, 6) == 1
+
+    def test_nondividing_in_ports_rejected(self):
+        with pytest.raises(ConfigurationError):
+            initiation_interval(6, 4, 16, 1)
+
+    def test_nondividing_out_ports_rejected(self):
+        with pytest.raises(ConfigurationError):
+            initiation_interval(6, 6, 16, 3)
+
+    def test_zero_ports_rejected(self):
+        with pytest.raises(ConfigurationError):
+            initiation_interval(6, 0, 16, 1)
+
+    @given(
+        in_fm=st.integers(1, 64), out_fm=st.integers(1, 64),
+    )
+    def test_single_port_ii_is_max_fm(self, in_fm, out_fm):
+        assert initiation_interval(in_fm, 1, out_fm, 1) == max(in_fm, out_fm)
+
+    @given(in_fm=st.integers(1, 32), out_fm=st.integers(1, 32))
+    def test_more_ports_never_slower(self, in_fm, out_fm):
+        base = initiation_interval(in_fm, 1, out_fm, 1)
+        best = initiation_interval(in_fm, in_fm, out_fm, out_fm)
+        assert best <= base
+
+
+class TestSchedule:
+    def test_latency_formula(self):
+        s = PipelineSchedule(ii=2, depth=10, trip_count=5)
+        assert s.latency == 10 + 2 * 4
+
+    def test_zero_trips(self):
+        assert PipelineSchedule(ii=1, depth=5, trip_count=0).latency == 0
+
+    def test_throughput(self):
+        s = PipelineSchedule(ii=4, depth=10, trip_count=100)
+        assert s.throughput(100e6) == 25e6
+
+    def test_invalid_ii_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineSchedule(ii=0, depth=1, trip_count=1)
+
+    def test_steady_interval(self):
+        assert PipelineSchedule(ii=3, depth=9, trip_count=2).steady_interval == 3
+
+
+class TestTreeDepth:
+    def test_one_input_no_levels(self):
+        assert tree_depth(1) == 0
+
+    def test_powers_of_two(self):
+        assert tree_depth(2) == 1
+        assert tree_depth(8) == 3
+
+    def test_non_power(self):
+        assert tree_depth(25) == 5
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tree_depth(0)

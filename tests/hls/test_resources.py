@@ -1,0 +1,68 @@
+"""Unit tests for resource vectors and BRAM sizing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hls import ResourceVector, ZERO, bram36_for_words
+
+
+class TestResourceVector:
+    def test_addition(self):
+        r = ResourceVector(1, 2, 3, 4) + ResourceVector(10, 20, 30, 40)
+        assert (r.ff, r.lut, r.bram, r.dsp) == (11, 22, 33, 44)
+
+    def test_subtraction(self):
+        r = ResourceVector(10, 10, 10, 10) - ResourceVector(1, 2, 3, 4)
+        assert (r.ff, r.lut, r.bram, r.dsp) == (9, 8, 7, 6)
+
+    def test_scalar_multiplication(self):
+        r = ResourceVector(1, 2, 3, 4) * 3
+        assert (r.ff, r.lut, r.bram, r.dsp) == (3, 6, 9, 12)
+
+    def test_rmul(self):
+        assert (2 * ResourceVector(dsp=5)).dsp == 10
+
+    def test_fits_in(self):
+        budget = ResourceVector(100, 100, 10, 10)
+        assert ResourceVector(100, 50, 10, 1).fits_in(budget)
+        assert not ResourceVector(101, 50, 10, 1).fits_in(budget)
+
+    def test_utilization(self):
+        u = ResourceVector(50, 25, 5, 1).utilization(ResourceVector(100, 100, 10, 10))
+        assert u == {"ff": 0.5, "lut": 0.25, "bram": 0.5, "dsp": 0.1}
+
+    def test_utilization_zero_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResourceVector(1, 1, 1, 1).utilization(ResourceVector(0, 1, 1, 1))
+
+    def test_rounded(self):
+        r = ResourceVector(1.2, 2.0, 0.1, 3.9).rounded()
+        assert (r.ff, r.lut, r.bram, r.dsp) == (2, 2, 1, 4)
+
+    def test_zero_constant(self):
+        assert (ZERO + ResourceVector(dsp=1)).dsp == 1
+
+    def test_as_dict_roundtrip(self):
+        d = ResourceVector(1, 2, 3, 4).as_dict()
+        assert d == {"ff": 1, "lut": 2, "bram": 3, "dsp": 4}
+
+
+class TestBram36:
+    def test_zero_words(self):
+        assert bram36_for_words(0) == 0
+
+    def test_shallow_buffer_costs_nothing(self):
+        assert bram36_for_words(16, 32) == 0
+
+    def test_one_bram_for_1k_words(self):
+        assert bram36_for_words(1024, 32) == 1
+
+    def test_two_brams_for_1025_words(self):
+        assert bram36_for_words(1025, 32) == 2
+
+    def test_large_rom(self):
+        assert bram36_for_words(57_600, 32) == 57  # TC2 fc1 weights
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bram36_for_words(-1)

@@ -1,0 +1,85 @@
+"""End-to-end integration: trained networks through the cycle simulator.
+
+These are the load-bearing correctness tests of the whole repository:
+train the paper's networks on the synthetic datasets, compile them to
+dataflow graphs, stream real test images through the cycle-accurate
+simulator, and demand (a) numerical agreement with the software model and
+(b) identical classification decisions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    cifar10_design,
+    cifar10_model,
+    extract_weights,
+    run_batch,
+    usps_design,
+    usps_model,
+)
+from repro.datasets import generate_cifar10, generate_usps, train_test_split
+from repro.nn import accuracy, train_classifier
+
+
+@pytest.fixture(scope="module")
+def trained_usps():
+    x, y = generate_usps(400, seed=42)
+    xt, yt, xv, yv = train_test_split(x, y, 0.2, seed=42)
+    model = usps_model(np.random.default_rng(42))
+    res = train_classifier(model, xt, yt, epochs=6, batch_size=32, lr=0.08,
+                           x_test=xv, y_test=yv, seed=42)
+    return model, xv, yv, res
+
+
+class TestUspsEndToEnd:
+    def test_training_reaches_useful_accuracy(self, trained_usps):
+        _, _, _, res = trained_usps
+        assert res.test_accuracy > 0.85
+
+    def test_simulated_outputs_match_reference(self, trained_usps):
+        model, xv, _, _ = trained_usps
+        design = usps_design()
+        report = run_batch(design, extract_weights(design, model), xv[:6],
+                           reference=model)
+        assert report.max_abs_error < 1e-4
+
+    def test_simulated_classifications_identical(self, trained_usps):
+        model, xv, yv, _ = trained_usps
+        design = usps_design()
+        report = run_batch(design, extract_weights(design, model), xv[:10])
+        sim_pred = np.argmax(report.outputs, axis=-1)
+        ref_pred = model.predict(xv[:10])
+        assert np.array_equal(sim_pred, ref_pred)
+
+    def test_simulated_accelerator_classifies_digits(self, trained_usps):
+        model, xv, yv, _ = trained_usps
+        design = usps_design()
+        report = run_batch(design, extract_weights(design, model), xv[:10])
+        sim_pred = np.argmax(report.outputs, axis=-1)
+        assert accuracy(sim_pred, yv[:10]) > 0.6
+
+    def test_batch_pipelining_at_paper_interval(self, trained_usps):
+        model, xv, _, _ = trained_usps
+        design = usps_design()
+        report = run_batch(design, extract_weights(design, model), xv[:6])
+        assert report.measured_interval == 256  # DMA-bound, one pixel/cycle
+
+
+class TestCifarEndToEnd:
+    def test_simulated_outputs_match_reference(self, rng):
+        # Untrained weights suffice for numerical equivalence; training
+        # TC2 in-suite would be slow.
+        model = cifar10_model(np.random.default_rng(7))
+        design = cifar10_design()
+        x, _ = generate_cifar10(2, seed=7)
+        report = run_batch(design, extract_weights(design, model), x,
+                           reference=model)
+        assert report.max_abs_error < 1e-4
+
+    def test_interval_matches_model_within_tolerance(self, rng):
+        model = cifar10_model(np.random.default_rng(7))
+        design = cifar10_design()
+        x, _ = generate_cifar10(2, seed=8)
+        report = run_batch(design, extract_weights(design, model), x)
+        assert report.measured_interval == pytest.approx(9408, rel=0.05)

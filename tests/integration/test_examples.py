@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken one is a bug. Each runs
+in a subprocess with a scratch working directory (some write artifacts).
+The CIFAR-10 pipeline is exercised with a reduced workload via its
+building blocks elsewhere; its full script is excluded here only for
+suite runtime.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_network.py",
+    "verify_and_report.py",
+    "dse_explore.py",
+    "usps_pipeline.py",
+    "fixed_point_inference.py",
+    "trace_pipeline.py",
+    "model_zoo_analysis.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, tmp_path):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    assert os.path.exists(path), path
+    proc = subprocess.run(
+        [sys.executable, path],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_are_listed():
+    present = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    covered = set(FAST_EXAMPLES) | {"cifar10_pipeline.py"}
+    assert present == covered, (
+        "new example scripts must be added to the smoke tests"
+    )

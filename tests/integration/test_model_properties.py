@@ -1,0 +1,71 @@
+"""Property tests: the analytical models are total over valid designs.
+
+For any design the strategy can produce, the performance model, resource
+model, HLS report, DSE enumeration and block-design rendering must
+succeed and satisfy their basic invariants — no crashes, no nonsensical
+numbers. These guard the analytical half of the library the way the
+random-design simulation test guards the elaboration half.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import core_reports, design_resources, network_perf
+from repro.dse import apply_configuration, iter_configurations
+from tests.strategies import small_designs
+
+_SETTINGS = dict(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestAnalyticalTotality:
+    @settings(**_SETTINGS)
+    @given(design=small_designs())
+    def test_perf_model_invariants(self, design):
+        perf = network_perf(design)
+        assert perf.interval >= 1
+        assert perf.fill_latency >= perf.interval
+        for layer in perf.layers:
+            assert layer.interval >= max(1, layer.core_cycles // max(layer.core_cycles, 1))
+            assert layer.in_beats > 0 and layer.out_beats > 0
+        # Batch curve is monotone non-increasing.
+        means = [perf.mean_cycles_per_image(b) for b in (1, 2, 4, 16)]
+        assert all(a >= b for a, b in zip(means, means[1:]))
+
+    @settings(**_SETTINGS)
+    @given(design=small_designs())
+    def test_resource_model_invariants(self, design):
+        res = design_resources(design)
+        total = res.total
+        assert total.ff > 0 and total.lut > 0 and total.dsp >= 0
+        # Per-layer parts sum (with the base) to the total.
+        acc = res.base
+        for r in res.per_layer.values():
+            acc = acc + r
+        assert acc.as_dict() == total.as_dict()
+
+    @settings(**_SETTINGS)
+    @given(design=small_designs())
+    def test_hls_report_covers_all_layers(self, design):
+        reports = core_reports(design)
+        assert len(reports) == design.n_layers
+        for c in reports:
+            assert c.ii >= 1 and c.latency > 0
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(design=small_designs())
+    def test_dse_space_configs_all_validate(self, design):
+        n = 0
+        for config in iter_configurations(design, limit=200):
+            applied = apply_configuration(design, config)  # raises if invalid
+            assert applied.n_layers == design.n_layers
+            n += 1
+        assert n >= 1  # the given configuration itself is always valid
+
+    @settings(**_SETTINGS)
+    @given(design=small_designs())
+    def test_block_design_renders(self, design):
+        text = design.block_design()
+        for spec in design.specs:
+            assert f"[{spec.name}]" in text

@@ -1,0 +1,115 @@
+"""Paper-shape integration tests: every headline claim, as an assertion.
+
+One test per qualitative claim of the paper's evaluation; the benchmark
+harness regenerates the tables/figures, these tests pin the shapes so a
+regression anywhere in the stack fails loudly.
+"""
+
+import pytest
+
+from repro.baselines import MICROSOFT_CIFAR10, sequential_perf
+from repro.core import (
+    batch_sweep,
+    cifar10_design,
+    design_resources,
+    network_perf,
+    usps_design,
+)
+from repro.fpga import PAPER_POWER, VC707, XC7VX485T
+
+
+class TestFigure6Shapes:
+    def test_mean_time_decreases_monotonically(self):
+        for design in (usps_design(), cifar10_design()):
+            rows = batch_sweep(design, list(range(1, 51)), VC707)
+            means = [r["mean_us"] for r in rows]
+            assert means == sorted(means, reverse=True)
+
+    def test_convergence_when_batch_exceeds_layer_count(self):
+        # "the time converges approximatively when the size of the batch of
+        # images becomes greater than the total number of layers".
+        for design in (usps_design(), cifar10_design()):
+            perf = network_perf(design)
+            converged_us = perf.interval / 100
+            rows = batch_sweep(design, [design.n_layers + 2, 1000], VC707)
+            assert rows[0]["mean_us"] < 2.5 * converged_us
+            assert rows[1]["mean_us"] == pytest.approx(converged_us, rel=0.01)
+
+    def test_tc2_slower_than_tc1_by_large_factor(self):
+        t1 = network_perf(usps_design()).interval
+        t2 = network_perf(cifar10_design()).interval
+        # Paper: 5.8 us vs 128.1 us (22x); our simulated substrate: 2.56 vs
+        # 94.1 us (37x). Same direction, same order of magnitude.
+        assert 10 < t2 / t1 < 60
+
+
+class TestTable1Shapes:
+    def test_both_designs_fit(self):
+        for design in (usps_design(), cifar10_design()):
+            assert design_resources(design).fits(XC7VX485T)
+
+    def test_tc1_under_about_half_tc2_well_above(self):
+        # "the CNN of test case 1 ... consumes approximatively less than 50%
+        # of the available resources" (DSP slightly above, as in the paper);
+        # test case 2 "consumes a higher number of resources".
+        u1 = design_resources(usps_design()).utilization(XC7VX485T)
+        u2 = design_resources(cifar10_design()).utilization(XC7VX485T)
+        assert u1["ff"] < 0.5 and u1["lut"] < 0.6 and u1["bram"] < 0.1
+        assert all(u2[k] > u1[k] for k in u1)
+
+    def test_tc2_cannot_be_parallelized_much_further(self):
+        # The paper could not parallelize TC2's conv layers; our resource
+        # model agrees: the II=1 fully-parallel conv2 alone blows the DSPs.
+        from repro.core import with_layer_ports
+
+        big = with_layer_ports(cifar10_design(), "conv2", 12, 36)
+        assert not design_resources(big).fits(XC7VX485T)
+
+
+class TestTable2Shapes:
+    def test_dataflow_beats_microsoft_by_several_x(self):
+        ips = network_perf(cifar10_design()).images_per_second(VC707)
+        speedup = MICROSOFT_CIFAR10.speedup_of(ips)
+        # Paper claims 3.36x at its measured 7809 img/s; our simulated
+        # interval gives a somewhat larger factor. Direction + magnitude.
+        assert 2.0 < speedup < 8.0
+
+    def test_tc2_more_power_efficient_than_tc1(self):
+        # Paper: 1.19 vs 0.25 GFLOPS/W.
+        effs = {}
+        for design in (usps_design(), cifar10_design()):
+            perf = network_perf(design)
+            res = design_resources(design)
+            gflops = design.flops_per_image() * perf.images_per_second(VC707) / 1e9
+            effs[design.name] = PAPER_POWER.efficiency_gflops_per_w(gflops, res.total)
+        assert effs["cifar10-tc2"] > effs["usps-tc1"]
+
+    def test_power_in_paper_envelope(self):
+        for design in (usps_design(), cifar10_design()):
+            watts = PAPER_POWER.total_power_w(design_resources(design).total)
+            assert 17 < watts < 29  # Table II implies ~21 and ~24 W
+
+    def test_latency_same_order_as_paper(self):
+        lat_tc1 = network_perf(usps_design()).image_latency_s(VC707) * 1e3
+        lat_tc2 = network_perf(cifar10_design()).image_latency_s(VC707) * 1e3
+        assert 0.3 < lat_tc1 / 0.0058 < 1.2
+        assert 0.3 < lat_tc2 / 0.128 < 1.2
+
+
+class TestPipelineClaims:
+    def test_sequential_baseline_much_slower(self):
+        # The motivating claim: a non-dataflow implementation "effectively
+        # diminishes the overall performance gains".
+        for design in (usps_design(), cifar10_design()):
+            ratio = (
+                sequential_perf(design).cycles_per_image
+                / network_perf(design).interval
+            )
+            assert ratio > 2.0
+
+    def test_sequential_baseline_loses_to_microsoft_dataflow_wins(self):
+        # Our layer-at-a-time variant of TC2 would NOT have beaten [28];
+        # the dataflow pipeline is what wins the comparison.
+        seq_ips = sequential_perf(cifar10_design()).images_per_second(VC707)
+        df_ips = network_perf(cifar10_design()).images_per_second(VC707)
+        assert seq_ips < MICROSOFT_CIFAR10.images_per_second < df_ips

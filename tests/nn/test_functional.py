@@ -1,0 +1,124 @@
+"""Unit + property tests for im2col/col2im and convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import col2im, conv2d, conv2d_naive, im2col
+from repro.sst import WindowSpec
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        cols = im2col(x, WindowSpec(3, 3))
+        assert cols.shape == (2, 27, 36)
+
+    def test_column_content(self, rng):
+        x = rng.standard_normal((1, 1, 5, 5)).astype(np.float32)
+        cols = im2col(x, WindowSpec(3, 3))
+        # Column 0 is the window at (0, 0), row-major.
+        assert np.array_equal(cols[0, :, 0], x[0, 0, :3, :3].ravel())
+
+    def test_stride_skips(self, rng):
+        x = rng.standard_normal((1, 1, 6, 6)).astype(np.float32)
+        cols = im2col(x, WindowSpec(2, 2, stride=2))
+        assert cols.shape == (1, 4, 9)
+        assert np.array_equal(cols[0, :, 1], x[0, 0, 0:2, 2:4].ravel())
+
+    def test_padding_zeros(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4)).astype(np.float32)
+        cols = im2col(x, WindowSpec(3, 3, pad=1))
+        # First window's first row is padding.
+        assert np.all(cols[0, :3, 0] == 0)
+
+    def test_requires_4d(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((3, 8, 8), dtype=np.float32), WindowSpec(3, 3))
+
+
+class TestCol2Im:
+    def test_adjoint_of_im2col(self, rng):
+        # <im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+        # that makes the conv backward pass correct.
+        spec = WindowSpec(3, 3, stride=2, pad=1)
+        x = rng.standard_normal((2, 3, 7, 8)).astype(np.float64)
+        cols_shape = im2col(x.astype(np.float32), spec).shape
+        y = rng.standard_normal(cols_shape)
+        lhs = np.sum(im2col(x.astype(np.float32), spec).astype(np.float64) * y)
+        rhs = np.sum(x * col2im(y, x.shape, spec))
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+    def test_overlap_accumulates(self):
+        spec = WindowSpec(2, 2)
+        cols = np.ones((1, 4, 4), dtype=np.float32)  # 3x3 input, 2x2 windows
+        out = col2im(cols, (1, 1, 3, 3), spec)
+        # Center pixel belongs to all 4 windows.
+        assert out[0, 0, 1, 1] == 4
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            col2im(np.zeros((1, 4, 4), dtype=np.float32), (1, 1, 5, 5), WindowSpec(2, 2))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 2), st.integers(1, 3), st.integers(1, 3),
+        st.integers(1, 2), st.integers(0, 1), st.integers(5, 8), st.integers(5, 8),
+        st.integers(0, 2**16),
+    )
+    def test_property_adjoint(self, n, c, k, stride, pad, h, w, seed):
+        if pad >= k:
+            return
+        spec = WindowSpec(k, k, stride, pad)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, c, h, w))
+        cols = im2col(x.astype(np.float32), spec)
+        y = rng.standard_normal(cols.shape)
+        lhs = np.sum(cols.astype(np.float64) * y)
+        rhs = np.sum(x * col2im(y, x.shape, spec))
+        assert lhs == pytest.approx(rhs, rel=1e-5, abs=1e-6)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            WindowSpec(3, 3),
+            WindowSpec(5, 5),
+            WindowSpec(3, 3, stride=2),
+            WindowSpec(3, 3, pad=1),
+            WindowSpec(3, 3, stride=2, pad=1),
+            WindowSpec(1, 1),
+        ],
+    )
+    def test_matches_naive(self, rng, spec):
+        x = rng.standard_normal((2, 3, 9, 10)).astype(np.float32)
+        w = rng.standard_normal((4, 3, spec.kh, spec.kw)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        assert np.allclose(conv2d(x, w, b, spec), conv2d_naive(x, w, b, spec), atol=1e-4)
+
+    def test_channel_mismatch_rejected(self, rng):
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            conv2d(x, w, np.zeros(4, dtype=np.float32), WindowSpec(3, 3))
+
+    def test_kernel_spec_mismatch_rejected(self, rng):
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 5, 5)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            conv2d(x, w, np.zeros(4, dtype=np.float32), WindowSpec(3, 3))
+
+    def test_bias_shape_rejected(self, rng):
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            conv2d(x, w, np.zeros(3, dtype=np.float32), WindowSpec(3, 3))
+
+    def test_bias_added_per_filter(self, rng):
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        w = np.zeros((2, 1, 3, 3), dtype=np.float32)
+        b = np.array([1.5, -2.0], dtype=np.float32)
+        out = conv2d(x, w, b, WindowSpec(3, 3))
+        assert np.all(out[0, 0] == 1.5) and np.all(out[0, 1] == -2.0)

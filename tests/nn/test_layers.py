@@ -1,0 +1,219 @@
+"""Unit tests for every layer, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (
+    Conv2D,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    MeanPool2D,
+    ReLU,
+    Tanh,
+    activation_fn,
+    make_activation,
+)
+from repro.nn.losses import cross_entropy
+
+
+def numerical_grad_check(layer, x, param_name, idx, labels=None, eps=1e-3):
+    """Finite-difference check of one parameter entry against backward()."""
+    out = layer.forward(x, train=True)
+    n, *rest = out.shape
+    flat = out.reshape(n, -1)
+    labels = np.zeros(n, dtype=np.int64) if labels is None else labels
+    _, grad = cross_entropy(flat, labels)
+    layer.backward(grad.reshape(out.shape))
+    analytic = layer.grads()[param_name][idx]
+    p = layer.params()[param_name]
+    orig = p[idx]
+    p[idx] = orig + eps
+    lp, _ = cross_entropy(layer.forward(x).reshape(n, -1), labels)
+    p[idx] = orig - eps
+    lm, _ = cross_entropy(layer.forward(x).reshape(n, -1), labels)
+    p[idx] = orig
+    numeric = (lp - lm) / (2 * eps)
+    assert numeric == pytest.approx(float(analytic), abs=2e-2, rel=5e-2)
+
+
+def numerical_input_grad_check(layer, x, eps=1e-3):
+    """Finite-difference check of dL/dx against backward()'s return."""
+    out = layer.forward(x, train=True)
+    n = out.shape[0]
+    labels = np.zeros(n, dtype=np.int64)
+    _, grad = cross_entropy(out.reshape(n, -1), labels)
+    dx = layer.backward(grad.reshape(out.shape))
+    idx = tuple(0 for _ in x.shape)
+    xp = x.copy()
+    xp[idx] += eps
+    lp, _ = cross_entropy(layer.forward(xp).reshape(n, -1), labels)
+    xm = x.copy()
+    xm[idx] -= eps
+    lm, _ = cross_entropy(layer.forward(xm).reshape(n, -1), labels)
+    numeric = (lp - lm) / (2 * eps)
+    assert numeric == pytest.approx(float(dx[idx]), abs=2e-2, rel=5e-2)
+
+
+class TestConv2D:
+    def test_out_shape(self):
+        layer = Conv2D(3, 8, 5)
+        assert layer.out_shape((3, 16, 16)) == (8, 12, 12)
+
+    def test_forward_shape(self, rng):
+        layer = Conv2D(2, 4, 3, rng=rng)
+        x = rng.standard_normal((5, 2, 8, 8)).astype(np.float32)
+        assert layer.forward(x).shape == (5, 4, 6, 6)
+
+    def test_channel_mismatch(self, rng):
+        layer = Conv2D(2, 4, 3, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(rng.standard_normal((1, 3, 8, 8)).astype(np.float32))
+
+    def test_weight_grad_check(self, rng):
+        layer = Conv2D(2, 3, 3, rng=rng)
+        x = rng.standard_normal((4, 2, 6, 6)).astype(np.float32)
+        numerical_grad_check(layer, x, "weight", (1, 0, 2, 1))
+
+    def test_bias_grad_check(self, rng):
+        layer = Conv2D(1, 2, 3, rng=rng)
+        x = rng.standard_normal((4, 1, 6, 6)).astype(np.float32)
+        numerical_grad_check(layer, x, "bias", (1,))
+
+    def test_input_grad_check(self, rng):
+        layer = Conv2D(2, 3, 3, rng=rng)
+        x = rng.standard_normal((3, 2, 6, 6)).astype(np.float32)
+        numerical_input_grad_check(layer, x)
+
+    def test_strided_padded_grad_check(self, rng):
+        layer = Conv2D(1, 2, 3, stride=2, pad=1, rng=rng)
+        x = rng.standard_normal((3, 1, 7, 7)).astype(np.float32)
+        numerical_grad_check(layer, x, "weight", (0, 0, 1, 1))
+
+    def test_backward_before_forward_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            Conv2D(1, 1, 3, rng=rng).backward(np.zeros((1, 1, 1, 1), dtype=np.float32))
+
+    def test_n_params(self):
+        assert Conv2D(3, 8, 5).n_params() == 8 * 3 * 25 + 8
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        assert np.array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_meanpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = MeanPool2D(2).forward(x)
+        assert np.array_equal(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_channels_independent(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out = MaxPool2D(2).forward(x)
+        for c in range(3):
+            solo = MaxPool2D(2).forward(x[:, c : c + 1])
+            assert np.array_equal(out[:, c], solo[:, 0])
+
+    def test_maxpool_grad_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        layer = MaxPool2D(2)
+        layer.forward(x, train=True)
+        grad = np.ones((1, 1, 2, 2), dtype=np.float32)
+        dx = layer.backward(grad)
+        assert dx[0, 0, 1, 1] == 1  # value 5 was the max of its window
+        assert dx[0, 0, 0, 0] == 0
+
+    def test_meanpool_grad_spreads(self):
+        layer = MeanPool2D(2)
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        layer.forward(x, train=True)
+        dx = layer.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        assert np.allclose(dx, 0.25)
+
+    def test_maxpool_input_grad_check(self, rng):
+        layer = MaxPool2D(2)
+        x = rng.standard_normal((3, 2, 6, 6)).astype(np.float32)
+        numerical_input_grad_check(layer, x)
+
+    def test_out_shape(self):
+        assert MaxPool2D(2).out_shape((6, 12, 12)) == (6, 6, 6)
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self, rng):
+        layer = Linear(8, 4, rng=rng)
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        assert np.allclose(layer.forward(x), x @ layer.weight.T + layer.bias, atol=1e-6)
+
+    def test_weight_grad_check(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        numerical_grad_check(layer, x, "weight", (2, 3))
+
+    def test_bias_grad_check(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        numerical_grad_check(layer, x, "bias", (0,))
+
+    def test_input_grad_check(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        x = rng.standard_normal((3, 6)).astype(np.float32)
+        numerical_input_grad_check(layer, x)
+
+    def test_wrong_width_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            Linear(6, 4, rng=rng).forward(rng.standard_normal((3, 7)).astype(np.float32))
+
+
+class TestActivations:
+    def test_tanh_range(self, rng):
+        out = Tanh().forward(rng.standard_normal((2, 3)).astype(np.float32) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_relu_clamps(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]], dtype=np.float32))
+        assert np.array_equal(out, [[0.0, 2.0]])
+
+    def test_tanh_grad(self, rng):
+        layer = Tanh()
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        numerical_input_grad_check(layer, x)
+
+    def test_relu_grad_mask(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 2.0]], dtype=np.float32)
+        layer.forward(x, train=True)
+        dx = layer.backward(np.ones_like(x))
+        assert np.array_equal(dx, [[0.0, 1.0]])
+
+    def test_activation_fn_lookup(self):
+        assert activation_fn("relu")(np.float32(-3)) == 0
+        assert activation_fn(None)(5) == 5
+        with pytest.raises(ValueError):
+            activation_fn("gelu")
+
+    def test_make_activation(self):
+        assert make_activation(None) is None
+        assert isinstance(make_activation("tanh"), Tanh)
+
+
+class TestFlatten:
+    def test_channels_innermost_order(self):
+        # (N, C, H, W) -> pixel-major, channel-minor: the stream order of
+        # the dataflow pipeline entering the FC core.
+        x = np.arange(2 * 3 * 2 * 2, dtype=np.float32).reshape(2, 3, 2, 2)
+        out = Flatten().forward(x)
+        assert np.array_equal(out[0, :3], x[0, :, 0, 0])
+
+    def test_roundtrip_via_backward(self, rng):
+        layer = Flatten()
+        x = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        out = layer.forward(x, train=True)
+        back = layer.backward(out)
+        assert np.array_equal(back, x)
+
+    def test_out_shape(self):
+        assert Flatten().out_shape((16, 2, 2)) == (64,)

@@ -1,0 +1,83 @@
+"""Unit tests for log-softmax (Eq. 3) and cross-entropy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ShapeError
+from repro.nn import cross_entropy, log_softmax, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(rng.standard_normal((5, 10)).astype(np.float32))
+        assert np.allclose(p.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_values_in_unit_interval(self, rng):
+        p = softmax(rng.standard_normal((5, 10)).astype(np.float32) * 20)
+        assert np.all(p >= 0) and np.all(p <= 1)
+
+    def test_stable_for_large_logits(self):
+        p = softmax(np.array([[1000.0, 0.0]], dtype=np.float32))
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        assert np.allclose(softmax(x), softmax(x + 100), atol=1e-5)
+
+    @settings(max_examples=30)
+    @given(arrays(np.float32, (4, 6), elements=st.floats(-50, 50, width=32)))
+    def test_property_eq3_normalization(self, x):
+        p = softmax(x)
+        assert np.all(p >= 0) and np.all(p <= 1 + 1e-6)
+        assert np.allclose(p.sum(axis=-1), 1.0, atol=1e-4)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[20.0, 0.0], [0.0, 20.0]], dtype=np.float32)
+        loss, _ = cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((3, 10), dtype=np.float32)
+        loss, _ = cross_entropy(logits, np.array([0, 5, 9]))
+        assert loss == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_gradient_sums_to_zero_per_row(self, rng):
+        logits = rng.standard_normal((4, 5)).astype(np.float32)
+        _, grad = cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert np.allclose(grad.sum(axis=-1), 0.0, atol=1e-6)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        logits = rng.standard_normal((2, 4)).astype(np.float64)
+        labels = np.array([1, 3])
+        _, grad = cross_entropy(logits.astype(np.float32), labels)
+        eps = 1e-4
+        lp = logits.copy()
+        lp[0, 2] += eps
+        lm = logits.copy()
+        lm[0, 2] -= eps
+        num = (
+            cross_entropy(lp.astype(np.float32), labels)[0]
+            - cross_entropy(lm.astype(np.float32), labels)[0]
+        ) / (2 * eps)
+        assert num == pytest.approx(float(grad[0, 2]), abs=1e-3)
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(np.zeros((2, 3), dtype=np.float32), np.array([0, 3]))
+
+    def test_label_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(np.zeros((2, 3), dtype=np.float32), np.array([0]))
+
+    def test_logits_must_be_2d(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(np.zeros(3, dtype=np.float32), np.array([0]))
+
+    def test_log_softmax_is_log_of_softmax(self, rng):
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        assert np.allclose(log_softmax(x), np.log(softmax(x)), atol=1e-5)

@@ -1,0 +1,66 @@
+"""Unit tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import accuracy, confusion_matrix, top_k_accuracy
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+
+    def test_partial(self):
+        assert accuracy(np.array([1, 2, 0]), np.array([1, 2, 3])) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        m = confusion_matrix(np.array([0, 1, 2]), np.array([0, 1, 2]), 3)
+        assert np.array_equal(m, np.eye(3, dtype=np.int64))
+
+    def test_off_diagonal_errors(self):
+        m = confusion_matrix(np.array([1, 1]), np.array([0, 0]), 2)
+        assert m[0, 1] == 2 and m.sum() == 2
+
+    def test_total_equals_samples(self, rng):
+        pred = rng.integers(0, 4, 50)
+        true = rng.integers(0, 4, 50)
+        assert confusion_matrix(pred, true, 4).sum() == 50
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            confusion_matrix(np.array([0]), np.array([0, 1]), 2)
+
+
+class TestTopK:
+    def test_top1_equals_accuracy(self, rng):
+        logits = rng.standard_normal((20, 5)).astype(np.float32)
+        labels = rng.integers(0, 5, 20)
+        assert top_k_accuracy(logits, labels, k=1) == accuracy(
+            logits.argmax(axis=-1), labels
+        )
+
+    def test_topk_monotone_in_k(self, rng):
+        logits = rng.standard_normal((30, 6)).astype(np.float32)
+        labels = rng.integers(0, 6, 30)
+        accs = [top_k_accuracy(logits, labels, k=k) for k in (1, 2, 4, 6)]
+        assert accs == sorted(accs)
+
+    def test_k_equals_classes_is_one(self, rng):
+        logits = rng.standard_normal((10, 4)).astype(np.float32)
+        labels = rng.integers(0, 4, 10)
+        assert top_k_accuracy(logits, labels, k=4) == 1.0
+
+    def test_invalid_k_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            top_k_accuracy(np.zeros((2, 3), dtype=np.float32), np.array([0, 1]), k=4)

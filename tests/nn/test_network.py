@@ -1,0 +1,68 @@
+"""Unit tests for the Sequential container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import Conv2D, Flatten, Linear, MaxPool2D, Sequential, Tanh
+
+
+def lenet_ish(rng):
+    return Sequential(
+        [
+            Conv2D(1, 4, 3, rng=rng),
+            Tanh(),
+            MaxPool2D(2),
+            Flatten(),
+            Linear(4 * 3 * 3, 5, rng=rng),
+        ],
+        in_shape=(1, 8, 8),
+    )
+
+
+class TestShapes:
+    def test_shape_propagation(self, rng):
+        net = lenet_ish(rng)
+        assert net.shapes == [(1, 8, 8), (4, 6, 6), (4, 6, 6), (4, 3, 3), (36,), (5,)]
+
+    def test_out_shape(self, rng):
+        assert lenet_ish(rng).out_shape == (5,)
+
+    def test_bad_chain_rejected_at_construction(self, rng):
+        with pytest.raises(ShapeError):
+            Sequential(
+                [Conv2D(1, 4, 3, rng=rng), Linear(10, 5, rng=rng)],
+                in_shape=(1, 8, 8),
+            )
+
+    def test_forward_validates_input_shape(self, rng):
+        net = lenet_ish(rng)
+        with pytest.raises(ShapeError):
+            net.forward(np.zeros((2, 1, 9, 9), dtype=np.float32))
+
+
+class TestInference:
+    def test_predict_returns_argmax(self, rng):
+        net = lenet_ish(rng)
+        x = rng.standard_normal((4, 1, 8, 8)).astype(np.float32)
+        logits = net.forward(x)
+        assert np.array_equal(net.predict(x), logits.argmax(axis=-1))
+
+    def test_predict_proba_normalized(self, rng):
+        net = lenet_ish(rng)
+        x = rng.standard_normal((4, 1, 8, 8)).astype(np.float32)
+        p = net.predict_proba(x)
+        assert np.allclose(p.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_n_params(self, rng):
+        net = lenet_ish(rng)
+        assert net.n_params() == (4 * 9 + 4) + (36 * 5 + 5)
+
+    def test_parameters_iterates_all(self, rng):
+        net = lenet_ish(rng)
+        names = [(i, n) for i, n, _, _ in net.parameters()]
+        assert names == [(0, "weight"), (0, "bias"), (4, "weight"), (4, "bias")]
+
+    def test_summary_mentions_layers(self, rng):
+        s = lenet_ish(rng).summary()
+        assert "Conv2D" in s and "Linear" in s and "total params" in s

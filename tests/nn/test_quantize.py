@@ -1,0 +1,83 @@
+"""Unit tests for post-training fixed-point quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hls import FixedPointFormat
+from repro.nn import (
+    Linear,
+    Sequential,
+    Tanh,
+    quantize_network,
+    with_quantized_activations,
+)
+from repro.nn.quantize import QuantizeActivations
+
+
+def small_net(rng):
+    return Sequential([Linear(4, 3, rng=rng), Tanh(), Linear(3, 2, rng=rng)], in_shape=(4,))
+
+
+class TestQuantizeNetwork:
+    def test_weights_become_representable(self, rng):
+        net = small_net(rng)
+        fmt = FixedPointFormat(16, 6)
+        quantize_network(net, fmt)
+        for layer in (net.layers[0], net.layers[2]):
+            assert np.allclose(fmt.quantize(layer.weight), layer.weight, atol=1e-7)
+
+    def test_report_counts_layers(self, rng):
+        rep = quantize_network(small_net(rng), FixedPointFormat(16, 6))
+        assert rep.n_quantized_layers == 2
+        assert rep.fmt == "ap_fixed<16,6>"
+
+    def test_error_bounded_by_half_lsb(self, rng):
+        fmt = FixedPointFormat(12, 4)
+        rep = quantize_network(small_net(rng), fmt)
+        assert rep.max_weight_error <= fmt.scale / 2 + 1e-9
+
+    def test_wide_format_changes_little(self, rng):
+        net = small_net(rng)
+        before = net.layers[0].weight.copy()
+        quantize_network(net, FixedPointFormat(24, 6))
+        assert np.allclose(before, net.layers[0].weight, atol=1e-4)
+
+    def test_no_quantizable_layers_rejected(self):
+        net = Sequential([Tanh()], in_shape=(4,))
+        with pytest.raises(ConfigurationError):
+            quantize_network(net, FixedPointFormat(16, 6))
+
+    def test_coarse_quantization_degrades_more(self, rng):
+        # Three identical networks (same seed), different quantizations.
+        x = rng.standard_normal((20, 4)).astype(np.float32)
+        net = small_net(np.random.default_rng(0))
+        ref = net.forward(x)
+        fine = small_net(np.random.default_rng(0))
+        quantize_network(fine, FixedPointFormat(16, 6))
+        coarse = small_net(np.random.default_rng(0))
+        quantize_network(coarse, FixedPointFormat(4, 2))
+        err_fine = np.abs(fine.forward(x) - ref).max()
+        err_coarse = np.abs(coarse.forward(x) - ref).max()
+        assert err_fine < err_coarse
+
+
+class TestActivationQuantization:
+    def test_layer_rounds_values(self):
+        fmt = FixedPointFormat(8, 4)
+        q = QuantizeActivations(fmt)
+        x = np.array([[0.07]], dtype=np.float32)
+        out = q.forward(x)
+        assert float(out[0, 0]) == pytest.approx(1 / 16)
+
+    def test_backward_is_straight_through(self):
+        q = QuantizeActivations(FixedPointFormat(8, 4))
+        g = np.ones((2, 2), dtype=np.float32)
+        assert np.array_equal(q.backward(g), g)
+
+    def test_wrapper_interleaves(self, rng):
+        net = small_net(rng)
+        qnet = with_quantized_activations(net, FixedPointFormat(16, 6))
+        assert len(qnet.layers) == 2 * len(net.layers)
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        assert np.allclose(qnet.forward(x), net.forward(x), atol=1e-2)

@@ -1,0 +1,35 @@
+"""Unit tests for the experiment registry."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.report import all_experiments, banner, get_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = {e.id for e in all_experiments()}
+        assert {"fig4", "fig5", "fig6", "table1", "table2"} <= ids
+
+    def test_lookup(self):
+        e = get_experiment("table1")
+        assert "resource" in e.title.lower()
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_paper_values_for_table2(self):
+        e = get_experiment("table2")
+        assert e.paper_values["tc2_images_s"] == 7809
+        assert e.paper_values["speedup"] == 3.36
+
+    def test_banner_mentions_id(self):
+        assert "[fig6]" in banner("fig6")
+
+    def test_bench_files_exist(self):
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        for e in all_experiments():
+            assert os.path.exists(os.path.join(root, e.bench)), e.bench

@@ -1,0 +1,45 @@
+"""Unit tests for ASCII plotting and CSV emission."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.report import ascii_plot, to_csv
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        p = ascii_plot([1, 2, 3], [("tc1", [3.0, 2.0, 1.0])], title="fig6")
+        assert "fig6" in p and "* = tc1" in p
+
+    def test_multiple_series_distinct_markers(self):
+        p = ascii_plot([1, 2], [("a", [1.0, 2.0]), ("b", [2.0, 1.0])])
+        assert "* = a" in p and "o = b" in p
+
+    def test_y_extremes_labeled(self):
+        p = ascii_plot([1, 2], [("s", [5.0, 10.0])])
+        assert "10" in p and "5" in p
+
+    def test_constant_series_ok(self):
+        assert ascii_plot([1, 2], [("s", [1.0, 1.0])])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1, 2], [("s", [1.0])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([], [])
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        c = to_csv(["a", "b"], [[1, 2.5]])
+        assert c.splitlines() == ["a,b", "1,2.5"]
+
+    def test_float_precision(self):
+        c = to_csv(["v"], [[1.23456789]])
+        assert "1.23457" in c
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            to_csv(["a", "b"], [[1]])

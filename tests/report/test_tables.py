@@ -1,0 +1,45 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.report import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        t = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in t and "4" in t
+
+    def test_title(self):
+        t = format_table(["x"], [[1]], title="Table I")
+        assert t.startswith("=== Table I ===")
+
+    def test_float_formatting(self):
+        t = format_table(["v"], [[3.14159]], float_fmt="{:.1f}")
+        assert "3.1" in t and "3.14159" not in t
+
+    def test_alignment_consistent_width(self):
+        t = format_table(["col", "x"], [["short", 1], ["a-much-longer-cell", 2]])
+        lines = t.splitlines()
+        assert len({len(l) for l in lines[:1] + lines[2:]}) == 1
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+
+class TestFormatKv:
+    def test_pairs_rendered(self):
+        t = format_kv("Summary", [("interval", 256), ("fits", True)])
+        assert "interval" in t and "256" in t and "Summary" in t
+
+    def test_keys_aligned(self):
+        t = format_kv("S", [("a", 1), ("longer-key", 2)])
+        lines = t.splitlines()[1:]
+        assert all(" : " in l for l in lines)
+        assert len({l.index(":") for l in lines}) == 1

@@ -1,0 +1,131 @@
+"""Unit + property tests for the literal SST filter chain.
+
+The load-bearing claim: the actor-per-filter chain with full-buffering
+FIFO depths is functionally identical to the behavioral line buffer and
+to the golden reference — i.e. the SST memory system really implements a
+sliding window with minimal storage.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import ArraySource, DataflowGraph, ListSink
+from repro.errors import ConfigurationError
+from repro.sst import (
+    WindowSpec,
+    build_filter_chain,
+    fifo_depths,
+    reference_windows,
+    tap_offsets,
+)
+
+
+def run_chain(img_group, spec, group=1):
+    """img_group: (group, H, W); streams padded image through the chain."""
+    h, w = img_group.shape[-2:]
+    padded = np.pad(img_group, ((0, 0), (spec.pad, spec.pad), (spec.pad, spec.pad)))
+    stream = padded.transpose(1, 2, 0).ravel().astype(np.float32)
+    g = DataflowGraph("t")
+    head, asm = build_filter_chain(g, "ch", spec, h, w, group=group)
+    src = g.add_actor(ArraySource("src", stream))
+    count = spec.num_windows(h, w) * group
+    snk = g.add_actor(ListSink("snk", count=count))
+    g.connect(src, "out", head, "in", capacity=4)
+    g.connect(asm, "out", snk, "in", capacity=4)
+    g.build_simulator().run()
+    return snk.received
+
+
+def expected(img_group, spec, group):
+    per_fm = [reference_windows(img_group[g], spec) for g in range(group)]
+    out = []
+    for i in range(len(per_fm[0])):
+        for g in range(group):
+            out.append(per_fm[g][i])
+    return out
+
+
+class TestSizing:
+    def test_tap_offsets_scale_with_group(self):
+        spec = WindowSpec(3, 3)
+        assert tap_offsets(spec, 8, group=2) == [o * 2 for o in spec.linear_offsets(8)]
+
+    def test_fifo_depths_sum_to_max_offset(self):
+        # Full buffering: total inter-tap FIFO depth equals the window span.
+        spec = WindowSpec(3, 3)
+        depths = fifo_depths(spec, 10)
+        assert sum(depths) == max(spec.linear_offsets(10))
+
+    def test_fifo_depths_with_group(self):
+        spec = WindowSpec(2, 2)
+        assert sum(fifo_depths(spec, 6, group=3)) == max(tap_offsets(spec, 6, 3))
+
+    def test_row_boundary_depth_is_line_length(self):
+        # The FIFO crossing a row boundary holds (w - kw + 1) elements.
+        spec = WindowSpec(2, 2)
+        depths = fifo_depths(spec, 7)
+        assert max(depths) == 7 - 2 + 1
+
+
+class TestFunctional:
+    def test_3x3_matches_reference(self, rng):
+        img = rng.standard_normal((1, 6, 7)).astype(np.float32)
+        spec = WindowSpec(3, 3)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(run_chain(img, spec), expected(img, spec, 1))
+        )
+
+    def test_strided(self, rng):
+        img = rng.standard_normal((1, 6, 6)).astype(np.float32)
+        spec = WindowSpec(2, 2, stride=2)
+        got = run_chain(img, spec)
+        exp = expected(img, spec, 1)
+        assert len(got) == 9
+        assert all(np.array_equal(a, b) for a, b in zip(got, exp))
+
+    def test_padded(self, rng):
+        img = rng.standard_normal((1, 5, 5)).astype(np.float32)
+        spec = WindowSpec(3, 3, pad=1)
+        got = run_chain(img, spec)
+        exp = expected(img, spec, 1)
+        assert len(got) == 25
+        assert all(np.array_equal(a, b) for a, b in zip(got, exp))
+
+    def test_interleaved_group(self, rng):
+        img = rng.standard_normal((3, 5, 5)).astype(np.float32)
+        spec = WindowSpec(2, 2)
+        got = run_chain(img, spec, group=3)
+        exp = expected(img, spec, 3)
+        assert all(np.array_equal(a, b) for a, b in zip(got, exp))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        kh=st.integers(1, 3), kw=st.integers(1, 3), stride=st.integers(1, 2),
+        h=st.integers(4, 6), w=st.integers(4, 6), group=st.integers(1, 2),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_chain_equals_reference(self, kh, kw, stride, h, w, group, seed):
+        spec = WindowSpec(kh, kw, stride)
+        img = (
+            np.random.default_rng(seed).standard_normal((group, h, w)).astype(np.float32)
+        )
+        got = run_chain(img, spec, group=group)
+        exp = expected(img, spec, group)
+        assert len(got) == len(exp)
+        assert all(np.array_equal(a, b) for a, b in zip(got, exp))
+
+
+class TestTapFilterValidation:
+    def test_negative_skip_rejected(self):
+        from repro.sst.filter_chain import TapFilter
+
+        with pytest.raises(ConfigurationError):
+            TapFilter("f", skip=-1, beats_per_image=10, steps=5, images=1, has_downstream=False)
+
+    def test_overlong_tap_window_rejected(self):
+        from repro.sst.filter_chain import TapFilter
+
+        with pytest.raises(ConfigurationError):
+            TapFilter("f", skip=8, beats_per_image=10, steps=5, images=1, has_downstream=False)

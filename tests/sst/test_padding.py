@@ -1,0 +1,61 @@
+"""Unit tests for the PadInserter actor."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import ArraySource, DataflowGraph, ListSink
+from repro.errors import ConfigurationError
+from repro.sst import PadInserter
+
+
+def run_padder(images, pad, group=1):
+    """images: (N, group, H, W); returns padded streams per image."""
+    n, g_, h, w = images.shape
+    stream = np.concatenate(
+        [img.transpose(1, 2, 0).ravel() for img in images]
+    ).astype(np.float32)
+    g = DataflowGraph("t", default_capacity=4)
+    src = g.add_actor(ArraySource("src", stream))
+    padder = g.add_actor(PadInserter("pad", h, w, pad, group=g_, images=n))
+    hp, wp = h + 2 * pad, w + 2 * pad
+    snk = g.add_actor(ListSink("snk", count=n * hp * wp * g_))
+    g.connect(src, "out", padder, "in")
+    g.connect(padder, "out", snk, "in")
+    g.build_simulator().run()
+    out = np.asarray(snk.received, dtype=np.float32)
+    return out.reshape(n, hp, wp, g_).transpose(0, 3, 1, 2)
+
+
+class TestPadInserter:
+    def test_matches_np_pad(self, rng):
+        imgs = rng.standard_normal((1, 1, 4, 5)).astype(np.float32)
+        got = run_padder(imgs, pad=1)
+        exp = np.pad(imgs, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        assert np.array_equal(got, exp)
+
+    def test_pad_two(self, rng):
+        imgs = rng.standard_normal((1, 1, 3, 3)).astype(np.float32)
+        got = run_padder(imgs, pad=2)
+        exp = np.pad(imgs, ((0, 0), (0, 0), (2, 2), (2, 2)))
+        assert np.array_equal(got, exp)
+
+    def test_zero_pad_is_identity(self, rng):
+        imgs = rng.standard_normal((1, 1, 3, 4)).astype(np.float32)
+        got = run_padder(imgs, pad=0)
+        assert np.array_equal(got, imgs)
+
+    def test_interleaved_groups(self, rng):
+        imgs = rng.standard_normal((1, 3, 3, 3)).astype(np.float32)
+        got = run_padder(imgs, pad=1, group=3)
+        exp = np.pad(imgs, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        assert np.array_equal(got, exp)
+
+    def test_multiple_images(self, rng):
+        imgs = rng.standard_normal((3, 1, 3, 3)).astype(np.float32)
+        got = run_padder(imgs, pad=1)
+        exp = np.pad(imgs, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        assert np.array_equal(got, exp)
+
+    def test_negative_pad_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PadInserter("p", 4, 4, -1)

@@ -1,0 +1,53 @@
+"""Unit tests for SST buffer sizing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sst import WindowSpec, bandwidth_memory_tradeoff, chain_words, layer_buffer_budget
+
+
+class TestChainWords:
+    def test_basic_line_buffer(self):
+        # 5x5 over width 16: 4 lines + 5 pixels.
+        assert chain_words(WindowSpec(5, 5), 16) == 4 * 16 + 5
+
+    def test_group_multiplies(self):
+        assert chain_words(WindowSpec(3, 3), 10, group=4) == (2 * 10 + 3) * 4
+
+    def test_padding_widens_lines(self):
+        assert chain_words(WindowSpec(3, 3, pad=1), 10) == 2 * 12 + 3
+
+
+class TestLayerBudget:
+    def test_single_port(self):
+        b = layer_buffer_budget(WindowSpec(5, 5), 16, in_fm=1, in_ports=1)
+        assert b.fifo_words == 69
+        assert b.window_registers == 25
+        assert b.chains == 1
+        assert b.total_words == 94
+
+    def test_multi_port_splits_fms(self):
+        full = layer_buffer_budget(WindowSpec(3, 3), 12, in_fm=6, in_ports=1)
+        split = layer_buffer_budget(WindowSpec(3, 3), 12, in_fm=6, in_ports=6)
+        # Same total FIFO words (full buffering), more window registers.
+        assert full.fifo_words == split.fifo_words
+        assert split.window_registers == 6 * full.window_registers
+
+    def test_ports_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            layer_buffer_budget(WindowSpec(3, 3), 12, in_fm=6, in_ports=4)
+
+    def test_zero_ports_rejected(self):
+        with pytest.raises(ConfigurationError):
+            layer_buffer_budget(WindowSpec(3, 3), 12, in_fm=6, in_ports=0)
+
+
+class TestTradeoff:
+    def test_bandwidth_scales_with_replicas(self):
+        rows = bandwidth_memory_tradeoff(WindowSpec(3, 3), 12, 6, [1, 2, 3, 6])
+        assert [r["relative_bandwidth"] for r in rows] == [1, 2, 3, 6]
+
+    def test_fifo_words_constant_registers_grow(self):
+        rows = bandwidth_memory_tradeoff(WindowSpec(3, 3), 12, 6, [1, 6])
+        assert rows[0]["fifo_words"] == rows[1]["fifo_words"]
+        assert rows[1]["window_registers"] > rows[0]["window_registers"]

@@ -1,0 +1,90 @@
+"""Unit tests for window geometry arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.sst import WindowSpec
+
+
+class TestValidation:
+    def test_zero_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WindowSpec(0, 3)
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WindowSpec(3, 3, stride=0)
+
+    def test_negative_pad_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WindowSpec(3, 3, pad=-1)
+
+    def test_pad_must_be_smaller_than_kernel(self):
+        with pytest.raises(ConfigurationError):
+            WindowSpec(3, 3, pad=3)
+
+
+class TestShapes:
+    def test_valid_conv_shape(self):
+        assert WindowSpec(5, 5).out_shape(16, 16) == (12, 12)
+
+    def test_strided_pool_shape(self):
+        assert WindowSpec(2, 2, stride=2).out_shape(12, 12) == (6, 6)
+
+    def test_same_padding_shape(self):
+        assert WindowSpec(3, 3, pad=1).out_shape(10, 10) == (10, 10)
+
+    def test_rectangular_kernel(self):
+        assert WindowSpec(1, 3).out_shape(4, 8) == (4, 6)
+
+    def test_too_small_input_raises(self):
+        with pytest.raises(ShapeError):
+            WindowSpec(5, 5).out_shape(3, 3)
+
+    def test_num_windows(self):
+        assert WindowSpec(5, 5).num_windows(16, 16) == 144
+
+    def test_padded_shape(self):
+        assert WindowSpec(3, 3, pad=2).padded_shape(5, 5) == (9, 9)
+
+    @given(
+        kh=st.integers(1, 5), kw=st.integers(1, 5),
+        stride=st.integers(1, 3), h=st.integers(5, 30), w=st.integers(5, 30),
+    )
+    def test_output_fits_exactly(self, kh, kw, stride, h, w):
+        spec = WindowSpec(kh, kw, stride)
+        oh, ow = spec.out_shape(h, w)
+        # The last window must fit inside the (unpadded) image.
+        assert (oh - 1) * stride + kh <= h
+        assert (ow - 1) * stride + kw <= w
+        # And one more step would overflow.
+        assert oh * stride + kh > h
+        assert ow * stride + kw > w
+
+
+class TestOffsets:
+    def test_linear_offsets_3x3(self):
+        assert WindowSpec(3, 3).linear_offsets(10) == [
+            0, 1, 2, 10, 11, 12, 20, 21, 22,
+        ]
+
+    def test_offsets_strictly_increasing(self):
+        offs = WindowSpec(4, 2).linear_offsets(9)
+        assert offs == sorted(set(offs))
+
+    def test_footprint_is_line_buffer_size(self):
+        # (kh-1) rows + kw pixels.
+        assert WindowSpec(3, 3).footprint(10) == 2 * 10 + 3
+
+    def test_footprint_1x1(self):
+        assert WindowSpec(1, 1).footprint(10) == 1
+
+    def test_too_narrow_raises(self):
+        with pytest.raises(ShapeError):
+            WindowSpec(3, 5).linear_offsets(4)
+
+    def test_describe(self):
+        assert WindowSpec(5, 5).describe() == "5x5/s1"
+        assert WindowSpec(2, 2, stride=2).describe() == "2x2/s2"
+        assert WindowSpec(3, 3, pad=1).describe() == "3x3/s1/p1"

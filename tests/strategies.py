@@ -1,0 +1,65 @@
+"""Shared hypothesis strategies for repository-wide property tests."""
+
+from hypothesis import strategies as st
+
+from repro.core import ConvLayerSpec, FCLayerSpec, NetworkDesign, PoolLayerSpec
+from repro.core.scaling import divisors
+
+
+@st.composite
+def small_designs(draw):
+    """A random valid 2-4 layer design over a small input."""
+    c = draw(st.sampled_from([1, 2, 3]))
+    h = draw(st.integers(6, 9))
+    w = draw(st.integers(6, 9))
+    specs = []
+    shape = (c, h, w)
+    prev_out_ports = 1
+    n_feature_layers = draw(st.integers(1, 2))
+    for i in range(n_feature_layers):
+        cc, hh, ww = shape
+        kind = draw(st.sampled_from(["conv", "pool"])) if i > 0 else "conv"
+        if kind == "conv":
+            k = draw(st.sampled_from([1, 2, 3]))
+            stride = draw(st.sampled_from([1, 2]))
+            pad = draw(st.sampled_from([0, 1])) if k > 1 else 0
+            if hh + 2 * pad < k or ww + 2 * pad < k:
+                k = 1
+                pad = 0
+            out_fm = draw(st.sampled_from([1, 2, 4]))
+            # Ports: divisors compatible with the previous stage.
+            in_opts = [d for d in divisors(cc)
+                       if max(d, prev_out_ports) % min(d, prev_out_ports) == 0]
+            in_ports = draw(st.sampled_from(in_opts))
+            out_ports = draw(st.sampled_from(divisors(out_fm)))
+            act = draw(st.sampled_from([None, "tanh", "relu"]))
+            spec = ConvLayerSpec(
+                name=f"conv{i}", in_fm=cc, out_fm=out_fm, kh=k, kw=k,
+                stride=stride, pad=pad, in_ports=in_ports,
+                out_ports=out_ports, activation=act,
+            )
+        else:
+            if hh < 2 or ww < 2:
+                continue
+            in_opts = [d for d in divisors(cc)
+                       if max(d, prev_out_ports) % min(d, prev_out_ports) == 0]
+            ports = draw(st.sampled_from(in_opts))
+            spec = PoolLayerSpec(
+                name=f"pool{i}", in_fm=cc, out_fm=cc, kh=2, kw=2, stride=2,
+                in_ports=ports, out_ports=ports,
+                mode=draw(st.sampled_from(["max", "mean"])),
+            )
+        shape = spec.out_shape(shape)
+        prev_out_ports = spec.out_ports
+        specs.append(spec)
+    if draw(st.booleans()):
+        flat = shape[0] * shape[1] * shape[2]
+        out = draw(st.sampled_from([2, 3, 5]))
+        specs.append(
+            FCLayerSpec(
+                name="fc", in_fm=flat, out_fm=out,
+                acc_lanes=draw(st.sampled_from([1, 4, 12])),
+                activation=draw(st.sampled_from([None, "tanh"])),
+            )
+        )
+    return NetworkDesign("random", (c, h, w), specs)

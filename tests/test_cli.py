@@ -1,0 +1,92 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import design_to_json, usps_design
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestCommands:
+    def test_block_design(self, capsys):
+        code, out, _ = run_cli(capsys, "block-design", "usps")
+        assert code == 0
+        assert "[conv1]" in out and "II=" in out
+
+    def test_report(self, capsys):
+        code, out, _ = run_cli(capsys, "report", "tiny")
+        assert code == 0
+        assert "per-core synthesis estimates" in out
+
+    def test_perf(self, capsys):
+        code, out, _ = run_cli(capsys, "perf", "usps")
+        assert code == 0
+        assert "256 cycles" in out and "bottleneck" in out
+
+    def test_resources(self, capsys):
+        code, out, _ = run_cli(capsys, "resources", "cifar10")
+        assert code == 0
+        assert "DSP" in out and "utilization %" in out
+
+    def test_sweep_custom_batches(self, capsys):
+        code, out, _ = run_cli(capsys, "sweep", "usps", "--batches", "1", "4")
+        assert code == 0
+        lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+        assert len(lines) == 2
+
+    def test_dse(self, capsys):
+        code, out, _ = run_cli(capsys, "dse", "usps")
+        assert code == 0
+        assert "best interval found" in out
+
+    def test_simulate_verifies(self, capsys):
+        code, out, _ = run_cli(capsys, "simulate", "tiny", "--images", "2")
+        assert code == 0
+        assert "verified" in out and "True" in out
+
+    def test_design_json_input(self, capsys, tmp_path):
+        path = tmp_path / "design.json"
+        path.write_text(design_to_json(usps_design()))
+        code, out, _ = run_cli(capsys, "perf", str(path))
+        assert code == 0
+        assert "usps-tc1" in out
+
+    def test_unknown_design_fails_cleanly(self, capsys):
+        code, out, err = run_cli(capsys, "perf", "resnet50")
+        assert code == 1
+        assert "unknown design" in err
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_flow_command(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "flow", "tiny", "--epochs", "2", "--out", str(tmp_path / "f")
+        )
+        assert code == 0
+        assert "flow verdict" in out and "PASSED" in out
+        assert (tmp_path / "f" / "design.json").exists()
+
+    def test_flow_unknown_preset(self, capsys):
+        code, _, err = run_cli(capsys, "flow", "vgg")
+        assert code == 1 and "unknown flow preset" in err
+
+    def test_perf_breakdown(self, capsys):
+        code, out, _ = run_cli(capsys, "perf", "cifar10", "--breakdown")
+        assert code == 0
+        assert "per-stage breakdown" in out
+        assert "conv1" in out and "dma_in" in out and "<-" in out
+
+    def test_zoo_presets_available(self, capsys):
+        code, out, _ = run_cli(capsys, "perf", "alexnet")
+        assert code == 0 and "conv1" in out
+        code, out, _ = run_cli(capsys, "resources", "vgg16")
+        assert code == 0 and "BRAM" in out

@@ -1,0 +1,40 @@
+"""Unit tests for global configuration objects."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_CLOCK_HZ,
+    DMA_BANDWIDTH_BYTES_PER_S,
+    DMA_DATAPATH_BITS,
+    FADD_LATENCY_CYCLES,
+    PAPER_CLOCK,
+    ClockDomain,
+)
+
+
+class TestPaperConstants:
+    def test_clock_is_100mhz(self):
+        assert DEFAULT_CLOCK_HZ == 100e6
+        assert PAPER_CLOCK.frequency_hz == 100e6
+
+    def test_dma_figures_match_section5(self):
+        assert DMA_DATAPATH_BITS == 32
+        assert DMA_BANDWIDTH_BYTES_PER_S == 400e6
+
+    def test_fadd_latency_is_papers_11(self):
+        assert FADD_LATENCY_CYCLES == 11
+
+
+class TestClockDomain:
+    def test_period(self):
+        assert ClockDomain(200e6).period_s == pytest.approx(5e-9)
+
+    def test_cycles_to_seconds_roundtrip(self):
+        c = ClockDomain(100e6)
+        assert c.seconds_to_cycles(c.cycles_to_seconds(1234)) == pytest.approx(1234)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            ClockDomain(0)
+        with pytest.raises(ValueError):
+            ClockDomain(-1e6)

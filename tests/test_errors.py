@@ -1,0 +1,48 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.ShapeError,
+            errors.PortMismatchError,
+            errors.GraphError,
+            errors.SimulationError,
+            errors.DeadlockError,
+            errors.ChannelProtocolError,
+            errors.ResourceError,
+            errors.DatasetError,
+            errors.TrainingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_shape_error_is_configuration_error(self):
+        assert issubclass(errors.ShapeError, errors.ConfigurationError)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+
+class TestDeadlockError:
+    def test_carries_cycle_and_blocked(self):
+        e = errors.DeadlockError(42, {"a": "waiting on b", "b": "waiting on a"})
+        assert e.cycle == 42
+        assert e.blocked == {"a": "waiting on b", "b": "waiting on a"}
+
+    def test_message_lists_actors(self):
+        e = errors.DeadlockError(7, {"x": "full fifo"})
+        assert "cycle 7" in str(e) and "x: full fifo" in str(e)
+
+    def test_single_catch_clause_for_library(self):
+        try:
+            raise errors.DatasetError("nope")
+        except errors.ReproError as e:
+            assert "nope" in str(e)
