@@ -2,18 +2,27 @@
 
 Not a paper artifact — the dial that tells users what simulations are
 affordable: simulated cycles per second for FIFO chains of growing actor
-counts, the window actor and the conv core. The README's guidance that
-the full CIFAR-10 test case costs ~a second per image derives from these
-numbers.
+counts, the window actor and full networks, under both the event-driven
+scheduler (default) and the lock-step reference.
+
+Run under pytest-benchmark for the micro numbers, or as a script::
+
+    PYTHONPATH=src python benchmarks/bench_sim_engine.py [--quick]
+
+to compare event vs lockstep on the Table-2 CIFAR-10 workload and write
+``BENCH_sim_engine.json`` with simulated-cycles-per-second for both.
 """
 
 import numpy as np
+import pytest
 
 from repro.dataflow import ArraySource, DataflowGraph, FifoStage, ListSink
 from repro.sst import SlidingWindowActor, WindowSpec
 
+SCHEDULERS = ("event", "lockstep")
 
-def chain_sim(n_stages: int, n_values: int):
+
+def chain_sim(n_stages: int, n_values: int, scheduler: str = "event"):
     g = DataflowGraph("chain", default_capacity=4)
     src = g.add_actor(ArraySource("src", list(range(n_values))))
     prev, port = src, "out"
@@ -23,19 +32,21 @@ def chain_sim(n_stages: int, n_values: int):
         prev, port = f, "out"
     snk = g.add_actor(ListSink("snk", count=n_values))
     g.connect(prev, port, snk, "in")
-    return g.build_simulator()
+    return g.build_simulator(scheduler=scheduler)
 
 
-def test_chain_4_stages(benchmark):
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_chain_4_stages(benchmark, scheduler):
     res = benchmark.pedantic(
-        lambda: chain_sim(4, 256).run(), rounds=3, iterations=1
+        lambda: chain_sim(4, 256, scheduler).run(), rounds=3, iterations=1
     )
     assert res.finished
 
 
-def test_chain_32_stages(benchmark):
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_chain_32_stages(benchmark, scheduler):
     res = benchmark.pedantic(
-        lambda: chain_sim(32, 256).run(), rounds=3, iterations=1
+        lambda: chain_sim(32, 256, scheduler).run(), rounds=3, iterations=1
     )
     assert res.finished
 
@@ -70,3 +81,158 @@ def test_usps_network_cycles_per_second(benchmark):
 
     res = benchmark.pedantic(run, rounds=2, iterations=1)
     assert res.finished
+
+
+# -- scheduler comparison script ---------------------------------------------
+
+
+def _network_workload(quick: bool):
+    """The Table-2 CIFAR-10 network (USPS stand-in under --quick)."""
+    from repro.core import cifar10_design, random_weights, usps_design
+
+    if quick:
+        design = usps_design()
+        shape, batch_n = (1, 16, 16), 1
+    else:
+        design = cifar10_design()
+        shape, batch_n = (3, 32, 32), 1
+    weights = random_weights(design)
+    batch = (
+        np.random.default_rng(0)
+        .uniform(0, 1, (batch_n,) + shape)
+        .astype(np.float32)
+    )
+    return design, weights, batch
+
+
+def _time_scheduler(design, weights, batch, scheduler: str, repeats: int = 3):
+    import time
+
+    from repro.core.builder import build_network
+
+    best, res, built = None, None, None
+    for _ in range(repeats):
+        built = build_network(design, weights, batch)
+        t0 = time.perf_counter()
+        res = built.run(scheduler=scheduler)
+        wall = time.perf_counter() - t0
+        best = wall if best is None else min(best, wall)
+    assert res.finished
+    return {
+        "scheduler": scheduler,
+        "simulated_cycles": res.cycles,
+        "wall_seconds": round(best, 4),
+        "cycles_per_second": round(res.cycles / best, 1),
+        "outputs_digest": float(np.asarray(built.outputs()).sum()),
+    }
+
+
+def _dma_bound_chain(scheduler: str, interval: int = 64, stages: int = 16):
+    """A bandwidth-starved pipeline: one input word every ``interval`` cycles.
+
+    This is the design-space-exploration regime (narrow or shared host DMA
+    feeding a fast core) where almost every cycle is dead time — the case
+    the event scheduler's bulk cycle-skipping targets.
+    """
+    g = DataflowGraph("dma_chain", default_capacity=4)
+    src = g.add_actor(ArraySource("src", list(range(512)), interval=interval))
+    prev, port = src, "out"
+    for i in range(stages):
+        f = g.add_actor(FifoStage(f"f{i}"))
+        g.connect(prev, port, f, "in")
+        prev, port = f, "out"
+    snk = g.add_actor(ListSink("snk", count=512))
+    g.connect(prev, port, snk, "in")
+    return g.build_simulator(scheduler=scheduler)
+
+
+def _time_dma_chain(scheduler: str, repeats: int = 3):
+    import time
+
+    best, res = None, None
+    for _ in range(repeats):
+        sim = _dma_bound_chain(scheduler)
+        t0 = time.perf_counter()
+        res = sim.run()
+        wall = time.perf_counter() - t0
+        best = wall if best is None else min(best, wall)
+    assert res.finished
+    return {
+        "scheduler": scheduler,
+        "simulated_cycles": res.cycles,
+        "wall_seconds": round(best, 4),
+        "cycles_per_second": round(res.cycles / best, 1),
+    }
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import os
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="use the small USPS network instead of CIFAR-10",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sim_engine.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    design, weights, batch = _network_workload(args.quick)
+    print(f"workload: {design.name}, batch {batch.shape}")
+    rows = {}
+    for sched in SCHEDULERS:
+        rows[sched] = _time_scheduler(design, weights, batch, sched)
+        r = rows[sched]
+        print(
+            f"  {sched:9s} {r['simulated_cycles']:>10,} cycles in "
+            f"{r['wall_seconds']:8.3f} s = {r['cycles_per_second']:>12,.0f} cyc/s"
+        )
+    assert rows["event"]["simulated_cycles"] == rows["lockstep"]["simulated_cycles"], (
+        "schedulers disagree on cycle count — equivalence broken"
+    )
+    speedup = (
+        rows["event"]["cycles_per_second"] / rows["lockstep"]["cycles_per_second"]
+    )
+    print(f"  speedup (event / lockstep): {speedup:.2f}x")
+
+    print("workload: dma_bound_chain (1 word / 64 cycles, 16 stages)")
+    sparse = {}
+    for sched in SCHEDULERS:
+        sparse[sched] = _time_dma_chain(sched)
+        r = sparse[sched]
+        print(
+            f"  {sched:9s} {r['simulated_cycles']:>10,} cycles in "
+            f"{r['wall_seconds']:8.3f} s = {r['cycles_per_second']:>12,.0f} cyc/s"
+        )
+    assert (
+        sparse["event"]["simulated_cycles"] == sparse["lockstep"]["simulated_cycles"]
+    ), "schedulers disagree on cycle count — equivalence broken"
+    sparse_speedup = (
+        sparse["event"]["cycles_per_second"]
+        / sparse["lockstep"]["cycles_per_second"]
+    )
+    print(f"  speedup (event / lockstep): {sparse_speedup:.2f}x")
+
+    payload = {
+        "benchmark": "sim_engine_scheduler_comparison",
+        "workload": design.name,
+        "batch_shape": list(batch.shape),
+        "results": rows,
+        "speedup_event_over_lockstep": round(speedup, 2),
+        "sparse_workload": {
+            "workload": "dma_bound_chain_interval64_16stages",
+            "results": sparse,
+            "speedup_event_over_lockstep": round(sparse_speedup, 2),
+        },
+    }
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    print(f"wrote {os.path.abspath(args.out)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -143,13 +143,17 @@ class BuiltNetwork:
         max_cycles: int = 50_000_000,
         stall_limit: int = 10_000,
         tracer=None,
+        scheduler: str = "event",
     ) -> SimulationResult:
         """Cycle-accurate simulation of the whole batch.
 
         Pass a :class:`~repro.dataflow.trace.Tracer` to sample per-actor
-        activity and channel occupancy during the run.
+        activity and channel occupancy during the run. ``scheduler``
+        selects the simulation engine (``"event"`` or ``"lockstep"``).
         """
-        sim = self.graph.build_simulator(stall_limit=stall_limit, tracer=tracer)
+        sim = self.graph.build_simulator(
+            stall_limit=stall_limit, tracer=tracer, scheduler=scheduler
+        )
         self.result = sim.run(max_cycles=max_cycles)
         return self.result
 

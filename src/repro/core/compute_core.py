@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.config import DTYPE
 from repro.dataflow.actor import Actor
+from repro.dataflow.events import CHARGE_EACH, POP, PUSH, ChannelWait, Gate, WaitCycles
 from repro.errors import ConfigurationError, ShapeError
 from repro.hls.tree_adder import tree_reduce
 from repro.nn.layers.activation import activation_fn
@@ -110,59 +111,115 @@ class ConvCoreActor(Actor):
         ]
         self.in_groups = self.in_fm // self.in_ports
         self.out_groups = self.out_fm // self.out_ports
+        # Group g of the window stream multiplies weight[:, fms_of_g, :, :];
+        # pre-flattening those slices to one contiguous (G, OUT_FM, P*kh*kw)
+        # stack removes a fancy-index weight gather from every compute beat
+        # and lets one vectorised pass per coordinate do all G product trees.
+        # The element order matches the original (P, kh, kw) broadcast exactly.
+        self._w_all = np.stack(
+            [
+                np.ascontiguousarray(
+                    weight[:, [self._port_fms[p][g] for p in range(self.in_ports)]]
+                ).reshape(self.out_fm, -1)
+                for g in range(self.in_groups)
+            ]
+        )
 
     def processes(self):
         self._results: deque = deque()
+        # Couples the two processes through the result queue: the producer
+        # notifies after every append/popleft so the event scheduler can
+        # park the other side instead of letting it poll.
+        self._gate = Gate()
         return [self._compute(), self._emit()]
 
     def _compute(self) -> Generator:
         ins = [self.input(f"in{p}") for p in range(self.in_ports)]
-        kk = self.kh * self.kw
+        in0 = ins[0] if len(ins) == 1 else None
+        win_park = ChannelWait(tuple((POP, ch) for ch in ins), CHARGE_EACH)
+        results = self._results
+        queue_depth = self.queue_depth
+        w_all = self._w_all
+        in_groups = self.in_groups
+        bias = self.bias
+        pipeline_depth = self.pipeline_depth
+        # Window beats of the current coordinate, buffered for one batched
+        # product-tree pass per coordinate (middle axis broadcasts OUT_FM).
+        wins = np.empty((in_groups, 1, w_all.shape[2]), DTYPE)
         for _ in range(self.images * self.n_coords):
-            acc = self.bias.copy()
-            for g in range(self.in_groups):
+            for g in range(in_groups):
                 # One group per cycle: read IN_PORTS windows in parallel
-                # (Algorithm 1's "buf <- IN_PORTS windows").
-                while not all(ch.can_pop() for ch in ins):
+                # (Algorithm 1's "buf <- IN_PORTS windows"). The single-port
+                # case skips the genexpr — it is the common configuration
+                # and this loop is the hottest actor code in the repo.
+                while not (
+                    in0.can_pop()
+                    if in0 is not None
+                    else all(ch.can_pop() for ch in ins)
+                ):
                     self.blocked_reason = "conv: windows not ready"
                     for ch in ins:
                         if not ch.can_pop():
                             ch.note_empty_stall()
-                    yield
+                    yield win_park
                 # Model backpressure from the result queue: stall reads
                 # when the emitter has fallen queue_depth coordinates behind.
-                while len(self._results) >= self.queue_depth:
+                while len(results) >= queue_depth:
                     self.blocked_reason = "conv: result queue full"
-                    yield
+                    yield self._gate.wait()
                 self.blocked_reason = None
-                windows = np.stack([ch.pop() for ch in ins])  # (P, kh, kw)
-                fms = [self._port_fms[p][g] for p in range(self.in_ports)]
-                # (OUT_FM, P, kh, kw) products -> tree reduce -> accumulate.
-                prods = self.weight[:, fms, :, :] * windows[None, :, :, :]
-                acc = (acc + tree_reduce(prods.reshape(self.out_fm, -1))).astype(DTYPE)
+                if in0 is not None:
+                    wins[g, 0] = in0.pop().ravel()
+                else:
+                    wins[g, 0] = np.concatenate([ch.pop().ravel() for ch in ins])
                 yield
+            # One vectorised pass does every group's (OUT_FM, P*kh*kw)
+            # product tree at once, then the accumulation chain adds the
+            # per-group sums in the original order — bit-identical to the
+            # per-beat formulation (float32 throughout, no astype needed).
+            trees = tree_reduce(w_all * wins)
+            acc = bias
+            for g in range(in_groups):
+                acc = acc + trees[g]
             # Result leaves the datapath pipeline_depth cycles from now.
-            self._results.append((self.now + self.pipeline_depth, self._act(acc)))
-            for _ in range(self.coord_overhead):
-                yield  # coordinate-loop entry/exit bubble
+            results.append((self.now + pipeline_depth, self._act(acc)))
+            self._gate.notify()
+            if self.coord_overhead:
+                yield from self.wait(self.coord_overhead)  # loop entry/exit bubble
 
     def _emit(self) -> Generator:
         outs = [self.output(f"out{p}") for p in range(self.out_ports)]
+        out0 = outs[0] if len(outs) == 1 else None
+        out_park = ChannelWait(tuple((PUSH, ch) for ch in outs), CHARGE_EACH)
         for _ in range(self.images * self.n_coords):
             while not self._results or self._results[0][0] > self.now:
                 self.blocked_reason = "conv: waiting for a finished coordinate"
-                yield
+                if not self._results:
+                    yield self._gate.wait()
+                else:
+                    yield WaitCycles(self._results[0][0] - self.now)
             acc = self._results[0][1]
             for j in range(self.out_groups):
-                # Beat j carries FM j*OUT_PORTS + p on output port p.
-                while not all(ch.can_push() for ch in outs):
-                    self.blocked_reason = "conv: output full"
-                    for ch in outs:
-                        if not ch.can_push():
-                            ch.note_full_stall()
-                    yield
-                self.blocked_reason = None
-                for p, ch in enumerate(outs):
-                    ch.push(DTYPE(acc[j * self.out_ports + p]))
+                # Beat j carries FM j*OUT_PORTS + p on output port p. The
+                # accumulator is float32 already, so the single-port path
+                # pushes acc[j] without a DTYPE round trip.
+                if out0 is not None:
+                    while not out0.can_push():
+                        self.blocked_reason = "conv: output full"
+                        out0.note_full_stall()
+                        yield out_park
+                    self.blocked_reason = None
+                    out0.push(acc[j])
+                else:
+                    while not all(ch.can_push() for ch in outs):
+                        self.blocked_reason = "conv: output full"
+                        for ch in outs:
+                            if not ch.can_push():
+                                ch.note_full_stall()
+                        yield out_park
+                    self.blocked_reason = None
+                    for p, ch in enumerate(outs):
+                        ch.push(DTYPE(acc[j * self.out_ports + p]))
                 yield
             self._results.popleft()
+            self._gate.notify()

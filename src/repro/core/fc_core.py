@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.config import DTYPE
 from repro.dataflow.actor import Actor
+from repro.dataflow.events import Gate, WaitCycles
 from repro.errors import ConfigurationError, ShapeError
 from repro.hls.tree_adder import tree_reduce
 from repro.nn.layers.activation import activation_fn
@@ -79,6 +80,10 @@ class FCCoreActor(Actor):
 
     def processes(self):
         self._results: deque = deque()
+        # Couples compute and emit through the result queue (see the
+        # conv core): notify on every append/popleft so the event
+        # scheduler can park the other process.
+        self._gate = Gate()
         return [self._compute(), self._emit()]
 
     def _compute(self) -> Generator:
@@ -89,10 +94,10 @@ class FCCoreActor(Actor):
                 while not in_ch.can_pop():
                     self.blocked_reason = f"fc: {in_ch.name} empty"
                     in_ch.note_empty_stall()
-                    yield
+                    yield in_ch.pop_wait()
                 while len(self._results) >= self.queue_depth:
                     self.blocked_reason = "fc: result queue full"
-                    yield
+                    yield self._gate.wait()
                 self.blocked_reason = None
                 x = DTYPE(in_ch.pop())
                 lane = i % self.acc_lanes
@@ -103,19 +108,24 @@ class FCCoreActor(Actor):
                 yield
             out = (tree_reduce(partial) + self.bias).astype(DTYPE)
             self._results.append((self.now + self.pipeline_depth, self._act(out)))
+            self._gate.notify()
 
     def _emit(self) -> Generator:
         out_ch = self.output("out")
         for _ in range(self.images):
             while not self._results or self._results[0][0] > self.now:
                 self.blocked_reason = "fc: waiting for finished image"
-                yield
+                if not self._results:
+                    yield self._gate.wait()
+                else:
+                    yield WaitCycles(self._results[0][0] - self.now)
             out = self._results.popleft()[1]
+            self._gate.notify()
             for j in range(self.out_fm):
                 while not out_ch.can_push():
                     self.blocked_reason = f"fc: {out_ch.name} full"
                     out_ch.note_full_stall()
-                    yield
+                    yield out_ch.push_wait()
                 self.blocked_reason = None
                 out_ch.push(DTYPE(out[j]))
                 yield

@@ -56,7 +56,7 @@ class NormalizationActor(Actor):
                 while not in_ch.can_pop():
                     self.blocked_reason = f"norm: {in_ch.name} empty"
                     in_ch.note_empty_stall()
-                    yield
+                    yield in_ch.pop_wait()
                 self.blocked_reason = None
                 logits[i] = in_ch.pop()
                 yield
@@ -69,7 +69,7 @@ class NormalizationActor(Actor):
                 while not out_ch.can_push():
                     self.blocked_reason = f"norm: {out_ch.name} full"
                     out_ch.note_full_stall()
-                    yield
+                    yield out_ch.push_wait()
                 self.blocked_reason = None
                 out_ch.push(DTYPE(probs[i]))
                 yield

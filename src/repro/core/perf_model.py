@@ -171,7 +171,17 @@ class NetworkPerf:
         )
         for l in self.layers:
             t_first = first_out + l.prime_beats * pace + l.depth_cycles
-            t_last = max(last_out + l.tail_cycles, l.core_cycles + t_first)
+            t_last = max(
+                last_out + l.tail_cycles,
+                # Busy from the first firing: compute, and emit out_beats
+                # beats at one beat per port per cycle.
+                t_first + max(l.core_cycles, l.out_beats),
+                # Ingest in_beats beats at one beat per port per cycle,
+                # starting when the upstream's first beat arrives — binding
+                # when an adapter serialises wider upstream ports into this
+                # stage's narrower input.
+                first_out + l.in_beats,
+            )
             first_out = t_first
             last_out = t_last
             pace = l.interval / max(1, l.out_beats)

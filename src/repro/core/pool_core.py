@@ -36,7 +36,7 @@ class PoolCoreActor(Actor):
 
     def run(self) -> Generator:
         if self.mode == "max":
-            fn = lambda w: DTYPE(np.max(w))  # noqa: E731 - tight closure
+            fn = lambda w: DTYPE(w.max())  # noqa: E731 - tight closure
         else:
-            fn = lambda w: DTYPE(np.mean(w, dtype=np.float64))  # noqa: E731
+            fn = lambda w: DTYPE(w.mean(dtype=np.float64))  # noqa: E731
         yield from self.relay("in", "out", count=self.count, fn=fn)

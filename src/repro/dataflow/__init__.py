@@ -19,6 +19,7 @@ from repro.dataflow.actors import (
     ScheduleDemux,
 )
 from repro.dataflow.channel import Channel, ChannelStats
+from repro.dataflow.events import ChannelWait, Gate, WaitCycles
 from repro.dataflow.functional import FunctionalExecutor
 from repro.dataflow.graph import DataflowGraph
 from repro.dataflow.simulator import SimulationResult, Simulator
@@ -29,10 +30,12 @@ __all__ = [
     "ArraySource",
     "Channel",
     "ChannelStats",
+    "ChannelWait",
     "DataflowGraph",
     "FifoStage",
     "Fork",
     "FunctionalExecutor",
+    "Gate",
     "Interleaver",
     "ListSink",
     "MapActor",
@@ -40,4 +43,5 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "Tracer",
+    "WaitCycles",
 ]

@@ -40,6 +40,14 @@ from typing import (
 )
 
 from repro.dataflow.channel import Channel
+from repro.dataflow.events import (
+    CHARGE_EACH,
+    CHARGE_FIRST,
+    POP,
+    PUSH,
+    ChannelWait,
+    WaitCycles,
+)
 from repro.errors import GraphError
 
 
@@ -137,7 +145,7 @@ class Actor:
         while not ch.can_pop():
             self.blocked_reason = f"recv({port}): {ch.name} empty"
             ch.note_empty_stall()
-            yield
+            yield ch.pop_wait()
         self.blocked_reason = None
         value = ch.pop()
         yield
@@ -150,13 +158,14 @@ class Actor:
         simultaneously). Stalls until every channel has a value.
         """
         chans = [self.input(p) for p in ports]
+        park = ChannelWait(tuple((POP, ch) for ch in chans), CHARGE_EACH)
         while not all(ch.can_pop() for ch in chans):
             empties = [ch.name for ch in chans if not ch.can_pop()]
             self.blocked_reason = f"recv_all: empty {empties}"
             for ch in chans:
                 if not ch.can_pop():
                     ch.note_empty_stall()
-            yield
+            yield park
         self.blocked_reason = None
         values = [ch.pop() for ch in chans]
         yield
@@ -168,7 +177,7 @@ class Actor:
         while not ch.can_push():
             self.blocked_reason = f"send({port}): {ch.name} full"
             ch.note_full_stall()
-            yield
+            yield ch.push_wait()
         self.blocked_reason = None
         ch.push(value)
         yield
@@ -176,13 +185,14 @@ class Actor:
     def send_all(self, mapping: Mapping[str, Any]) -> Generator:
         """Send one value on each port in the same cycle (>= 1 cycle)."""
         chans = {p: self.output(p) for p in mapping}
+        park = ChannelWait(tuple((PUSH, ch) for ch in chans.values()), CHARGE_EACH)
         while not all(ch.can_push() for ch in chans.values()):
             fulls = [ch.name for ch in chans.values() if not ch.can_push()]
             self.blocked_reason = f"send_all: full {fulls}"
             for ch in chans.values():
                 if not ch.can_push():
                     ch.note_full_stall()
-            yield
+            yield park
         self.blocked_reason = None
         for p, ch in chans.items():
             ch.push(mapping[p])
@@ -190,8 +200,14 @@ class Actor:
 
     def wait(self, cycles: int) -> Generator:
         """Idle for ``cycles`` clock cycles (models fixed latencies)."""
-        for _ in range(int(cycles)):
-            yield
+        total = int(cycles)
+        start = self.now
+        elapsed = 0
+        while elapsed < total:
+            yield WaitCycles(total - elapsed)
+            # `now` tracks the clock under either scheduler; the max() keeps
+            # hand-driven generators (tests calling next() directly) moving.
+            elapsed = max(elapsed + 1, self.now - start)
 
     def relay(
         self,
@@ -207,6 +223,7 @@ class Actor:
         """
         in_ch = self.input(src)
         out_ch = self.output(dst)
+        park = ChannelWait(((POP, in_ch), (PUSH, out_ch)), CHARGE_FIRST)
         moved = 0
         while count is None or moved < count:
             while not (in_ch.can_pop() and out_ch.can_push()):
@@ -216,7 +233,7 @@ class Actor:
                 else:
                     self.blocked_reason = f"relay: {out_ch.name} full"
                     out_ch.note_full_stall()
-                yield
+                yield park
             self.blocked_reason = None
             out_ch.push(fn(in_ch.pop()) if fn is not None else in_ch.pop())
             moved += 1

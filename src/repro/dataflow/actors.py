@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence
 
 from repro.dataflow.actor import Actor
+from repro.dataflow.events import CHARGE_NONE, POP, PUSH, ChannelWait
 from repro.errors import ConfigurationError
 
 
@@ -65,7 +66,6 @@ class ListSink(Actor):
         self.received: List[Any] = []
         #: Cycle at which each value was received (same index as received).
         self.timestamps: List[int] = []
-        self._cycle = 0
 
     def run(self) -> Generator:
         ch = self.input(self.port)
@@ -74,13 +74,11 @@ class ListSink(Actor):
             while not ch.can_pop():
                 self.blocked_reason = f"sink: {ch.name} empty"
                 ch.note_empty_stall()
-                self._cycle += 1
-                yield
+                yield ch.pop_wait()
             self.blocked_reason = None
             self.received.append(ch.pop())
-            self.timestamps.append(self._cycle)
+            self.timestamps.append(self.now)
             n += 1
-            self._cycle += 1
             yield
 
 
@@ -132,10 +130,13 @@ class Fork(Actor):
     def run(self) -> Generator:
         in_ch = self.input(self.src)
         outs = [self.output(f"out{i}") for i in range(self.n_outputs)]
+        park = ChannelWait(
+            ((POP, in_ch),) + tuple((PUSH, o) for o in outs), CHARGE_NONE
+        )
         while True:
             while not (in_ch.can_pop() and all(o.can_push() for o in outs)):
                 self.blocked_reason = "fork: waiting on input/outputs"
-                yield
+                yield park
             self.blocked_reason = None
             v = in_ch.pop()
             for o in outs:
@@ -175,14 +176,18 @@ class ScheduleDemux(Actor):
     def run(self) -> Generator:
         in_ch = self.input(self.src)
         outs = [self.output(f"out{i}") for i in range(self.n_outputs)]
+        parks = [
+            ChannelWait(((POP, in_ch), (PUSH, o)), CHARGE_NONE) for o in outs
+        ]
         k = 0
         sched = self.schedule
         period = len(sched)
         while True:
-            dst = outs[sched[k % period]]
+            i = sched[k % period]
+            dst = outs[i]
             while not (in_ch.can_pop() and dst.can_push()):
                 self.blocked_reason = f"demux: waiting ({in_ch.name} -> {dst.name})"
-                yield
+                yield parks[i]
             self.blocked_reason = None
             dst.push(in_ch.pop())
             k += 1
@@ -218,14 +223,18 @@ class Interleaver(Actor):
     def run(self) -> Generator:
         ins = [self.input(f"in{i}") for i in range(self.n_inputs)]
         out_ch = self.output(self.dst)
+        parks = [
+            ChannelWait(((POP, s), (PUSH, out_ch)), CHARGE_NONE) for s in ins
+        ]
         k = 0
         sched = self.schedule
         period = len(sched)
         while True:
-            src = ins[sched[k % period]]
+            i = sched[k % period]
+            src = ins[i]
             while not (src.can_pop() and out_ch.can_push()):
                 self.blocked_reason = f"interleave: waiting ({src.name} -> {out_ch.name})"
-                yield
+                yield parks[i]
             self.blocked_reason = None
             out_ch.push(src.pop())
             k += 1

@@ -20,13 +20,14 @@ and one pop per cycle (one beat per port per cycle, as on real stream links).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, List, Optional
 
+from repro.dataflow.events import CHARGE_EACH, POP, PUSH, ChannelWait
 from repro.errors import ChannelProtocolError, ConfigurationError
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelStats:
     """Lifetime statistics of a channel, used for utilisation reports."""
 
@@ -60,6 +61,24 @@ class Channel:
         uses to run graphs without timing.
     """
 
+    __slots__ = (
+        "name",
+        "capacity",
+        "_q",
+        "_staged",
+        "_occ_at_cycle_start",
+        "_pushed_this_cycle",
+        "_popped_this_cycle",
+        "stats",
+        "writer",
+        "reader",
+        "_touched",
+        "_pop_waiters",
+        "_push_waiters",
+        "_pop_wait_desc",
+        "_push_wait_desc",
+    )
+
     def __init__(self, name: str, capacity: Optional[int] = None):
         if capacity is not None and capacity < 1:
             raise ConfigurationError(
@@ -75,6 +94,16 @@ class Channel:
         self.stats = ChannelStats()
         self.writer: Optional[str] = None
         self.reader: Optional[str] = None
+        # Event-scheduler hooks. `_touched` aliases the scheduler's
+        # active-channel set: every staged push / pop adds this channel so
+        # only touched channels get a begin_cycle() next cycle. The waiter
+        # lists hold parked (record, cond-index) pairs; both are (re)set by
+        # the engine, and None/empty under the lock-step scheduler.
+        self._touched: Optional[set] = None
+        self._pop_waiters: List[tuple] = []
+        self._push_waiters: List[tuple] = []
+        self._pop_wait_desc: Optional[ChannelWait] = None
+        self._push_wait_desc: Optional[ChannelWait] = None
 
     # -- binding ---------------------------------------------------------
 
@@ -100,17 +129,21 @@ class Channel:
 
     def begin_cycle(self) -> None:
         """Commit staged pushes and snapshot occupancy for the new cycle."""
-        if self._staged:
-            self._q.extend(self._staged)
-            self._staged.clear()
+        staged = self._staged
+        if staged:
+            self._q.extend(staged)
+            staged.clear()
         occ = len(self._q)
         self._occ_at_cycle_start = occ
-        if occ > self.stats.high_water:
-            self.stats.high_water = occ
+        stats = self.stats
+        if occ > stats.high_water:
+            stats.high_water = occ
         self._pushed_this_cycle = 0
         self._popped_this_cycle = 0
 
     # -- reader/writer API -------------------------------------------------
+    # push/pop repeat the can_push/can_pop conditions inline: they run once
+    # per simulated beat and the extra method call is measurable.
 
     def can_push(self) -> bool:
         """Whether the writer may push a value this cycle."""
@@ -122,30 +155,38 @@ class Channel:
 
     def can_pop(self) -> bool:
         """Whether the reader may pop a value this cycle."""
-        if self._popped_this_cycle:
-            return False
-        return self._popped_this_cycle < self._occ_at_cycle_start
+        return not self._popped_this_cycle and self._occ_at_cycle_start > 0
 
     def push(self, value: Any) -> None:
         """Stage ``value``; it becomes visible to the reader next cycle."""
-        if not self.can_push():
+        cap = self.capacity
+        if self._pushed_this_cycle or (
+            cap is not None
+            and self._occ_at_cycle_start + len(self._staged) >= cap
+        ):
             raise ChannelProtocolError(
                 f"push on channel {self.name!r} without can_push() "
-                f"(occupancy {self._occ_at_cycle_start}, capacity {self.capacity})"
+                f"(occupancy {self._occ_at_cycle_start}, capacity {cap})"
             )
         self._staged.append(value)
-        self._pushed_this_cycle += 1
+        self._pushed_this_cycle = 1
         self.stats.total_pushed += 1
+        touched = self._touched
+        if touched is not None:
+            touched.add(self)
 
     def pop(self) -> Any:
         """Remove and return the oldest visible value."""
-        if not self.can_pop():
+        if self._popped_this_cycle or not self._occ_at_cycle_start:
             raise ChannelProtocolError(
                 f"pop on channel {self.name!r} without can_pop() "
                 f"(visible occupancy {self._occ_at_cycle_start})"
             )
-        self._popped_this_cycle += 1
+        self._popped_this_cycle = 1
         self.stats.total_popped += 1
+        touched = self._touched
+        if touched is not None:
+            touched.add(self)
         return self._q.popleft()
 
     def peek(self) -> Any:
@@ -153,6 +194,27 @@ class Channel:
         if not self.can_pop():
             raise ChannelProtocolError(f"peek on empty channel {self.name!r}")
         return self._q[0]
+
+    # -- event-scheduler descriptors ---------------------------------------
+
+    def pop_wait(self) -> ChannelWait:
+        """Cached single-condition wait-for-pop descriptor.
+
+        Charges an empty stall per blocked cycle (``CHARGE_EACH``), which
+        is what every ``note_empty_stall``-calling loop needs. Loops that
+        record no stalls must build their own ``CHARGE_NONE`` descriptor.
+        """
+        w = self._pop_wait_desc
+        if w is None:
+            w = self._pop_wait_desc = ChannelWait(((POP, self),), CHARGE_EACH)
+        return w
+
+    def push_wait(self) -> ChannelWait:
+        """Cached single-condition wait-for-push descriptor (full stalls)."""
+        w = self._push_wait_desc
+        if w is None:
+            w = self._push_wait_desc = ChannelWait(((PUSH, self),), CHARGE_EACH)
+        return w
 
     # -- introspection -----------------------------------------------------
 
@@ -183,6 +245,8 @@ class Channel:
         self._q.clear()
         self._staged.clear()
         self._occ_at_cycle_start = 0
+        if self._touched is not None:
+            self._touched.add(self)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

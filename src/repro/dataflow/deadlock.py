@@ -14,6 +14,12 @@ edge-disjoint parallel paths and reports each path's total FIFO capacity;
 a large imbalance is flagged as a warning. The check is heuristic (true
 deadlock freedom depends on schedule skew, which is dynamic) but catches
 the under-buffered-branch mistakes designers actually make.
+
+This static analysis complements the *runtime* detection performed by the
+simulation engines (:mod:`repro.dataflow.scheduler`): the event scheduler
+raises :class:`~repro.errors.DeadlockError` exactly and immediately when no
+process can ever run again, and :func:`blocked_snapshot` (re-exported here)
+formats the per-actor blocking reasons both engines report.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from typing import List, Tuple
 import networkx as nx
 
 from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.scheduler import blocked_snapshot  # noqa: F401 - re-export
 from repro.errors import ConfigurationError
 
 

@@ -137,14 +137,24 @@ class DataflowGraph:
 
     # -- execution -----------------------------------------------------------
 
-    def build_simulator(self, stall_limit: int = 10_000, tracer=None) -> Simulator:
-        """Validate and return a cycle-level :class:`Simulator`."""
+    def build_simulator(
+        self,
+        stall_limit: int = 10_000,
+        tracer=None,
+        scheduler: str = "event",
+    ) -> Simulator:
+        """Validate and return a cycle-level :class:`Simulator`.
+
+        ``scheduler`` selects the engine (``"event"`` or ``"lockstep"``,
+        see :mod:`repro.dataflow.scheduler`); both are bit-equivalent.
+        """
         self.validate()
         return Simulator(
             list(self.actors.values()),
             list(self.channels.values()),
             stall_limit,
             tracer=tracer,
+            scheduler=scheduler,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,510 @@
+"""Simulation engines: the lock-step reference loop and the event scheduler.
+
+Two interchangeable engines drive a :class:`~repro.dataflow.simulator.Simulator`:
+
+* :class:`LockstepEngine` — the original reference loop. Every cycle it calls
+  ``begin_cycle()`` on every channel and resumes every live process, so one
+  cycle costs O(actors + channels) regardless of how much actually happens.
+  Blocked actors spin-yield; wait descriptors are ignored entirely.
+* :class:`EventEngine` — does work proportional to *activity*. Actors blocked
+  on a channel register on its wait-list and are only re-examined when that
+  channel commits a beat; fixed-latency waits go into a wakeup heap; when no
+  process is runnable the clock jumps straight to the next wakeup; and
+  ``begin_cycle()`` runs only over the incrementally maintained set of
+  channels touched in the previous cycle.
+
+Both engines produce bit-for-bit identical results on well-formed graphs:
+cycle counts, output values and timestamps, channel high-water marks, and
+stall statistics (see :mod:`repro.dataflow.events` for how retroactive stall
+charging reproduces the lock-step counters). The differences are confined to
+error paths: the event engine raises :class:`~repro.errors.DeadlockError`
+*immediately* when no process can ever run again (no runnables, no pending
+wakeups, no channel activity) instead of after ``stall_limit`` wasted cycles,
+and it does not false-positive on fixed-latency waits longer than the stall
+limit. A lock-step-compatible stall counter is kept as a backstop for legacy
+actors that poll with bare ``yield`` (those always stay runnable, so the
+exact condition alone would never fire for them).
+
+Equivalence notes (why the event engine is exact, not approximate):
+
+* Resumption order: runnable processes execute in their creation order
+  (``seq``) within a cycle, identical to the lock-step list order, so
+  intra-actor shared state (the compute cores' result queues) is seen in
+  the same relative order.
+* Monotone readiness: channels are single-writer/single-reader, so while the
+  blocked endpoint is parked its condition can only become — and then stay —
+  satisfiable. A parked condition therefore has a single well-defined
+  "became ready" cycle, which is what makes retroactive stall charging and
+  wait-list wakeups sound.
+* Active-set invariant: a channel's per-cycle counters are nonzero only if
+  the channel is in the active set, so skipping ``begin_cycle()`` for
+  untouched channels never leaves a stale snapshot behind, and the tracer
+  reads consistent state.
+* With a tracer or an ``until`` predicate attached the engine still parks
+  and tracks active channels but executes every cycle sequentially (no bulk
+  skipping), so per-cycle samples and early-stop checks match exactly.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heappop, heappush
+from typing import Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.dataflow.actor import Actor
+from repro.dataflow.events import (
+    CHARGE_EACH,
+    CHARGE_NONE,
+    POP,
+    ChannelWait,
+    GateWait,
+    WaitCycles,
+)
+from repro.errors import DeadlockError, SimulationError
+
+
+def blocked_snapshot(actors: Iterable[Actor]) -> Dict[str, str]:
+    """Deadlock report: each live non-daemon actor's last blocking reason."""
+    return {
+        a.name: (a.blocked_reason or "running (no channel beat)")
+        for a in actors
+        if not a.daemon
+    }
+
+
+class LockstepEngine:
+    """The original O(cycles x (actors + channels)) reference loop.
+
+    Kept verbatim (modulo the shared per-cycle step helper) so the event
+    engine can be cross-checked against it; select it with
+    ``Simulator(..., scheduler="lockstep")``.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.cycle = 0
+        self._stall = 0
+        self._live: List[Tuple[Actor, Generator]] = [
+            (a, gen) for a in sim.actors for gen in a.processes()
+        ]
+        # Make sure no event-engine hooks linger from a previous engine on
+        # the same graph: descriptors must be inert under lock-step.
+        for ch in sim.channels:
+            ch._touched = None
+            ch._pop_waiters.clear()
+            ch._push_waiters.clear()
+
+    def _nondaemon_live(self) -> bool:
+        return any(not a.daemon for a, _ in self._live)
+
+    def _step(self) -> None:
+        """One cycle: commit all channels, resume all processes, trace."""
+        sim = self.sim
+        for ch in sim.channels:
+            ch.begin_cycle()
+        still: List[Tuple[Actor, Generator]] = []
+        for actor, proc in self._live:
+            actor.now = self.cycle
+            try:
+                next(proc)
+            except StopIteration:
+                continue
+            still.append((actor, proc))
+        self._live = still
+        if sim.tracer is not None:
+            sim.tracer.record(self.cycle, sim.actors, sim.channels)
+        self.cycle += 1
+
+    def _check_stall(self) -> None:
+        if not self._nondaemon_live():
+            return
+        activity = sum(
+            ch._pushed_this_cycle + ch._popped_this_cycle
+            for ch in self.sim.channels
+        )
+        if activity == 0:
+            self._stall += 1
+            if self._stall >= self.sim.stall_limit:
+                raise DeadlockError(
+                    self.cycle, blocked_snapshot(a for a, _ in self._live)
+                )
+        else:
+            self._stall = 0
+
+    def run(self, max_cycles: int, until):
+        sim = self.sim
+        while self._nondaemon_live():
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={max_cycles} with "
+                    f"{len(self._live)} live processes"
+                )
+            self._step()
+            if until is not None and until():
+                return sim._result(self.cycle, False)
+            self._check_stall()
+        return sim._result(self.cycle, True)
+
+    def run_cycles(self, n: int) -> int:
+        for _ in range(int(n)):
+            if not self._live:
+                break
+            self._step()
+            self._check_stall()
+        return len(self._live)
+
+
+class _Proc:
+    """One live generator: its actor, stable resumption rank, liveness."""
+
+    __slots__ = ("actor", "gen", "seq", "alive", "key")
+
+    def __init__(self, actor: Actor, gen: Generator, seq: int):
+        self.actor = actor
+        self.gen = gen
+        self.seq = seq
+        self.alive = True
+        #: Preallocated run-list entry; scheduling containers reuse it so
+        #: the hot loop never builds tuples.
+        self.key = (seq, self)
+
+
+class _WaitRec:
+    """A parked :class:`ChannelWait`: per-condition readiness bookkeeping.
+
+    ``ready[i]`` is the cycle at which condition ``i`` became satisfiable
+    (``park`` itself if it already was at park time, ``None`` while still
+    blocked); ``pending`` counts the ``None`` entries. The record wakes when
+    ``pending`` hits zero, at which point the stall cycles the lock-step
+    loop would have recorded are charged retroactively from ``ready``.
+    """
+
+    __slots__ = ("proc", "park", "conds", "charge", "ready", "pending")
+
+    def __init__(self, proc: _Proc, park: int, conds, charge: int):
+        self.proc = proc
+        self.park = park
+        self.conds = conds
+        self.charge = charge
+        self.ready: List[Optional[int]] = [None] * len(conds)
+        self.pending = 0
+
+
+class EventEngine:
+    """Event-driven scheduler: work proportional to activity, not cycles.
+
+    State (all cycle numbers refer to ``self.cycle``, the next cycle to
+    execute):
+
+    * ``_current`` — sorted ``(seq, proc)`` run list for the cycle being
+      executed (built, sorted once, then consumed by index; mid-cycle gate
+      wakes are bisect-inserted past the consumption point). Empty between
+      cycles;
+    * ``_next_ready`` — processes runnable next cycle (a bare ``yield``);
+    * ``_timers`` — min-heap of ``(wake_cycle, seq, proc)`` fixed waits;
+    * ``_active`` — channels touched last cycle, needing ``begin_cycle()``
+      (each channel's ``_touched`` aliases this very set);
+    * ``_parked`` — outstanding channel wait records, for end-of-run stall
+      flushing; gate waiters live on their :class:`Gate`.
+
+    Every scheduling container holds only live processes: a process dies
+    only inside its own resumption (``StopIteration``), at which point it is
+    in no container, so the hot loop needs no liveness filtering.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.cycle = 0
+        self._stall = 0
+        self._in_cycle = False
+        self._cur_seq = -1
+        self._active: set = set()
+        self._current: List[Tuple[int, _Proc]] = []
+        self._next_ready: List[_Proc] = []
+        self._timers: List[Tuple[int, int, _Proc]] = []
+        self._parked: set = set()
+        self._procs: List[_Proc] = []
+        for a in sim.actors:
+            for gen in a.processes():
+                self._procs.append(_Proc(a, gen, len(self._procs)))
+        self._live_total = len(self._procs)
+        self._live_nondaemon = sum(
+            1 for p in self._procs if not p.actor.daemon
+        )
+        self._next_ready.extend(self._procs)
+        for ch in sim.channels:
+            ch._touched = self._active
+            ch._pop_waiters.clear()
+            ch._push_waiters.clear()
+        # Cycle 0 commits every channel (pre-staged values, initial
+        # high-water marks), exactly like the lock-step loop's first cycle.
+        self._active.update(sim.channels)
+
+    # -- cycle execution ---------------------------------------------------
+
+    def _exec_cycle(self, c: int) -> None:
+        # The hottest loop in the whole reproduction: every simulated beat of
+        # every benchmark passes through here, hence the inlined dispatch,
+        # exact type checks and local bindings.
+        current = self._current
+        active = self._active
+        if active:
+            for ch in active:
+                ch.begin_cycle()
+                if ch._pop_waiters and ch.can_pop():
+                    waiters = ch._pop_waiters
+                    ch._pop_waiters = []
+                    self._satisfy(waiters, c)
+                if ch._push_waiters and ch.can_push():
+                    waiters = ch._push_waiters
+                    ch._push_waiters = []
+                    self._satisfy(waiters, c)
+            active.clear()
+        nr = self._next_ready
+        if nr:
+            for p in nr:
+                current.append(p.key)
+            nr.clear()
+        timers = self._timers
+        if timers and timers[0][0] <= c:
+            while timers and timers[0][0] <= c:
+                current.append(heappop(timers)[2].key)
+        current.sort()
+        nr_append = nr.append
+        self._in_cycle = True
+        pos = 0
+        while pos < len(current):
+            seq, p = current[pos]
+            pos += 1
+            self._cur_seq = seq
+            p.actor.now = c
+            try:
+                y = next(p.gen)
+            except StopIteration:
+                p.alive = False
+                self._live_total -= 1
+                if not p.actor.daemon:
+                    self._live_nondaemon -= 1
+                continue
+            if y is None:
+                nr_append(p)
+            elif type(y) is ChannelWait:
+                self._park(p, y, c)
+            elif type(y) is WaitCycles:
+                n = y.cycles
+                heappush(timers, (c + (n if n >= 1 else 1), seq, p))
+            elif type(y) is GateWait:
+                gate = y.gate
+                if gate._engine is not self:
+                    gate._engine = self
+                gate._waiters.append(p)
+            else:
+                self._reject(p, y)
+        self._in_cycle = False
+        current.clear()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.record(c, self.sim.actors, self.sim.channels)
+
+    def _reject(self, p: _Proc, y) -> None:
+        raise SimulationError(
+            f"process of actor {p.actor.name!r} yielded unsupported "
+            f"value {y!r}; yield None, a wait descriptor, or use the "
+            f"Actor helpers"
+        )
+
+    def _park(self, p: _Proc, w: ChannelWait, c: int) -> None:
+        rec = _WaitRec(p, c, w.conds, w.charge)
+        ready = rec.ready
+        pending = 0
+        for i, (op, ch) in enumerate(w.conds):
+            if ch.can_pop() if op == POP else ch.can_push():
+                ready[i] = c
+            else:
+                pending += 1
+                (ch._pop_waiters if op == POP else ch._push_waiters).append(
+                    (rec, i)
+                )
+        if pending == 0:
+            # Everything is already satisfiable: behave like a bare yield
+            # (the actor's loop re-checks and proceeds next cycle).
+            self._next_ready.append(p)
+            return
+        rec.pending = pending
+        self._parked.add(rec)
+
+    def _satisfy(self, waiters: List[tuple], c: int) -> None:
+        # Phase 1 only: _current is still under construction (sorted later).
+        for rec, i in waiters:
+            if rec.ready[i] is None:
+                rec.ready[i] = c
+                rec.pending -= 1
+                if rec.pending == 0:
+                    self._parked.discard(rec)
+                    self._apply_charges(rec, c)
+                    self._current.append(rec.proc.key)
+
+    def _gate_notify(self, gate) -> None:
+        """Wake gate waiters; same-cycle iff they resume after the notifier.
+
+        Mirrors lock-step shared-memory visibility: a process later in the
+        resumption order sees this cycle's mutation in its own slice, an
+        earlier one only next cycle.
+        """
+        waiters = gate._waiters
+        gate._waiters = []
+        cur = self._cur_seq if self._in_cycle else -1
+        for p in waiters:
+            if not p.alive:
+                continue
+            if p.seq > cur:
+                # Insert into the still-unconsumed tail of the run list
+                # (every consumed entry has seq <= cur < p.seq).
+                insort(self._current, p.key)
+            else:
+                self._next_ready.append(p)
+
+    # -- retroactive stall accounting --------------------------------------
+
+    def _apply_charges(self, rec: _WaitRec, default: int) -> None:
+        """Charge the stall cycles lock-step would have recorded.
+
+        The actor's own loop already charged the park cycle before
+        yielding, so for ``CHARGE_EACH`` condition *i* owes
+        ``max(0, ready[i] - park - 1)`` further cycles. ``CHARGE_FIRST``
+        (relay) charges only the first still-blocked condition per cycle,
+        which the running ``m`` cursor reproduces. ``default`` substitutes
+        for conditions that never became ready (end-of-run flush).
+        """
+        charge = rec.charge
+        if charge == CHARGE_NONE:
+            return
+        park = rec.park
+        if charge == CHARGE_EACH:
+            for (op, ch), r in zip(rec.conds, rec.ready):
+                n = (default if r is None else r) - park - 1
+                if n > 0:
+                    if op == POP:
+                        ch.stats.empty_stall_cycles += n
+                    else:
+                        ch.stats.full_stall_cycles += n
+        else:  # CHARGE_FIRST
+            m = park + 1
+            for (op, ch), r in zip(rec.conds, rec.ready):
+                if r is None:
+                    r = default
+                n = r - m
+                if n > 0:
+                    if op == POP:
+                        ch.stats.empty_stall_cycles += n
+                    else:
+                        ch.stats.full_stall_cycles += n
+                if r > m:
+                    m = r
+
+    def _flush(self, end: int) -> None:
+        """Bring stall stats of still-parked actors up to cycle ``end - 1``.
+
+        Under lock-step, parked daemons (and actors observed mid-run via
+        ``run_cycles``) keep recording stalls every executed cycle; charge
+        those now, then rebase each record's park cycle so a later
+        continuation charges only cycles from ``end`` on.
+        """
+        rebase = end - 1
+        for rec in self._parked:
+            self._apply_charges(rec, end)
+            rec.park = rebase
+
+    # -- clock advance and stall/deadlock policy ---------------------------
+
+    def _advance(self, tick: bool) -> Optional[int]:
+        """Next cycle to execute; ``None`` if no process can ever run again."""
+        if self._next_ready or self._current or self._active:
+            return self.cycle
+        if self._timers:
+            if tick:
+                return self.cycle
+            wake = self._timers[0][0]
+            return wake if wake > self.cycle else self.cycle
+        return None
+
+    def _blocked(self) -> Dict[str, str]:
+        return blocked_snapshot(p.actor for p in self._procs if p.alive)
+
+    def _check_stall(self) -> None:
+        """Lock-step-compatible backstop for bare-``yield`` pollers."""
+        if self._live_nondaemon <= 0:
+            return
+        if self._active:
+            self._stall = 0
+        else:
+            self._stall += 1
+            if self._stall >= self.sim.stall_limit:
+                raise DeadlockError(self.cycle, self._blocked())
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, max_cycles: int, until):
+        sim = self.sim
+        tick = sim.tracer is not None or until is not None
+        stall_limit = sim.stall_limit
+        exec_cycle = self._exec_cycle
+        timers = self._timers
+        while self._live_nondaemon > 0:
+            # Inlined _advance(tick): this header runs once per cycle.
+            if self._next_ready or self._active or self._current:
+                c = self.cycle
+            elif timers:
+                wake = timers[0][0]
+                c = self.cycle if tick or wake <= self.cycle else wake
+            elif until is not None:
+                # A cycle-based ``until`` may still fire: keep ticking empty
+                # cycles; the stall backstop below bounds this.
+                c = self.cycle
+            else:
+                # Exact and immediate: nothing is runnable, no wakeups
+                # are pending, and no channel committed anything.
+                raise DeadlockError(self.cycle, self._blocked())
+            if c >= max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={max_cycles} with "
+                    f"{self._live_total} live processes"
+                )
+            exec_cycle(c)
+            self.cycle = c + 1
+            if until is not None and until():
+                self._flush(self.cycle)
+                return sim._result(self.cycle, False)
+            # Inlined _check_stall(): backstop for bare-``yield`` pollers.
+            if self._active:
+                self._stall = 0
+            elif self._live_nondaemon > 0:
+                self._stall += 1
+                if self._stall >= stall_limit:
+                    raise DeadlockError(self.cycle, self._blocked())
+        self._flush(self.cycle)
+        return sim._result(self.cycle, True)
+
+    def run_cycles(self, n: int) -> int:
+        sim = self.sim
+        target = self.cycle + int(n)
+        tick = sim.tracer is not None
+        while self.cycle < target:
+            if self._live_total == 0:
+                break
+            c = self._advance(tick)
+            if c is None or c >= target:
+                # Nothing can run before the target: the gap is pure stall
+                # time for the lock-step accounting.
+                gap = target - self.cycle
+                self.cycle = target
+                if self._live_nondaemon > 0:
+                    self._stall += gap
+                    if self._stall >= sim.stall_limit:
+                        raise DeadlockError(self.cycle, self._blocked())
+                break
+            self._exec_cycle(c)
+            self.cycle = c + 1
+            self._check_stall()
+        self._flush(self.cycle)
+        return self._live_total

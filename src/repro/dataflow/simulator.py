@@ -1,32 +1,39 @@
 """Cycle-level simulator driving actors and channels.
 
 The simulator advances a set of :class:`~repro.dataflow.actor.Actor`
-processes in lock-step clock cycles:
+processes in clock cycles under a two-phase protocol:
 
-1. every channel commits the pushes staged in the previous cycle and
-   snapshots its occupancy (:meth:`Channel.begin_cycle`);
-2. every live process is resumed once; it performs at most one beat per
-   port and then yields.
+1. channels touched in the previous cycle commit their staged pushes and
+   snapshot occupancy (:meth:`Channel.begin_cycle`);
+2. each runnable process is resumed once, in creation order; it performs at
+   most one beat per port and then yields.
 
 Because channel firing rules are answered against the cycle-start snapshot,
 the result (both values *and* timing) is independent of the order in which
 processes are resumed within a cycle.
 
-Deadlock detection: if no channel registers any push or pop for
-``stall_limit`` consecutive cycles while live processes remain, a
-:class:`~repro.errors.DeadlockError` is raised with each actor's last
-blocking reason. Fixed-latency ``wait()`` stalls are far shorter than the
-default limit, so they never trip it.
+Two interchangeable engines implement this contract (see
+:mod:`repro.dataflow.scheduler`): the default ``"event"`` scheduler parks
+blocked processes on channel wait-lists and a wakeup heap and skips cycles
+in which nothing can run, while the ``"lockstep"`` scheduler is the simple
+reference loop that resumes everything every cycle. They produce identical
+results; the event engine is asymptotically faster on stalling workloads
+and reports deadlocks immediately (no runnable process, no pending wakeup,
+no channel activity) instead of after ``stall_limit`` idle cycles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.dataflow.actor import Actor
 from repro.dataflow.channel import Channel
-from repro.errors import DeadlockError, SimulationError
+from repro.dataflow.scheduler import EventEngine, LockstepEngine
+from repro.errors import ConfigurationError, SimulationError
+
+#: Engine name -> engine class (see :mod:`repro.dataflow.scheduler`).
+SCHEDULERS = {"event": EventEngine, "lockstep": LockstepEngine}
 
 
 @dataclass
@@ -55,7 +62,12 @@ class Simulator:
         cross-checks and raises if it finds an unregistered channel.
     stall_limit:
         Number of consecutive cycles without any channel activity after
-        which a deadlock is declared (default 10_000).
+        which a deadlock is declared (default 10_000). The event scheduler
+        usually detects deadlock exactly and immediately; this limit
+        remains the bound for legacy actors that poll with bare ``yield``.
+    scheduler:
+        ``"event"`` (default) or ``"lockstep"``; both give bit-identical
+        results (cycles, outputs, channel stats) on well-formed graphs.
     """
 
     def __init__(
@@ -64,14 +76,20 @@ class Simulator:
         channels: Sequence[Channel],
         stall_limit: int = 10_000,
         tracer=None,
+        scheduler: str = "event",
     ):
         self.actors = list(actors)
         self.channels = list(channels)
         self.stall_limit = int(stall_limit)
         #: Optional :class:`~repro.dataflow.trace.Tracer` sampling activity.
         self.tracer = tracer
-        self.cycle = 0
-        self._procs: List[Tuple[Actor, Generator]] = []
+        if scheduler not in SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown scheduler {scheduler!r}; "
+                f"expected one of {sorted(SCHEDULERS)}"
+            )
+        self.scheduler = scheduler
+        self._engine = None
         self._validate()
 
     def _validate(self) -> None:
@@ -99,16 +117,23 @@ class Simulator:
 
     # -- running -----------------------------------------------------------
 
-    def _start(self) -> None:
-        self._procs = []
-        for a in self.actors:
-            for gen in a.processes():
-                self._procs.append((a, gen))
+    @property
+    def cycle(self) -> int:
+        """Current simulation cycle (next cycle to execute)."""
+        return self._engine.cycle if self._engine is not None else 0
 
-    def _activity(self) -> int:
-        """Total channel beats (pushes + pops) observed this cycle."""
-        return sum(
-            ch._pushed_this_cycle + ch._popped_this_cycle for ch in self.channels
+    def _start(self):
+        """Create the engine (starting every actor process) on first use."""
+        if self._engine is None:
+            self._engine = SCHEDULERS[self.scheduler](self)
+        return self._engine
+
+    def _result(self, cycles: int, finished: bool) -> SimulationResult:
+        """Engine callback packaging the run outcome with channel stats."""
+        return SimulationResult(
+            cycles=cycles,
+            finished=finished,
+            channel_stats={ch.name: ch.stats.as_dict() for ch in self.channels},
         )
 
     def run(self, max_cycles: int = 10_000_000, until=None) -> SimulationResult:
@@ -118,6 +143,8 @@ class Simulator:
         finished; free-running daemon actors (routing stages, adapters) do
         not keep the simulation alive. ``until`` is an optional nullary
         predicate checked at the end of each cycle for early stopping.
+        Continues from the current cycle if the simulation was already
+        started (e.g. by :meth:`run_cycles`).
 
         Returns
         -------
@@ -125,77 +152,13 @@ class Simulator:
             ``finished`` is True when all non-daemon processes completed
             (not when stopped early by ``until``).
         """
-        self._start()
-        live = self._procs
-        stall = 0
-        while any(not a.daemon for a, _ in live):
-            if self.cycle >= max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded max_cycles={max_cycles} with "
-                    f"{len(live)} live processes"
-                )
-            for ch in self.channels:
-                ch.begin_cycle()
-            still_live: List[Tuple[Actor, Generator]] = []
-            for actor, proc in live:
-                actor.now = self.cycle
-                try:
-                    next(proc)
-                except StopIteration:
-                    continue
-                still_live.append((actor, proc))
-            live = still_live
-            if self.tracer is not None:
-                self.tracer.record(self.cycle, self.actors, self.channels)
-            self.cycle += 1
-            if until is not None and until():
-                return SimulationResult(
-                    cycles=self.cycle,
-                    finished=False,
-                    channel_stats={ch.name: ch.stats.as_dict() for ch in self.channels},
-                )
-            if any(not a.daemon for a, _ in live):
-                if self._activity() == 0:
-                    stall += 1
-                    if stall >= self.stall_limit:
-                        blocked = {
-                            a.name: (a.blocked_reason or "running (no channel beat)")
-                            for a, _ in live
-                            if not a.daemon
-                        }
-                        raise DeadlockError(self.cycle, blocked)
-                else:
-                    stall = 0
-        return SimulationResult(
-            cycles=self.cycle,
-            finished=True,
-            channel_stats={ch.name: ch.stats.as_dict() for ch in self.channels},
-        )
+        return self._start().run(int(max_cycles), until)
 
     def run_cycles(self, n: int) -> int:
-        """Advance the simulation by exactly ``n`` cycles (for step debugging).
+        """Advance the simulation by exactly ``n`` cycles (step debugging).
 
-        Starts the processes on first use. Returns the number of still-live
-        processes afterwards.
+        Starts the processes on first use and shares the engine with
+        :meth:`run`, so stats, tracing, and deadlock detection all behave
+        as in a full run. Returns the number of still-live processes.
         """
-        if not self._procs:
-            self._start()
-            self._live = list(self._procs)
-        live = getattr(self, "_live", list(self._procs))
-        for _ in range(int(n)):
-            if not live:
-                break
-            for ch in self.channels:
-                ch.begin_cycle()
-            nxt: List[Tuple[Actor, Generator]] = []
-            for actor, proc in live:
-                actor.now = self.cycle
-                try:
-                    next(proc)
-                except StopIteration:
-                    continue
-                nxt.append((actor, proc))
-            live = nxt
-            self.cycle += 1
-        self._live = live
-        return len(live)
+        return self._start().run_cycles(int(n))

@@ -13,6 +13,11 @@ samples it derives:
   waveform viewer (GTKWave etc.).
 
 Tracing costs a Python callback per cycle; attach it only when inspecting.
+With a tracer attached, the event scheduler disables bulk cycle-skipping
+and executes every cycle sequentially (it still parks blocked actors), so
+samples are taken for every cycle under either scheduler; the per-cycle
+channel counters it reads stay consistent because any channel with a beat
+this cycle is by construction in the engine's active set.
 """
 
 from __future__ import annotations

@@ -33,16 +33,23 @@ def tree_reduce(values: np.ndarray) -> np.ndarray:
     Works on any leading batch shape.
     """
     arr = np.asarray(values, dtype=DTYPE)
-    if arr.shape[-1] == 0:
+    n = arr.shape[-1]
+    if n == 0:
         raise ConfigurationError("tree_reduce over an empty axis")
-    while arr.shape[-1] > 1:
-        n = arr.shape[-1]
-        even = arr[..., 0 : n - (n % 2) : 2]
-        odd = arr[..., 1 : n : 2]
-        summed = (even + odd).astype(DTYPE)
-        if n % 2:
-            summed = np.concatenate([summed, arr[..., -1:]], axis=-1)
-        arr = summed
+    if n & (n - 1):
+        # Pad to the next power of two. At every level the carried odd
+        # element then simply pairs with 0.0, and x + 0.0 == x, so the
+        # values of the odd-carry tree are reproduced exactly while the
+        # loop below stays branch-free.
+        m = 1 << n.bit_length()
+        pad = np.zeros(arr.shape[:-1] + (m - n,), dtype=arr.dtype)
+        arr = np.concatenate([arr, pad], axis=-1)
+        n = m
+    while n > 1:
+        # Adding two DTYPE arrays already rounds in DTYPE, so no astype
+        # round trip is needed per level.
+        arr = arr[..., 0::2] + arr[..., 1::2]
+        n >>= 1
     return arr[..., 0]
 
 

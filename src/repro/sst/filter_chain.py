@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.config import DTYPE
 from repro.dataflow.actor import Actor
+from repro.dataflow.events import CHARGE_NONE, POP, PUSH, ChannelWait
 from repro.dataflow.graph import DataflowGraph
 from repro.errors import ConfigurationError
 from repro.sst.window import WindowSpec
@@ -91,6 +92,11 @@ class TapFilter(Actor):
         in_ch = self.input("in")
         tap_ch = self.output("tap")
         out_ch = self.output("out") if self.has_downstream else None
+        base = ((POP, in_ch),)
+        if out_ch is not None:
+            base += ((PUSH, out_ch),)
+        fwd_park = ChannelWait(base, CHARGE_NONE)
+        tap_park = ChannelWait(base + ((PUSH, tap_ch),), CHARGE_NONE)
         for idx in range(self.beats_per_image * self.images):
             local = idx % self.beats_per_image
             tapping = self.skip <= local < self.skip + self.steps
@@ -103,7 +109,7 @@ class TapFilter(Actor):
                 if ok:
                     break
                 self.blocked_reason = f"filter[{idx}]: waiting on FIFO"
-                yield
+                yield tap_park if tapping else fwd_park
             self.blocked_reason = None
             v = in_ch.pop()
             if out_ch is not None:
@@ -149,6 +155,7 @@ class WindowAssembler(Actor):
     def run(self) -> Generator:
         taps = [self.input(f"tap{t}") for t in range(self.n_taps)]
         out_ch = self.output("out")
+        taps_park = ChannelWait(tuple((POP, t) for t in taps), CHARGE_NONE)
         spec = self.spec
         for _ in range(self.images):
             for i in range(self.steps_per_image):
@@ -163,12 +170,12 @@ class WindowAssembler(Actor):
                 )
                 while not all(t.can_pop() for t in taps):
                     self.blocked_reason = "assembler: taps not ready"
-                    yield
+                    yield taps_park
                 if valid:
                     while not out_ch.can_push():
                         self.blocked_reason = f"assembler: {out_ch.name} full"
                         out_ch.note_full_stall()
-                        yield
+                        yield out_ch.push_wait()
                 self.blocked_reason = None
                 values = [t.pop() for t in taps]
                 if valid:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.config import DTYPE
 from repro.dataflow.actor import Actor
+from repro.dataflow.events import Gate
 from repro.errors import ConfigurationError
 from repro.sst.window import WindowSpec
 
@@ -114,50 +115,65 @@ class SlidingWindowActor(Actor):
         # the window registers while the previous window drains.
         self._emit_queue: deque = deque()
         self._recv_done = False
+        # Wakes the emitter when the receiver completes new windows.
+        self._gate = Gate()
         return [self._receiver(), self._emitter()]
 
     def _receiver(self) -> Generator:
         spec = self.spec
         hp, wp = spec.padded_shape(self.h, self.w)
         in_ch = self.input("in")
+        # Hot-loop locals: this loop runs once per input pixel beat.
+        pad, stride, kh, kw = spec.pad, spec.stride, spec.kh, spec.kw
+        group = self.group
+        completion_get = self._completion.get
+        emit_append = self._emit_queue.append
+        pop_wait = in_ch.pop_wait()
         for _ in range(self.images):
             # Padded, per-FM pixel buffers; padding pre-filled with zeros.
-            buf = np.zeros((self.group, hp, wp), dtype=DTYPE)
+            buf = np.zeros((group, hp, wp), dtype=DTYPE)
             for y in range(self.h):
+                yp = y + pad
                 for x in range(self.w):
-                    for g in range(self.group):
+                    xp = x + pad
+                    for g in range(group):
                         while not in_ch.can_pop():
                             self.blocked_reason = f"window: {in_ch.name} empty"
                             in_ch.note_empty_stall()
-                            yield
+                            yield pop_wait
                         self.blocked_reason = None
-                        buf[g, y + spec.pad, x + spec.pad] = in_ch.pop()
+                        buf[g, yp, xp] = in_ch.pop()
                         yield
                     # All FMs of (y, x) have arrived: enqueue every window
                     # this pixel completes, coordinate-major, FM-minor.
-                    for (oy, ox) in self._completion.get((y, x), ()):
-                        ys = oy * spec.stride
-                        xs = ox * spec.stride
-                        for g in range(self.group):
-                            self._emit_queue.append(
-                                buf[g, ys : ys + spec.kh, xs : xs + spec.kw].copy()
-                            )
+                    completed = completion_get((y, x))
+                    if completed is not None:
+                        for (oy, ox) in completed:
+                            ys = oy * stride
+                            xs = ox * stride
+                            for g in range(group):
+                                emit_append(
+                                    buf[g, ys : ys + kh, xs : xs + kw].copy()
+                                )
+                        self._gate.notify()
         self._recv_done = True
 
     def _emitter(self) -> Generator:
         out_ch = self.output("out")
+        emit_queue = self._emit_queue
+        push_wait = out_ch.push_wait()
         total = self.windows_per_image * self.images
         sent = 0
         while sent < total:
-            while not self._emit_queue:
+            while not emit_queue:
                 self.blocked_reason = "window: no completed window yet"
-                yield
+                yield self._gate.wait()
             while not out_ch.can_push():
                 self.blocked_reason = f"window: {out_ch.name} full"
                 out_ch.note_full_stall()
-                yield
+                yield push_wait
             self.blocked_reason = None
-            out_ch.push(self._emit_queue.popleft())
+            out_ch.push(emit_queue.popleft())
             sent += 1
             yield
 

@@ -14,6 +14,7 @@ from typing import Generator
 
 from repro.config import DTYPE
 from repro.dataflow.actor import Actor
+from repro.dataflow.events import CHARGE_NONE, POP, PUSH, ChannelWait
 from repro.errors import ConfigurationError
 
 _ZERO = DTYPE(0.0)
@@ -47,6 +48,8 @@ class PadInserter(Actor):
     def run(self) -> Generator:
         in_ch = self.input("in")
         out_ch = self.output("out")
+        real_park = ChannelWait(((PUSH, out_ch), (POP, in_ch)), CHARGE_NONE)
+        pad_park = ChannelWait(((PUSH, out_ch),), CHARGE_NONE)
         p = self.pad
         hp, wp = self.h + 2 * p, self.w + 2 * p
         for _ in range(self.images):
@@ -61,7 +64,7 @@ class PadInserter(Actor):
                             if ok:
                                 break
                             self.blocked_reason = "pad: waiting on stream"
-                            yield
+                            yield real_park if real else pad_park
                         self.blocked_reason = None
                         out_ch.push(in_ch.pop() if real else _ZERO)
                         yield

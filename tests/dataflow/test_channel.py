@@ -62,7 +62,6 @@ class TestVisibilityProtocol:
     def test_one_pop_per_cycle(self):
         ch = fresh(8)
         ch.push(1)
-        ch.push_allowed = None
         ch.begin_cycle()
         ch.push(2)
         ch.begin_cycle()

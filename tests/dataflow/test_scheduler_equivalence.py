@@ -1,0 +1,212 @@
+"""Event-vs-lockstep scheduler equivalence regression tests.
+
+The event engine must be a pure optimization: for every well-formed graph it
+has to reproduce the lock-step reference *bit for bit* — total cycle count,
+every output value and its arrival timestamp, and every per-channel
+statistic including the retroactively charged stall counters. Each test
+builds the same graph twice (one fresh build per scheduler) and diffs the
+complete observable outcome.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import (
+    Actor,
+    ArraySource,
+    DataflowGraph,
+    FifoStage,
+    Fork,
+    Interleaver,
+    ListSink,
+    MapActor,
+    ScheduleDemux,
+)
+from repro.errors import ConfigurationError, DeadlockError
+
+SCHEDULERS = ("lockstep", "event")
+
+
+def run_both(factory, **run_kwargs):
+    """Build the graph once per scheduler, run, return both outcomes."""
+    out = {}
+    for sched in SCHEDULERS:
+        g, sinks = factory()
+        res = g.build_simulator(scheduler=sched).run(**run_kwargs)
+        out[sched] = {
+            "cycles": res.cycles,
+            "finished": res.finished,
+            "stats": res.channel_stats,
+            "received": [list(s.received) for s in sinks],
+            "timestamps": [list(s.timestamps) for s in sinks],
+        }
+    return out["lockstep"], out["event"]
+
+
+def assert_identical(ref, got):
+    assert got["cycles"] == ref["cycles"]
+    assert got["finished"] == ref["finished"]
+    assert got["timestamps"] == ref["timestamps"]
+    for a, b in zip(ref["received"], got["received"]):
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+    assert got["stats"] == ref["stats"]
+
+
+class TestPrimitives:
+    def test_linear_chain_with_backpressure(self):
+        def factory():
+            g = DataflowGraph("chain", default_capacity=2)
+            src = g.add_actor(ArraySource("src", list(range(30))))
+            fifo = g.add_actor(FifoStage("fifo"))
+            # Slow mapper: capacity-1 output chokes the chain upstream.
+            mp = g.add_actor(MapActor("map", lambda v: v + 100))
+            snk = g.add_actor(ListSink("snk", count=30))
+            g.connect(src, "out", fifo, "in", capacity=2)
+            g.connect(fifo, "out", mp, "in", capacity=1)
+            g.connect(mp, "out", snk, "in", capacity=1)
+            return g, [snk]
+
+        assert_identical(*run_both(factory))
+
+    def test_bursty_source_interval(self):
+        def factory():
+            g = DataflowGraph("burst", default_capacity=2)
+            src = g.add_actor(ArraySource("src", list(range(12)), interval=7))
+            snk = g.add_actor(ListSink("snk", count=12))
+            g.connect(src, "out", snk, "in")
+            return g, [snk]
+
+        assert_identical(*run_both(factory))
+
+    def test_fork_demux_interleave_diamond(self):
+        def factory():
+            g = DataflowGraph("diamond", default_capacity=2)
+            src = g.add_actor(ArraySource("src", list(range(16)), interval=2))
+            fork = g.add_actor(Fork("fork", n_outputs=2))
+            a = g.add_actor(FifoStage("a"))
+            b = g.add_actor(MapActor("b", lambda v: -v))
+            join = g.add_actor(Interleaver("join", n_inputs=2))
+            dmx = g.add_actor(ScheduleDemux("dmx", n_outputs=2, schedule=[0, 0, 1]))
+            s0 = g.add_actor(ListSink("s0", count=22))
+            s1 = g.add_actor(ListSink("s1", count=10))
+            g.connect(src, "out", fork, "in")
+            g.connect(fork, "out0", a, "in", capacity=3)
+            g.connect(fork, "out1", b, "in", capacity=2)
+            g.connect(a, "out", join, "in0", capacity=2)
+            g.connect(b, "out", join, "in1", capacity=2)
+            g.connect(join, "out", dmx, "in", capacity=1)
+            g.connect(dmx, "out0", s0, "in", capacity=2)
+            g.connect(dmx, "out1", s1, "in", capacity=2)
+            return g, [s0, s1]
+
+        assert_identical(*run_both(factory))
+
+    def test_wait_heavy_actor(self):
+        def factory():
+            class Pulsed(Actor):
+                def run(self):
+                    for i in range(5):
+                        yield from self.wait(37)
+                        yield from self.send("out", i)
+
+            g = DataflowGraph("pulse", default_capacity=2)
+            p = g.add_actor(Pulsed("pulse"))
+            snk = g.add_actor(ListSink("snk", count=5))
+            g.connect(p, "out", snk, "in")
+            return g, [snk]
+
+        assert_identical(*run_both(factory))
+
+    def test_until_stops_at_same_point(self):
+        for sched in SCHEDULERS:
+            g = DataflowGraph("u", default_capacity=4)
+            src = g.add_actor(ArraySource("src", list(range(50))))
+            snk = g.add_actor(ListSink("snk", count=50))
+            g.connect(src, "out", snk, "in")
+            res = g.build_simulator(scheduler=sched).run(
+                until=lambda: len(snk.received) >= 7
+            )
+            if sched == "lockstep":
+                ref = (res.cycles, list(snk.received), res.channel_stats)
+            else:
+                assert (res.cycles, list(snk.received), res.channel_stats) == ref
+
+    def test_run_cycles_interleaved_with_run(self):
+        outcomes = {}
+        for sched in SCHEDULERS:
+            g = DataflowGraph("rc", default_capacity=2)
+            src = g.add_actor(ArraySource("src", list(range(20)), interval=3))
+            snk = g.add_actor(ListSink("snk", count=20))
+            g.connect(src, "out", snk, "in")
+            sim = g.build_simulator(scheduler=sched)
+            sim.run_cycles(11)
+            mid = (sim.cycle, list(snk.received))
+            res = sim.run()
+            outcomes[sched] = (mid, res.cycles, snk.timestamps, res.channel_stats)
+        assert outcomes["event"] == outcomes["lockstep"]
+
+
+class TestNetworks:
+    @pytest.mark.parametrize("memory_system", ["behavioral", "literal"])
+    def test_tiny_network_identical(self, memory_system, rng):
+        from repro.core import random_weights, tiny_design
+        from repro.core.builder import build_network
+
+        design = tiny_design()
+        weights = random_weights(design, seed=7)
+        batch = rng.uniform(-1, 1, (2, 1, 8, 8)).astype(np.float32)
+
+        outcomes = {}
+        for sched in SCHEDULERS:
+            built = build_network(
+                design, weights, batch,
+                memory_system=memory_system, loop_overhead=2,
+            )
+            res = built.run(scheduler=sched)
+            outcomes[sched] = (res.cycles, built.outputs(), res.channel_stats)
+        ref, got = outcomes["lockstep"], outcomes["event"]
+        assert got[0] == ref[0]
+        np.testing.assert_array_equal(got[1], ref[1])
+        assert got[2] == ref[2]
+
+
+class TestDeadlock:
+    def deadlocked_graph(self):
+        g = DataflowGraph("dl", default_capacity=2)
+        src = g.add_actor(ArraySource("src", [1, 2]))
+        snk = g.add_actor(ListSink("snk", count=5))
+        g.connect(src, "out", snk, "in")
+        return g
+
+    def test_both_schedulers_raise(self):
+        for sched in SCHEDULERS:
+            with pytest.raises(DeadlockError) as exc:
+                self.deadlocked_graph().build_simulator(
+                    stall_limit=50, scheduler=sched
+                ).run()
+            assert "snk" in str(exc.value)
+
+    def test_event_detection_is_immediate(self):
+        # Lock-step burns stall_limit cycles before giving up; the event
+        # engine proves no process can ever run again and raises at once.
+        with pytest.raises(DeadlockError) as lock:
+            self.deadlocked_graph().build_simulator(
+                stall_limit=5000, scheduler="lockstep"
+            ).run()
+        with pytest.raises(DeadlockError) as event:
+            self.deadlocked_graph().build_simulator(
+                stall_limit=5000, scheduler="event"
+            ).run()
+        assert lock.value.cycle >= 5000
+        assert event.value.cycle < 10
+        assert event.value.blocked == lock.value.blocked
+
+
+class TestConfig:
+    def test_unknown_scheduler_rejected(self):
+        g = DataflowGraph("cfg")
+        g.add_actor(ArraySource("src", [1]))
+        with pytest.raises(ConfigurationError):
+            g.build_simulator(scheduler="quantum")

@@ -13,7 +13,9 @@ import sys
 
 import pytest
 
-EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+SRC_DIR = os.path.join(REPO_ROOT, "src")
 
 FAST_EXAMPLES = [
     "quickstart.py",
@@ -31,12 +33,21 @@ FAST_EXAMPLES = [
 def test_example_runs(script, tmp_path):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
     assert os.path.exists(path), path
+    # The child runs from a scratch directory, so a relative PYTHONPATH
+    # (e.g. "src") inherited from the parent would not resolve: inject the
+    # absolute src path explicitly.
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        SRC_DIR if not existing else SRC_DIR + os.pathsep + existing
+    )
     proc = subprocess.run(
         [sys.executable, path],
         cwd=tmp_path,
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
     assert proc.stdout.strip(), f"{script} produced no output"
