@@ -1,0 +1,44 @@
+"""Static dataflow-network verification (``repro check``).
+
+A rule-based analyzer that catches rate, adapter, buffering and
+initiation-interval bugs *before* simulation: design-level rules check the
+layer-spec chain against the paper's balance equations, port-adapter cases
+and Eq. 4; graph-level rules check the elaborated dataflow graph for
+mis-wired adapters, under-buffered reconvergent branches and full-buffering
+violations. See DESIGN.md section 9 for the rule catalog.
+"""
+
+from repro.analysis.checker import (
+    ELABORATE_WEIGHT_LIMIT,
+    analyze_chain,
+    analyze_design,
+    analyze_graph,
+    check_design_dict,
+    check_network,
+    placeholder_weights,
+)
+from repro.analysis.design_rules import SpecChain
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity, make
+from repro.analysis.graph_rules import actor_skew_latency
+from repro.analysis.rules import DESIGN_RULES, GRAPH_RULES, RULES, RuleInfo, render_catalog
+
+__all__ = [
+    "ELABORATE_WEIGHT_LIMIT",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "SpecChain",
+    "RuleInfo",
+    "RULES",
+    "DESIGN_RULES",
+    "GRAPH_RULES",
+    "actor_skew_latency",
+    "analyze_chain",
+    "analyze_design",
+    "analyze_graph",
+    "check_design_dict",
+    "check_network",
+    "make",
+    "placeholder_weights",
+    "render_catalog",
+]

@@ -1,0 +1,195 @@
+"""Entry points of the static dataflow verifier.
+
+The checker composes the design-level rules (:mod:`.design_rules`) with
+the graph-level rules (:mod:`.graph_rules`):
+
+* :func:`analyze_chain` — tolerant analysis of a raw, possibly broken
+  spec chain (never raises on a bad design; emits diagnostics instead);
+* :func:`analyze_design` — full design-level analysis of a valid
+  :class:`NetworkDesign`, including the perf-model cross-check;
+* :func:`analyze_graph` — graph-level analysis of any elaborated
+  :class:`DataflowGraph` (design optional);
+* :func:`check_network` — the whole pipeline: design rules, then
+  elaborate with placeholder weights and run the graph rules;
+* :func:`check_design_dict` — lenient JSON-dict front end used by the
+  ``repro check`` CLI: bad specs become SPEC.VALID findings, valid
+  designs get the full treatment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.analysis.design_rules import (
+    SpecChain,
+    run_bottleneck_rule,
+    run_chain_rules,
+)
+from repro.analysis.diagnostics import AnalysisReport, Severity, make
+from repro.analysis.graph_rules import run_graph_rules
+from repro.config import DTYPE
+from repro.core.builder import DesignWeights, build_network
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec
+from repro.core.network_design import NetworkDesign
+from repro.dataflow.graph import DataflowGraph
+from repro.errors import ReproError
+
+#: Above this parameter count, ``elaborate="auto"`` skips graph-level
+#: analysis: materializing e.g. VGG-16's 100M+ FC weights just to check
+#: wiring would dominate the check's runtime and memory for no extra
+#: signal (adapters/buffers do not depend on weight values).
+ELABORATE_WEIGHT_LIMIT = 2_000_000
+
+
+def placeholder_weights(design: NetworkDesign) -> DesignWeights:
+    """All-zero weights: enough to elaborate, free of RNG cost."""
+    out: DesignWeights = {}
+    for p in design.placements:
+        spec = p.spec
+        if isinstance(spec, ConvLayerSpec):
+            kw = spec.kw if spec.kw is not None else spec.kh
+            out[spec.name] = {
+                "weight": np.zeros(
+                    (spec.out_fm, spec.in_fm, spec.kh, kw), dtype=DTYPE
+                ),
+                "bias": np.zeros(spec.out_fm, dtype=DTYPE),
+            }
+        elif isinstance(spec, FCLayerSpec):
+            out[spec.name] = {
+                "weight": np.zeros((spec.out_fm, spec.in_fm), dtype=DTYPE),
+                "bias": np.zeros(spec.out_fm, dtype=DTYPE),
+            }
+    return out
+
+
+def analyze_chain(chain: SpecChain) -> AnalysisReport:
+    """Design-level rules over a raw (possibly invalid) spec chain."""
+    report = AnalysisReport(chain.name)
+    run_chain_rules(chain, report)
+    return report
+
+
+def analyze_design(design: NetworkDesign) -> AnalysisReport:
+    """Design-level rules plus the perf-model cross-check."""
+    report = analyze_chain(SpecChain.from_design(design))
+    run_bottleneck_rule(design, report)
+    return report
+
+
+def analyze_graph(
+    graph: DataflowGraph, design: Optional[NetworkDesign] = None
+) -> AnalysisReport:
+    """Graph-level rules over an elaborated graph."""
+    report = AnalysisReport(design.name if design is not None else graph.name)
+    run_graph_rules(graph, report, design)
+    return report
+
+
+def check_network(
+    design: NetworkDesign,
+    elaborate: Union[bool, str] = "auto",
+    memory_system: str = "behavioral",
+    channel_capacity: int = 4,
+) -> AnalysisReport:
+    """Full static check of a valid design: spec rules + elaborated graph.
+
+    ``elaborate`` is ``True``/``False`` or ``"auto"`` (elaborate unless
+    the design exceeds :data:`ELABORATE_WEIGHT_LIMIT` parameters).
+    Elaboration uses zero weights and a single blank image — the graph
+    rules only look at structure, never at values.
+    """
+    report = analyze_design(design)
+    if elaborate == "auto":
+        do_elaborate = design.weight_count() <= ELABORATE_WEIGHT_LIMIT
+        if not do_elaborate:
+            report.add(make(
+                "GRAPH.STRUCTURE", Severity.INFO, "design",
+                f"graph-level rules skipped: {design.weight_count():,} "
+                f"parameters exceed the auto-elaboration limit "
+                f"({ELABORATE_WEIGHT_LIMIT:,}); pass elaborate=True "
+                f"(--elaborate) to force",
+            ))
+            report.note_rule("GRAPH.STRUCTURE")
+    else:
+        do_elaborate = bool(elaborate)
+    if not do_elaborate:
+        return report
+    try:
+        built = build_network(
+            design,
+            placeholder_weights(design),
+            np.zeros((1,) + design.input_shape, dtype=DTYPE),
+            channel_capacity=channel_capacity,
+            memory_system=memory_system,
+        )
+    except ReproError as exc:
+        report.add(make(
+            "GRAPH.STRUCTURE", Severity.ERROR, "design",
+            f"design does not elaborate: {exc}",
+        ))
+        report.note_rule("GRAPH.STRUCTURE")
+        return report
+    return report.merge(analyze_graph(built.graph, design))
+
+
+def check_design_dict(
+    d: dict, elaborate: Union[bool, str] = "auto"
+) -> AnalysisReport:
+    """Lenient front end for design dicts (the ``repro check`` CLI path).
+
+    Specs that fail to construct become SPEC.VALID errors; if the design
+    as a whole fails :class:`NetworkDesign` validation, the tolerant
+    chain analysis still produces a full per-boundary report.
+    """
+    from repro.core.serialize import spec_from_dict
+
+    name = str(d.get("name", "design"))
+    report = AnalysisReport(name)
+    report.note_rule("SPEC.VALID")
+
+    shape = d.get("input_shape")
+    if (not isinstance(shape, (list, tuple)) or len(shape) != 3
+            or not all(isinstance(v, int) and v > 0 for v in shape)):
+        report.add(make(
+            "SPEC.VALID", Severity.ERROR, "design",
+            f"input_shape must be a positive (C, H, W) triple, got {shape!r}",
+        ))
+        return report
+
+    specs = []
+    spec_errors = False
+    for i, sd in enumerate(d.get("layers", [])):
+        try:
+            specs.append(spec_from_dict(dict(sd)))
+        except (ReproError, TypeError, KeyError) as exc:
+            spec_errors = True
+            report.add(make(
+                "SPEC.VALID", Severity.ERROR, f"layer[{i}]",
+                f"spec does not construct: {exc}",
+                hint="fix this layer's parameters; the remaining layers "
+                     "were still analyzed",
+            ))
+
+    if not spec_errors:
+        construct_error: Optional[ReproError] = None
+        try:
+            design = NetworkDesign(name, tuple(shape), specs)
+        except ReproError as exc:
+            construct_error = exc
+        else:
+            return report.merge(check_network(design, elaborate=elaborate))
+        report.merge(analyze_chain(SpecChain(name, tuple(shape), tuple(specs))))
+        if report.ok:
+            # The chain rules model every NetworkDesign invariant; if one
+            # ever slips through, still fail the check with the raw reason.
+            report.add(make(
+                "SPEC.VALID", Severity.ERROR, "design",
+                f"design does not construct: {construct_error}",
+            ))
+        return report
+
+    if specs:
+        report.merge(analyze_chain(SpecChain(name, tuple(shape), tuple(specs))))
+    return report

@@ -1,0 +1,374 @@
+"""Graph-level rules of the static verifier.
+
+These rules run on an *elaborated* :class:`DataflowGraph` — either one the
+builder produced from a design (in which case the design is available for
+cross-checking the wiring against the spec-level intent) or a hand-built
+graph (structure/buffering rules only).
+
+The centerpiece promotes the :mod:`repro.dataflow.deadlock` heuristic into
+hard errors: instead of warning on a capacity *imbalance*, BUFFER.SKEW
+computes each reconvergent branch's latency skew in stream beats (window
+prime latency for memory structures, pipeline depth for cores) and demands
+the thin branch buffer at least the skew of its slowest peer — the exact
+condition for a fork/join pair of bounded FIFOs not to deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.diagnostics import AnalysisReport, Severity, make
+from repro.core.layer_spec import ConvLayerSpec, PoolLayerSpec
+from repro.core.network_design import NetworkDesign
+from repro.dataflow.actors import ArraySource, Fork, Interleaver, ScheduleDemux
+from repro.dataflow.deadlock import analyze_reconvergence
+from repro.dataflow.graph import DataflowGraph
+from repro.errors import GraphError
+from repro.sst.filter_chain import TapFilter, WindowAssembler
+from repro.sst.line_buffer import SlidingWindowActor
+from repro.sst.sizing import chain_fifo_capacities, chain_words
+
+#: Actors whose fork/join shape is the *intended* tap parallelism of a
+#: literal SST filter chain. Their FIFO depths are checked exactly by
+#: BUFFER.FULL against ``sst/sizing.py``; the generic skew model does not
+#: apply to their deliberately non-uniform tap rates.
+_CHAIN_ACTORS = (TapFilter, WindowAssembler)
+
+
+def run_graph_rules(
+    graph: DataflowGraph,
+    report: AnalysisReport,
+    design: Optional[NetworkDesign] = None,
+) -> None:
+    """Run every graph-level rule, folding findings into ``report``."""
+    _rule_structure(graph, report)
+    _rule_buffer_full(graph, report, design)
+    if design is not None:
+        _rule_adapter_wiring(graph, report, design)
+    _rule_buffer_skew(graph, report)
+
+
+def _actor_of(graph: DataflowGraph, endpoint: str) -> Tuple[str, object]:
+    """Resolve a channel endpoint ``"actor.port"`` to its actor.
+
+    Actor names themselves contain dots (``conv1.win0.f2``), so the port is
+    always the last component.
+    """
+    name = endpoint.rsplit(".", 1)[0]
+    return name, graph.actors.get(name)
+
+
+# -- GRAPH.STRUCTURE ---------------------------------------------------------
+
+
+def _rule_structure(graph: DataflowGraph, report: AnalysisReport) -> None:
+    report.note_rule("GRAPH.STRUCTURE")
+    try:
+        graph.validate()
+    except GraphError as exc:
+        report.add(make(
+            "GRAPH.STRUCTURE", Severity.ERROR, "design", str(exc),
+            hint="every channel needs exactly one writer and one reader",
+        ))
+        return  # a dangling graph makes the remaining structure checks moot
+    try:
+        graph.topological_layers()
+    except GraphError as exc:
+        report.add(make(
+            "GRAPH.STRUCTURE", Severity.ERROR, "design", str(exc),
+            hint="a feed-forward CNN pipeline must be acyclic",
+        ))
+
+
+# -- BUFFER.FULL -------------------------------------------------------------
+
+
+def _rule_buffer_full(
+    graph: DataflowGraph,
+    report: AnalysisReport,
+    design: Optional[NetworkDesign],
+) -> None:
+    report.note_rule("BUFFER.FULL")
+
+    # Read-once: the off-chip stream must never be duplicated. A Fork right
+    # behind a source replays each word to several consumers — the
+    # anti-pattern full buffering exists to avoid (re-reading the input).
+    for ch in graph.channels.values():
+        if ch.writer is None or ch.reader is None:
+            continue
+        wname, wactor = _actor_of(graph, ch.writer)
+        rname, ractor = _actor_of(graph, ch.reader)
+        if isinstance(wactor, ArraySource) and isinstance(ractor, Fork):
+            report.add(make(
+                "BUFFER.FULL", Severity.ERROR,
+                f"channel:{ch.writer}->{ch.reader}",
+                f"off-chip stream from {wname!r} is duplicated by fork "
+                f"{rname!r}: each input word would be read "
+                f"{ractor.n_outputs} times",
+                hint="full buffering reads every source element exactly "
+                     "once; buffer it on chip instead of re-forking the "
+                     "stream",
+            ))
+
+    if design is None:
+        return
+
+    sources = [a for a in graph.actors.values() if isinstance(a, ArraySource)]
+    if len(sources) != 1:
+        report.add(make(
+            "BUFFER.FULL", Severity.ERROR, "design",
+            f"expected exactly one DMA source, found {len(sources)}",
+            hint="the paper's pipeline streams one image stream in; extra "
+                 "sources mean some elements bypass the full-buffered path",
+        ))
+    else:
+        words = design.input_words_per_image()
+        held = len(sources[0].values)
+        if held % words:
+            report.add(make(
+                "BUFFER.FULL", Severity.ERROR, f"channel:{sources[0].name}",
+                f"source holds {held} words, not a whole number of "
+                f"{words}-word images ({design.input_shape} input)",
+                hint="every source element must enter the pipeline exactly "
+                     "once per image; truncated batches stall the windows",
+            ))
+
+    # Memory structures: each conv/pool port must hold exactly the
+    # sst/sizing.py geometry (behavioral line buffer or literal chain).
+    for p in design.placements:
+        spec = p.spec
+        if not isinstance(spec, (ConvLayerSpec, PoolLayerSpec)):
+            continue
+        _, h, w = p.in_shape
+        group = spec.in_group
+        need = chain_words(spec.window, w, group)
+        for port in range(spec.in_ports):
+            name = f"{spec.name}.win{port}"
+            loc = f"layer:{spec.name}"
+            actor = graph.actors.get(name)
+            if isinstance(actor, SlidingWindowActor):
+                if (actor.spec != spec.window or (actor.h, actor.w) != (h, w)
+                        or actor.group != group):
+                    report.add(make(
+                        "BUFFER.FULL", Severity.ERROR, loc,
+                        f"line buffer {name!r} carries window {actor.spec} "
+                        f"over {actor.h}x{actor.w} (group {actor.group}) but "
+                        f"the placement demands {spec.window} over {h}x{w} "
+                        f"(group {group})",
+                        hint=f"full buffering needs {need} words per chain "
+                             f"(sst/sizing.py chain_words); rebuild the "
+                             f"memory structure from the placement",
+                    ))
+            elif f"{name}.asm" in graph.actors:
+                _check_literal_chain(graph, report, name, spec, h, w, group)
+            else:
+                report.add(make(
+                    "BUFFER.FULL", Severity.ERROR, loc,
+                    f"no memory structure found for input port {port} "
+                    f"(expected actor {name!r} or a literal chain under it)",
+                    hint="every conv/pool input port needs its sliding-"
+                         "window buffer (Section II-B)",
+                ))
+
+
+def _check_literal_chain(
+    graph: DataflowGraph,
+    report: AnalysisReport,
+    name: str,
+    spec,
+    h: int,
+    w: int,
+    group: int,
+) -> None:
+    """Exact full-buffering check of one literal SST filter chain."""
+    loc = f"layer:{name.rsplit('.', 1)[0]}"
+    asm = graph.actors[f"{name}.asm"]
+    if not isinstance(asm, WindowAssembler) or asm.spec != spec.window \
+            or (asm.h, asm.w) != (h, w) or asm.group != group:
+        report.add(make(
+            "BUFFER.FULL", Severity.ERROR, loc,
+            f"window assembler {name}.asm does not match the placement "
+            f"(want window {spec.window} over {h}x{w}, group {group})",
+        ))
+        return
+    if spec.window.pad and f"{name}.padder" not in graph.actors:
+        report.add(make(
+            "BUFFER.FULL", Severity.ERROR, loc,
+            f"padded window ({spec.window.pad} px) but no {name}.padder "
+            f"actor in the chain",
+            hint="literal chains rely on injected padding beats to keep "
+                 "the tap offsets aligned",
+        ))
+    expected = chain_fifo_capacities(spec.window, w, group)
+    for i, cap in enumerate(expected):
+        ch = graph.channels.get(f"{name}.fifo{i}")
+        if ch is None:
+            report.add(make(
+                "BUFFER.FULL", Severity.ERROR, loc,
+                f"literal chain is missing FIFO {name}.fifo{i}",
+            ))
+        elif ch.capacity != cap:
+            report.add(make(
+                "BUFFER.FULL", Severity.ERROR, loc,
+                f"{name}.fifo{i} has capacity {ch.capacity} but full "
+                f"buffering requires exactly {cap} "
+                f"(fifo_depths + 1 for the in-flight slot)",
+                hint="undersized tap FIFOs deadlock the chain; oversized "
+                     "ones waste the BRAM the sizing model accounts for",
+            ))
+
+
+# -- ADAPTER.WIRING ----------------------------------------------------------
+
+
+def _rule_adapter_wiring(
+    graph: DataflowGraph,
+    report: AnalysisReport,
+    design: NetworkDesign,
+) -> None:
+    report.note_rule("ADAPTER.WIRING")
+    writers = {
+        ch.writer: ch for ch in graph.channels.values() if ch.writer is not None
+    }
+    # (adapter prefix, have=upstream ports, want=downstream ports, kind)
+    boundaries: List[Tuple[str, int, int, str]] = []
+    prev_out = 1
+    for p in design.placements:
+        boundaries.append((p.spec.name, prev_out, p.spec.in_ports, p.spec.kind))
+        prev_out = p.spec.out_ports
+    boundaries.append(("dma_out", prev_out, 1, "dma"))
+
+    for name, have, want, kind in boundaries:
+        loc = f"boundary:{name}"
+        if have == want:
+            for i in range(have):
+                for spurious in (f"{name}.demux{i}", f"{name}.widen{i}"):
+                    if spurious in graph.actors:
+                        report.add(make(
+                            "ADAPTER.WIRING", Severity.ERROR, loc,
+                            f"port counts match ({have}={want}, DIRECT case) "
+                            f"but adapter actor {spurious!r} exists",
+                            hint="remove the adapter: equal port counts "
+                                 "connect streams one-to-one",
+                        ))
+            continue
+        if want > have and want % have == 0:
+            ratio = want // have
+            for i in range(have):
+                aname = f"{name}.demux{i}"
+                actor = graph.actors.get(aname)
+                if not isinstance(actor, ScheduleDemux):
+                    report.add(make(
+                        "ADAPTER.WIRING", Severity.ERROR, loc,
+                        f"DEMUX case ({have} -> {want} ports) but actor "
+                        f"{aname!r} is "
+                        f"{'missing' if actor is None else type(actor).__name__}",
+                        hint=f"each upstream port needs a {ratio}-way "
+                             f"round-robin demux (Section IV-A)",
+                    ))
+                    continue
+                if actor.n_outputs != ratio:
+                    report.add(make(
+                        "ADAPTER.WIRING", Severity.ERROR, loc,
+                        f"{aname!r} fans out {actor.n_outputs} ways but the "
+                        f"port ratio demands {ratio}",
+                    ))
+                    continue
+                if kind not in ("conv", "pool"):
+                    continue  # downstream port naming differs for FC/DMA
+                for m in range(ratio):
+                    ch = writers.get(f"{aname}.out{m}")
+                    if ch is None or ch.reader is None:
+                        report.add(make(
+                            "ADAPTER.WIRING", Severity.ERROR, loc,
+                            f"{aname}.out{m} is not connected",
+                        ))
+                        continue
+                    reader, _ = _actor_of(graph, ch.reader)
+                    idx = i + m * have
+                    expect = f"{name}.win{idx}"
+                    if reader != expect and not reader.startswith(expect + "."):
+                        report.add(make(
+                            "ADAPTER.WIRING", Severity.ERROR, loc,
+                            f"{aname}.out{m} feeds {reader!r} but the "
+                            f"modulo-interleaved FM mapping assigns it to "
+                            f"input port {idx} ({expect!r})",
+                            hint="demux output m of upstream port i must "
+                                 "feed downstream port i + m*OUT_PORTS(i-1); "
+                                 "anything else permutes the feature maps",
+                        ))
+            continue
+        if have > want and have % want == 0:
+            ratio = have // want
+            for r in range(want):
+                aname = f"{name}.widen{r}"
+                actor = graph.actors.get(aname)
+                if not isinstance(actor, Interleaver):
+                    report.add(make(
+                        "ADAPTER.WIRING", Severity.ERROR, loc,
+                        f"WIDEN case ({have} -> {want} ports) but actor "
+                        f"{aname!r} is "
+                        f"{'missing' if actor is None else type(actor).__name__}",
+                        hint=f"each downstream port needs a {ratio}-way "
+                             f"interleaver merging the upstream ports "
+                             f"(widened filters, Section IV-A)",
+                    ))
+                elif actor.n_inputs != ratio:
+                    report.add(make(
+                        "ADAPTER.WIRING", Severity.ERROR, loc,
+                        f"{aname!r} merges {actor.n_inputs} streams but the "
+                        f"port ratio demands {ratio}",
+                    ))
+        # An indivisible ratio is ADAPTER.LEGAL's finding at design level.
+
+
+# -- BUFFER.SKEW -------------------------------------------------------------
+
+
+def actor_skew_latency(actor: object) -> int:
+    """Beats an actor delays its stream before the first output.
+
+    Memory structures dominate: a sliding window must prime its full
+    buffer (``footprint * group`` beats) before the first window emerges.
+    Pipelined cores delay by their pipeline depth; plain plumbing actors
+    (demux, interleaver, FIFO stages) forward after one beat.
+    """
+    if isinstance(actor, SlidingWindowActor):
+        _, wp = actor.spec.padded_shape(actor.h, actor.w)
+        return actor.spec.footprint(wp) * actor.group
+    depth = getattr(actor, "pipeline_depth", None)
+    if isinstance(depth, int) and depth > 0:
+        return depth
+    return 1
+
+
+def _rule_buffer_skew(graph: DataflowGraph, report: AnalysisReport) -> None:
+    report.note_rule("BUFFER.SKEW")
+    for pair in analyze_reconvergence(graph):
+        nodes = {pair.fork, pair.join}
+        for path, _ in pair.paths:
+            nodes.update(path)
+        if any(isinstance(graph.actors.get(n), _CHAIN_ACTORS) for n in nodes):
+            continue  # literal SST chains are checked exactly by BUFFER.FULL
+        latencies = [
+            sum(actor_skew_latency(graph.actors[n]) for n in path[1:-1])
+            for path, _ in pair.paths
+        ]
+        skew = max(latencies)
+        for (path, cap), lat in zip(pair.paths, latencies):
+            if cap is None:
+                continue  # unbounded branches absorb any skew
+            deficit = skew - lat
+            if cap < deficit:
+                route = " -> ".join(path)
+                report.add(make(
+                    "BUFFER.SKEW", Severity.ERROR,
+                    f"channel:{pair.fork}->{pair.join}",
+                    f"reconvergent branch [{route}] buffers only {cap} "
+                    f"beats but its slowest peer lags by {deficit}: the "
+                    f"join starves this side while back-pressure freezes "
+                    f"the fork (deadlock)",
+                    hint=f"raise the branch's FIFO capacity to at least "
+                         f"{deficit} beats or rebalance the branch "
+                         f"latencies",
+                ))

@@ -9,7 +9,9 @@ JSON produced by :mod:`repro.core.serialize`):
 * ``sweep``        — the Figure-6 batch curve (analytical model);
 * ``dse``          — greedy design-space exploration;
 * ``simulate``     — cycle-accurate run on random/synthetic data with
-  verification against the NumPy reference.
+  verification against the NumPy reference;
+* ``check``        — static dataflow verification: rate balance, port
+  adapters, FIFO buffering, Eq. 4 II consistency (nonzero exit on errors).
 """
 
 from __future__ import annotations
@@ -69,6 +71,46 @@ def _load_design(arg: str):
             f"unknown design {arg!r}: not a preset ({sorted(_PRESETS)}) and "
             f"not a readable JSON file"
         ) from None
+
+
+def _cmd_check(args):
+    """Static dataflow verification; returns ``(text, exit_code)``."""
+    from repro.analysis import check_design_dict, check_network, render_catalog
+
+    if args.list_rules:
+        return render_catalog(), 0
+    if args.design is None:
+        raise ReproError("check: a design (or --list-rules) is required")
+    elaborate = "auto"
+    if args.no_elaborate:
+        elaborate = False
+    elif args.elaborate:
+        elaborate = True
+    if args.design in _PRESETS:
+        report = check_network(_PRESETS[args.design](), elaborate=elaborate)
+    else:
+        # Lenient path: a broken design JSON still yields a full report
+        # (per-rule diagnostics + nonzero exit) instead of one exception.
+        import json
+
+        try:
+            with open(args.design) as fh:
+                d = json.load(fh)
+        except FileNotFoundError:
+            raise ReproError(
+                f"unknown design {args.design!r}: not a preset "
+                f"({sorted(_PRESETS)}) and not a readable JSON file"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{args.design}: not valid JSON ({exc})") from None
+        if not isinstance(d, dict):
+            raise ReproError(f"{args.design}: design JSON must be an object")
+        report = check_design_dict(d, elaborate=elaborate)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json() + "\n")
+    failed = not report.ok or (args.warnings_as_errors and report.warnings)
+    return report.format_text(), 1 if failed else 0
 
 
 def _cmd_block_design(args) -> str:
@@ -213,6 +255,25 @@ def build_parser() -> argparse.ArgumentParser:
         sp.set_defaults(fn=fn)
         return sp
 
+    check = sub.add_parser(
+        "check", help="static dataflow verification (rate/adapter/buffer/II rules)"
+    )
+    check.add_argument(
+        "design", nargs="?", default=None,
+        help="preset (usps|cifar10|tiny|alexnet|vgg16) or design JSON path",
+    )
+    check.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the machine-readable report to PATH")
+    check.add_argument("--elaborate", action="store_true",
+                       help="force graph-level rules even on huge designs")
+    check.add_argument("--no-elaborate", action="store_true",
+                       help="design-level rules only (skip elaboration)")
+    check.add_argument("--warnings-as-errors", action="store_true",
+                       help="exit nonzero on warnings too")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule catalog and exit")
+    check.set_defaults(fn=_cmd_check)
+
     add("block-design", _cmd_block_design, "render the block design (Fig. 4/5 style)")
     add("report", _cmd_report, "HLS-style synthesis report")
     perf = add("perf", _cmd_perf, "analytical performance summary")
@@ -242,11 +303,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     try:
-        print(args.fn(args))
+        out = args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    return 0
+    # Commands that also decide the exit code return (text, code).
+    text, code = out if isinstance(out, tuple) else (out, 0)
+    print(text)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -199,6 +199,7 @@ def build_network(
     memory_system: str = "behavioral",
     loop_overhead: int = 0,
     normalize: bool = False,
+    strict: bool = False,
 ) -> BuiltNetwork:
     """Elaborate ``design`` into a dataflow graph processing ``batch``.
 
@@ -220,6 +221,11 @@ def build_network(
     normalize: append the Eq. 3 normalization operator after the last
         layer (requires the design to end in a 1x1-spatial stage), so the
         sink collects class probabilities instead of logits.
+    strict: run the static verifier (:mod:`repro.analysis`) over the
+        design and the elaborated graph, raising
+        :class:`~repro.errors.AnalysisError` (carrying the full report)
+        if any rule finds an error — catch rate/adapter/buffering bugs
+        here instead of as a mid-simulation deadlock.
     """
     if loop_overhead < 0:
         raise ConfigurationError(
@@ -350,6 +356,14 @@ def build_network(
     )
     prod, oport = streams[0]
     g.connect(prod, oport, sink, "in", capacity=channel_capacity)
+    if strict:
+        # Imported lazily: repro.analysis drives this builder itself.
+        from repro.analysis import analyze_design, analyze_graph
+        from repro.errors import AnalysisError
+
+        report = analyze_design(design).merge(analyze_graph(g, design))
+        if not report.ok:
+            raise AnalysisError(report)
     return BuiltNetwork(design=design, graph=g, source=source, sink=sink, images=images)
 
 

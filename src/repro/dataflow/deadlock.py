@@ -25,7 +25,7 @@ formats the per-actor blocking reasons both engines report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
 
@@ -36,34 +36,65 @@ from repro.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class ReconvergentPair:
-    """One fork/join pair with its parallel-path buffering."""
+    """One fork/join pair with its parallel-path buffering.
+
+    Path capacities are ``None`` when the path traverses an unbounded
+    channel (e.g. under the functional executor) — such a path can absorb
+    any schedule skew and is excluded from the imbalance heuristics rather
+    than flattened into a huge sentinel value.
+    """
 
     fork: str
     join: str
-    #: Per-path (node tuple, total FIFO capacity) in discovery order.
-    paths: Tuple[Tuple[Tuple[str, ...], int], ...]
+    #: Per-path (node tuple, total FIFO capacity or None=unbounded) in
+    #: discovery order.
+    paths: Tuple[Tuple[Tuple[str, ...], Optional[int]], ...]
 
     @property
-    def min_capacity(self) -> int:
-        return min(c for _, c in self.paths)
+    def bounded_capacities(self) -> List[int]:
+        """Capacities of the bounded paths only, in discovery order."""
+        return [c for _, c in self.paths if c is not None]
 
     @property
-    def max_capacity(self) -> int:
-        return max(c for _, c in self.paths)
+    def unbounded_paths(self) -> int:
+        """Number of paths whose buffering is unbounded."""
+        return sum(1 for _, c in self.paths if c is None)
+
+    @property
+    def min_capacity(self) -> Optional[int]:
+        """Smallest bounded path capacity; None when every path is unbounded."""
+        caps = self.bounded_capacities
+        return min(caps) if caps else None
+
+    @property
+    def max_capacity(self) -> Optional[int]:
+        """Largest bounded path capacity; None when every path is unbounded."""
+        caps = self.bounded_capacities
+        return max(caps) if caps else None
 
     @property
     def imbalance(self) -> float:
-        """max/min path capacity (1.0 = perfectly balanced)."""
-        return self.max_capacity / max(self.min_capacity, 1)
+        """max/min capacity over *bounded* paths (1.0 = balanced).
+
+        Unbounded paths never stall the join, so they carry no imbalance
+        signal; with fewer than two bounded paths the ratio is 1.0.
+        """
+        caps = self.bounded_capacities
+        if len(caps) < 2:
+            return 1.0
+        return max(caps) / max(min(caps), 1)
 
 
-def _edge_capacity(g: nx.MultiDiGraph, u: str, v: str) -> int:
-    """Smallest capacity among parallel edges u->v (worst case)."""
-    caps = [
-        (data["capacity"] if data["capacity"] is not None else 10**9)
-        for data in g[u][v].values()
-    ]
-    return min(caps)
+def _edge_capacity(g: nx.MultiDiGraph, u: str, v: str) -> Optional[int]:
+    """Smallest capacity among parallel edges u->v (worst case).
+
+    ``None`` (unbounded) edges impose no constraint: the result is the
+    smallest *bounded* capacity, or ``None`` when every parallel edge is
+    unbounded.
+    """
+    caps = [data["capacity"] for data in g[u][v].values()]
+    bounded = [c for c in caps if c is not None]
+    return min(bounded) if bounded else None
 
 
 def analyze_reconvergence(
@@ -88,9 +119,13 @@ def analyze_reconvergence(
                 continue
             paths = []
             for path in nx.all_simple_paths(simple, f, j, cutoff=12):
-                cap = sum(
+                edge_caps = [
                     _edge_capacity(g, path[i], path[i + 1])
                     for i in range(len(path) - 1)
+                ]
+                # One unbounded hop makes the whole path's buffering unbounded.
+                cap: Optional[int] = (
+                    None if any(c is None for c in edge_caps) else sum(edge_caps)
                 )
                 paths.append((tuple(path), cap))
                 if len(paths) >= max_paths:
@@ -117,8 +152,14 @@ def buffering_report(
         return f"graph {graph.name!r}: no reconvergent fork/join pairs"
     lines = [f"graph {graph.name!r}: {len(pairs)} reconvergent pair(s)"]
     for p in pairs:
+        if p.min_capacity is None:
+            span = "unbounded"
+        else:
+            span = f"{p.min_capacity}..{p.max_capacity}"
+            if p.unbounded_paths:
+                span += f" (+{p.unbounded_paths} unbounded)"
         lines.append(f"  {p.fork} -> {p.join}: {len(p.paths)} paths, "
-                     f"capacity {p.min_capacity}..{p.max_capacity}")
+                     f"capacity {span}")
         if p.imbalance >= warn_imbalance:
             lines.append(
                 f"    WARNING: capacity imbalance {p.imbalance:.1f}x — the "

@@ -40,6 +40,29 @@ def initiation_interval(
     return max(in_fm // in_ports, out_fm // out_ports, 1)
 
 
+def ii_bounds(
+    in_fm: int, in_ports: int, out_fm: int, out_ports: int
+) -> tuple:
+    """The two sides of Eq. 4: ``(input bound, output bound)``.
+
+    ``initiation_interval`` is their max; exposing both lets diagnostics
+    say *which* side binds (and therefore which port count to raise).
+    Port counts must divide the feature-map counts, as in
+    :func:`initiation_interval`.
+    """
+    if in_ports < 1 or out_ports < 1:
+        raise ConfigurationError(
+            f"port counts must be >= 1 (got in={in_ports}, out={out_ports})"
+        )
+    if in_fm % in_ports:
+        raise ConfigurationError(f"IN_FM {in_fm} not a multiple of IN_PORTS {in_ports}")
+    if out_fm % out_ports:
+        raise ConfigurationError(
+            f"OUT_FM {out_fm} not a multiple of OUT_PORTS {out_ports}"
+        )
+    return (in_fm // in_ports, out_fm // out_ports)
+
+
 @dataclass(frozen=True)
 class PipelineSchedule:
     """A pipelined loop: initiation interval, pipeline depth, trip count."""

@@ -79,6 +79,21 @@ def layer_buffer_budget(
     )
 
 
+def chain_fifo_capacities(spec: WindowSpec, w: int, group: int = 1) -> List[int]:
+    """Channel capacities a literal filter chain must use, tap to tap.
+
+    ``fifo_depths`` gives the full-buffering delay each inter-filter FIFO
+    provides; the elaborated channel needs one extra slot so the producer
+    can stay at full rate while the consumer lags by the whole depth
+    (mirrors ``build_filter_chain``). The static verifier checks elaborated
+    chains against exactly these capacities.
+    """
+    from repro.sst.filter_chain import fifo_depths  # local: avoid heavy import
+
+    _, wp = spec.padded_shape(1, w)
+    return [d + 1 for d in fifo_depths(spec, wp, group)]
+
+
 def bandwidth_memory_tradeoff(
     spec: WindowSpec, w: int, in_fm: int, replicas: List[int]
 ) -> List[dict]:

@@ -1,0 +1,22 @@
+"""Each seeded bad design must trip exactly its expected rule."""
+
+import pytest
+
+from tests.analysis.bad_designs import BAD_CASES
+
+
+@pytest.mark.parametrize("case", BAD_CASES, ids=lambda c: c.name)
+class TestBadDesigns:
+    def test_fails(self, case):
+        report = case.analyze()
+        assert not report.ok
+
+    def test_trips_exactly_expected_rule(self, case):
+        report = case.analyze()
+        assert set(report.error_rules()) == {case.expected_rule}
+
+    def test_errors_carry_hints_or_locations(self, case):
+        report = case.analyze()
+        for d in report.errors:
+            assert d.location
+            assert d.paper_ref  # every rule cites its paper section

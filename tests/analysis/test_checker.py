@@ -1,0 +1,168 @@
+"""The static verifier over valid designs: zoo cleanliness, perf agreement,
+report plumbing and the strict builder gate."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RULES,
+    AnalysisReport,
+    Severity,
+    analyze_design,
+    analyze_graph,
+    check_design_dict,
+    check_network,
+    make,
+)
+from repro.analysis.design_rules import _pick_bottleneck, _stage_intervals
+from repro.core import random_weights, usps_design
+from repro.core.builder import build_network
+from repro.core.models import cifar10_design, tiny_design
+from repro.core.perf_model import network_perf
+from repro.core.serialize import design_to_dict
+from repro.core.zoo import alexnet_design, vgg16_design
+from repro.errors import AnalysisError, ConfigurationError
+
+ZOO = {
+    "usps": usps_design,
+    "cifar10": cifar10_design,
+    "tiny": tiny_design,
+    "alexnet": alexnet_design,
+    "vgg16": vgg16_design,
+}
+
+
+class TestZooClean:
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_zoo_design_passes(self, name):
+        report = check_network(ZOO[name]())
+        assert report.ok, report.format_text()
+        assert not report.warnings, report.format_text()
+
+    @pytest.mark.parametrize("name", ["usps", "tiny"])
+    def test_zoo_design_passes_literal_memory(self, name):
+        report = check_network(ZOO[name](), memory_system="literal")
+        assert report.ok, report.format_text()
+
+    def test_large_designs_skip_elaboration_by_default(self):
+        report = check_network(vgg16_design())
+        assert any("skipped" in d.message for d in report.infos)
+        # Design rules still all ran.
+        assert "II.BOTTLENECK" in report.rules_run
+        assert "BUFFER.SKEW" not in report.rules_run
+
+
+class TestPerfAgreement:
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_analyzer_matches_perf_model(self, name):
+        design = ZOO[name]()
+        perf = network_perf(design)
+        bname, interval = _pick_bottleneck(_stage_intervals(design))
+        assert (bname, interval) == (perf.bottleneck, perf.interval)
+
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_bottleneck_reported_as_info(self, name):
+        report = analyze_design(ZOO[name]())
+        infos = [d for d in report.infos if d.rule == "II.BOTTLENECK"]
+        assert len(infos) == 1
+        assert "perf model agrees" in infos[0].message
+
+
+class TestReportPlumbing:
+    def test_json_roundtrip(self):
+        report = check_network(tiny_design())
+        d = json.loads(report.to_json())
+        assert d["design"] == "tiny"
+        assert d["ok"] is True
+        assert set(d["counts"]) == {"error", "warning", "info"}
+        for diag in d["diagnostics"]:
+            assert diag["rule"] in RULES
+            assert diag["paper_ref"]
+
+    def test_format_text_verdict(self):
+        report = check_network(usps_design())
+        text = report.format_text()
+        assert text.startswith("=== repro check: usps-tc1 ===")
+        assert "PASS:" in text
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make("NOT.A.RULE", Severity.ERROR, "design", "boom")
+
+    def test_merge_combines_rules_and_diags(self):
+        a = AnalysisReport("x", rules_run=["RATE.BALANCE"])
+        b = AnalysisReport("x", rules_run=["II.EQ4"])
+        b.add(make("II.EQ4", Severity.ERROR, "layer:l", "bad"))
+        a.merge(b)
+        assert a.rules_run == ["RATE.BALANCE", "II.EQ4"]
+        assert a.error_rules() == ["II.EQ4"]
+
+
+class TestDictFrontend:
+    def test_valid_dict_gets_full_check(self):
+        report = check_design_dict(design_to_dict(usps_design()))
+        assert report.ok
+        assert "BUFFER.FULL" in report.rules_run
+
+    def test_unparseable_spec_reported_not_raised(self):
+        report = check_design_dict({
+            "name": "broken",
+            "input_shape": [1, 8, 8],
+            "layers": [{"kind": "conv", "name": "c", "in_fm": 0, "out_fm": 4}],
+        })
+        assert not report.ok
+        assert report.error_rules() == ["SPEC.VALID"]
+
+    def test_bad_input_shape_reported(self):
+        report = check_design_dict({"name": "x", "input_shape": [0, 8],
+                                    "layers": []})
+        assert not report.ok
+        assert report.error_rules() == ["SPEC.VALID"]
+
+
+class TestStrictBuilder:
+    def test_strict_build_passes_on_valid_design(self, rng):
+        d = usps_design()
+        built = build_network(
+            d, random_weights(d),
+            rng.uniform(0, 1, (1,) + d.input_shape).astype(np.float32),
+            strict=True,
+        )
+        assert built.graph.actors  # built normally
+
+    def test_strict_build_rejects_lying_ii(self, rng):
+        from tests.analysis.bad_designs import ii_inconsistent_design
+
+        d = ii_inconsistent_design()
+        with pytest.raises(AnalysisError) as exc:
+            build_network(
+                d, random_weights(d),
+                rng.uniform(0, 1, (1,) + d.input_shape).astype(np.float32),
+                strict=True,
+            )
+        assert exc.value.report.error_rules() == ["II.EQ4"]
+        assert "II.EQ4" in str(exc.value)
+
+
+class TestGraphOnly:
+    def test_builder_graph_clean_without_design(self, rng):
+        d = usps_design()
+        built = build_network(
+            d, random_weights(d),
+            rng.uniform(0, 1, (1,) + d.input_shape).astype(np.float32),
+        )
+        report = analyze_graph(built.graph)
+        assert report.ok
+        assert "ADAPTER.WIRING" not in report.rules_run  # needs the design
+
+    def test_builder_graph_clean_with_design(self, rng):
+        d = cifar10_design()
+        built = build_network(
+            d, random_weights(d),
+            rng.uniform(0, 1, (1,) + d.input_shape).astype(np.float32),
+        )
+        report = analyze_graph(built.graph, d)
+        assert report.ok, report.format_text()
+        assert "ADAPTER.WIRING" in report.rules_run

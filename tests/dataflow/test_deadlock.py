@@ -54,6 +54,36 @@ class TestAnalyze:
         with pytest.raises(ConfigurationError):
             analyze_reconvergence(diamond(), max_paths=1)
 
+    def test_unbounded_branch_capacity_is_none(self):
+        g = diamond(cap_a=2, cap_b=8)
+        # Rebind one edge of branch b as an unbounded channel.
+        ch = g.channels["b.out->join.in1"]
+        ch.capacity = None
+        pairs = analyze_reconvergence(g)
+        p = next(p for p in pairs if p.fork == "fork" and p.join == "join")
+        caps = dict((path[1], cap) for path, cap in p.paths)
+        assert caps["b"] is None  # unbounded hop -> unbounded path
+        assert caps["a"] == 4
+        assert p.unbounded_paths == 1
+        assert p.min_capacity == 4 and p.max_capacity == 4
+
+    def test_imbalance_skips_unbounded_paths(self):
+        g = diamond(cap_a=2, cap_b=8)
+        g.channels["b.out->join.in1"].capacity = None
+        p = next(p for p in analyze_reconvergence(g)
+                 if p.fork == "fork" and p.join == "join")
+        # Only one bounded path left: no imbalance signal.
+        assert p.imbalance == pytest.approx(1.0)
+
+    def test_all_unbounded_pair(self):
+        g = diamond()
+        for ch in g.channels.values():
+            ch.capacity = None
+        p = next(p for p in analyze_reconvergence(g)
+                 if p.fork == "fork" and p.join == "join")
+        assert p.min_capacity is None and p.max_capacity is None
+        assert p.imbalance == pytest.approx(1.0)
+
     def test_usps_network_graph_has_parallel_branches(self, rng):
         from repro.core import random_weights, usps_design
         from repro.core.builder import build_network

@@ -90,3 +90,50 @@ class TestCommands:
         assert code == 0 and "conv1" in out
         code, out, _ = run_cli(capsys, "resources", "vgg16")
         assert code == 0 and "BRAM" in out
+
+
+class TestCheck:
+    def test_check_preset_passes(self, capsys):
+        code, out, _ = run_cli(capsys, "check", "usps")
+        assert code == 0
+        assert "PASS:" in out and "0 error(s)" in out
+
+    def test_check_bad_design_fails_with_rule_id(self, capsys, tmp_path):
+        from tests.analysis.bad_designs import mismatched_ports_dict
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(mismatched_ports_dict()))
+        code, out, _ = run_cli(capsys, "check", str(path))
+        assert code == 1
+        assert "ADAPTER.LEGAL" in out and "FAIL:" in out
+
+    def test_check_json_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "report.json"
+        code, _, _ = run_cli(capsys, "check", "tiny", "--json", str(artifact))
+        assert code == 0
+        d = json.loads(artifact.read_text())
+        assert d["design"] == "tiny" and d["ok"] is True
+        assert d["rules_run"]
+
+    def test_check_list_rules(self, capsys):
+        code, out, _ = run_cli(capsys, "check", "--list-rules")
+        assert code == 0
+        assert "RATE.BALANCE" in out and "BUFFER.SKEW" in out
+
+    def test_check_requires_design_or_list(self, capsys):
+        code, _, err = run_cli(capsys, "check")
+        assert code == 1 and "required" in err
+
+    def test_check_no_elaborate_skips_graph_rules(self, capsys, tmp_path):
+        artifact = tmp_path / "r.json"
+        code, _, _ = run_cli(capsys, "check", "usps", "--no-elaborate",
+                             "--json", str(artifact))
+        assert code == 0
+        d = json.loads(artifact.read_text())
+        assert "BUFFER.SKEW" not in d["rules_run"]
+
+    def test_check_not_json_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text("{not json")
+        code, _, err = run_cli(capsys, "check", str(path))
+        assert code == 1 and "not valid JSON" in err
