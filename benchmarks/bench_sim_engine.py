@@ -127,6 +127,67 @@ def _time_scheduler(design, weights, batch, scheduler: str, repeats: int = 3):
     }
 
 
+def _time_faulted_scheduler(
+    design, weights, batch, scheduler: str, repeats: int = 3
+):
+    """Throughput with a *null* fault scenario armed: hooks installed on
+    every channel but never holding a commit (probability 0). The delta
+    against the unfaulted run is the price of the fault subsystem when
+    it is present but idle; the unfaulted run itself has ``_fault is
+    None`` everywhere and must stay at baseline speed.
+    """
+    import time
+
+    from repro.core.builder import build_network
+    from repro.faults import ChannelJitter, FaultScenario, arm_faults
+
+    scenario = FaultScenario(
+        "null", (ChannelJitter(channels="*", probability=0.0, max_delay=1),)
+    )
+    best, res = None, None
+    for _ in range(repeats):
+        built = build_network(design, weights, batch)
+        armed = arm_faults(built.graph, scenario, seed=0)
+        sim = built.graph.build_simulator(scheduler=scheduler)
+        sim.faults = armed
+        t0 = time.perf_counter()
+        res = sim.run()
+        wall = time.perf_counter() - t0
+        best = wall if best is None else min(best, wall)
+    assert res.finished
+    return {
+        "scheduler": scheduler,
+        "simulated_cycles": res.cycles,
+        "wall_seconds": round(best, 4),
+        "cycles_per_second": round(res.cycles / best, 1),
+    }
+
+
+def _check_baseline(rows: dict, path: str, tolerance: float = 0.05) -> str:
+    """Compare the fresh event-engine throughput against a recorded run.
+
+    The fault-injection hooks added to ``Channel.begin_cycle`` and the
+    scheduler hot loops must be free when disarmed: the unfaulted event
+    engine has to stay within ``tolerance`` of the committed baseline.
+    Returns a human-readable verdict; raises AssertionError on regression.
+    """
+    import json
+
+    with open(path) as f:
+        base = json.load(f)
+    base_cps = base["results"]["event"]["cycles_per_second"]
+    got_cps = rows["event"]["cycles_per_second"]
+    floor = (1.0 - tolerance) * base_cps
+    verdict = (
+        f"event engine: {got_cps:,.0f} cyc/s vs baseline {base_cps:,.0f} "
+        f"cyc/s (floor {floor:,.0f})"
+    )
+    assert got_cps >= floor, (
+        f"event-engine throughput regressed beyond {tolerance:.0%}: {verdict}"
+    )
+    return verdict + " — OK"
+
+
 def _dma_bound_chain(scheduler: str, interval: int = 64, stages: int = 16):
     """A bandwidth-starved pipeline: one input word every ``interval`` cycles.
 
@@ -178,6 +239,11 @@ def main(argv=None):
     parser.add_argument(
         "--out", default="BENCH_sim_engine.json", help="output JSON path"
     )
+    parser.add_argument(
+        "--check-baseline", metavar="JSON", default=None,
+        help="assert the event engine stays within 5%% of this recorded "
+        "baseline (guards the disarmed fault hooks)",
+    )
     args = parser.parse_args(argv)
 
     design, weights, batch = _network_workload(args.quick)
@@ -197,6 +263,23 @@ def main(argv=None):
         rows["event"]["cycles_per_second"] / rows["lockstep"]["cycles_per_second"]
     )
     print(f"  speedup (event / lockstep): {speedup:.2f}x")
+
+    # Null-armed fault hooks: installed everywhere, never firing. The
+    # simulated cycle count must be untouched and the slowdown small.
+    null = _time_faulted_scheduler(design, weights, batch, "event")
+    assert null["simulated_cycles"] == rows["event"]["simulated_cycles"], (
+        "a null fault scenario changed the cycle count"
+    )
+    hook_overhead = (
+        rows["event"]["cycles_per_second"] / null["cycles_per_second"] - 1.0
+    )
+    print(
+        f"  event+null-faults: {null['cycles_per_second']:>12,.0f} cyc/s "
+        f"(hook overhead {hook_overhead:+.1%})"
+    )
+
+    if args.check_baseline:
+        print(" ", _check_baseline(rows, args.check_baseline))
 
     print("workload: dma_bound_chain (1 word / 64 cycles, 16 stages)")
     sparse = {}
@@ -222,6 +305,9 @@ def main(argv=None):
         "batch_shape": list(batch.shape),
         "results": rows,
         "speedup_event_over_lockstep": round(speedup, 2),
+        "null_fault_hooks": dict(
+            null, hook_overhead_pct=round(100.0 * hook_overhead, 1)
+        ),
         "sparse_workload": {
             "workload": "dma_bound_chain_interval64_16stages",
             "results": sparse,

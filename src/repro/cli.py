@@ -113,6 +113,90 @@ def _cmd_check(args):
     return report.format_text(), 1 if failed else 0
 
 
+def _cmd_faultsim(args):
+    """Fault-injection run(s); returns ``(text, exit_code)``."""
+    import json
+
+    from repro.faults import faultsim, load_scenario, run_campaign
+
+    pilot = None
+    if args.pilot:
+        pilot = True
+    elif args.no_pilot:
+        pilot = False
+    if args.campaign:
+        names = args.designs or sorted(_PRESETS)
+        designs = [(n, _load_design(n)) for n in names]
+        scenarios = [load_scenario(s) for s in args.scenarios]
+        summary = run_campaign(
+            designs, scenarios, args.seeds, images=args.images,
+            scheduler=args.scheduler,
+        )
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(summary, fh, indent=2)
+                fh.write("\n")
+        rows = [
+            [r["design"], r["scenario"]["name"], r["seed"],
+             "pilot" if r["pilot"] else "full", r["verdict"],
+             "ok" if r["ok"] else "FAIL"]
+            for r in summary["runs"]
+        ]
+        text = format_table(
+            ["design", "scenario", "seed", "scale", "verdict", ""],
+            rows,
+            title=f"fault campaign: {summary['passed']}/"
+                  f"{summary['experiments']} passed",
+        )
+        return text, 0 if summary["ok"] else 1
+    if args.design is None:
+        raise ReproError("faultsim: a design (or --campaign) is required")
+    design = _load_design(args.design)
+    scenario = load_scenario(args.scenario)
+    report = faultsim(
+        design, scenario, seed=args.seed, images=args.images,
+        scheduler=args.scheduler, memory_system=args.memory_system,
+        pilot=pilot,
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    pairs = [
+        ("scenario", scenario.name),
+        ("seed", report["seed"]),
+        ("simulated design",
+         report["simulated_design"] + (" (pilot)" if report["pilot"] else "")),
+        ("clean cycles", report["clean"]["cycles"]),
+        ("faulty cycles",
+         report["faulty"]["cycles"]
+         if report["faulty"]["finished"]
+         else f"deadlocked at {report['faulty']['cycles']}"),
+    ]
+    if "cycle_overhead" in report:
+        pairs.append(
+            ("cycle overhead",
+             f"{report['cycle_overhead']} (+{report['cycle_overhead_pct']}%)")
+        )
+    pairs.append(("clean digest", (report["clean"]["digest"] or "-")[:16]))
+    pairs.append(
+        ("faulty digest", (report["faulty"]["digest"] or "-")[:16])
+    )
+    if report["faulty"].get("deadlock"):
+        blocked = report["faulty"]["deadlock"]["channels"]
+        chans = sorted({c for conds in blocked.values() for c in conds})
+        pairs.append(("deadlock channels", ", ".join(chans) or "-"))
+    if report.get("shrunk_channels"):
+        pairs.append(("shrunk FIFO", ", ".join(report["shrunk_channels"])))
+        pairs.append(
+            ("matched by analyzer", ", ".join(report["matched_channels"]) or "-")
+        )
+    pairs.append(("invariant", report.get("invariant", "-")))
+    pairs.append(("verdict", report["verdict"]))
+    text = format_kv(f"fault injection: {design.name}", pairs)
+    return text, 0 if report["ok"] else 1
+
+
 def _cmd_block_design(args) -> str:
     return _load_design(args.design).block_design()
 
@@ -288,6 +372,46 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--images", type=int, default=2)
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--tolerance", type=float, default=1e-4)
+    fault = sub.add_parser(
+        "faultsim",
+        help="fault injection: prove latency-insensitivity / deadlock "
+             "agreement (see repro.faults)",
+    )
+    fault.add_argument(
+        "design", nargs="?", default=None,
+        help="preset (usps|cifar10|tiny|alexnet|vgg16) or design JSON path",
+    )
+    fault.add_argument(
+        "--scenario", default="jitter",
+        help="preset scenario (jitter|dma|slowdown|storm|corrupt|shrink) "
+             "or scenario JSON path",
+    )
+    fault.add_argument("--seed", type=int, default=0)
+    fault.add_argument("--images", type=int, default=2)
+    fault.add_argument("--scheduler", choices=["event", "lockstep"],
+                       default="event")
+    fault.add_argument("--memory-system", choices=["behavioral", "literal"],
+                       default="behavioral",
+                       help="shrink scenarios force 'literal'")
+    fault.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the machine-readable report to PATH")
+    fault.add_argument("--pilot", action="store_true",
+                       help="force the pilot downscale even for small designs")
+    fault.add_argument("--no-pilot", action="store_true",
+                       help="forbid the pilot downscale (huge designs will "
+                            "simulate at full size)")
+    fault.add_argument("--campaign", action="store_true",
+                       help="sweep designs x scenarios x seeds instead of "
+                            "one run")
+    fault.add_argument("--designs", nargs="+", default=None,
+                       help="campaign designs (default: every preset)")
+    fault.add_argument("--scenarios", nargs="+",
+                       default=["jitter", "dma", "slowdown", "storm",
+                                "corrupt", "shrink"],
+                       help="campaign scenarios")
+    fault.add_argument("--seeds", type=int, nargs="+", default=[0],
+                       help="campaign seeds")
+    fault.set_defaults(fn=_cmd_faultsim)
     flow = sub.add_parser(
         "flow", help="automated design flow: train, verify, report, emit artifacts"
     )

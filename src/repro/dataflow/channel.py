@@ -77,6 +77,7 @@ class Channel:
         "_push_waiters",
         "_pop_wait_desc",
         "_push_wait_desc",
+        "_fault",
     )
 
     def __init__(self, name: str, capacity: Optional[int] = None):
@@ -104,6 +105,12 @@ class Channel:
         self._push_waiters: List[tuple] = []
         self._pop_wait_desc: Optional[ChannelWait] = None
         self._push_wait_desc: Optional[ChannelWait] = None
+        # Fault-injection hook (repro.faults). When set, begin_cycle()
+        # consults it before committing staged values: the fault may hold
+        # the commit for extra cycles (latency jitter, DMA burst stalls)
+        # or mutate the staged beats (corruption). None on the no-fault
+        # hot path, like `_touched`.
+        self._fault: Optional[object] = None
 
     # -- binding ---------------------------------------------------------
 
@@ -128,11 +135,22 @@ class Channel:
     # -- cycle protocol ---------------------------------------------------
 
     def begin_cycle(self) -> None:
-        """Commit staged pushes and snapshot occupancy for the new cycle."""
+        """Commit staged pushes and snapshot occupancy for the new cycle.
+
+        With a fault attached, the commit is gated by the fault's
+        ``on_commit`` hook: returning False holds the staged values for
+        this cycle (the channel re-registers as touched so the event
+        scheduler keeps polling it); returning True commits, possibly
+        after mutating the staged beats in place (corruption faults).
+        """
         staged = self._staged
         if staged:
-            self._q.extend(staged)
-            staged.clear()
+            fault = self._fault
+            if fault is None or fault.on_commit(self, staged):
+                self._q.extend(staged)
+                staged.clear()
+            elif self._touched is not None:
+                self._touched.add(self)
         occ = len(self._q)
         self._occ_at_cycle_start = occ
         stats = self.stats

@@ -19,7 +19,13 @@ This static analysis complements the *runtime* detection performed by the
 simulation engines (:mod:`repro.dataflow.scheduler`): the event scheduler
 raises :class:`~repro.errors.DeadlockError` exactly and immediately when no
 process can ever run again, and :func:`blocked_snapshot` (re-exported here)
-formats the per-actor blocking reasons both engines report.
+formats the per-actor blocking reasons both engines report. The event
+engine additionally records the exact channel conditions of every parked
+actor in ``DeadlockError.channels``; :func:`match_deadlock_diagnostics`
+cross-references those against a static
+:class:`~repro.analysis.AnalysisReport`, which is how the fault-injection
+harness (:mod:`repro.faults`) proves that a simulated FIFO-shrink deadlock
+lands on the very channel the static verifier flagged.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ import networkx as nx
 
 from repro.dataflow.graph import DataflowGraph
 from repro.dataflow.scheduler import blocked_snapshot  # noqa: F401 - re-export
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlockError
 
 
 @dataclass(frozen=True)
@@ -140,6 +146,29 @@ def analyze_reconvergence(
                 )
                 if disjoint:
                     out.append(ReconvergentPair(f, j, tuple(paths)))
+    return out
+
+
+def match_deadlock_diagnostics(err: DeadlockError, report) -> List[tuple]:
+    """Cross-reference a runtime deadlock against static diagnostics.
+
+    Returns ``(channel_name, diagnostic)`` pairs for every channel the
+    deadlock blocked on (``err.channels``, event scheduler only) that a
+    diagnostic of ``report`` (an :class:`~repro.analysis.AnalysisReport`)
+    names in its location or message. An empty result for a
+    deliberately-broken design means the static verifier and the simulator
+    disagree about *where* the network jams — exactly the regression the
+    fault-injection agreement suite exists to catch.
+    """
+    import re
+
+    out: List[tuple] = []
+    for name in err.blocked_channel_names():
+        # Boundary-checked: "x.fifo1" must not match inside "x.fifo14".
+        pat = re.compile(re.escape(name) + r"(?![0-9A-Za-z_])")
+        for diag in report.diagnostics:
+            if pat.search(diag.message) or pat.search(diag.location):
+                out.append((name, diag))
     return out
 
 

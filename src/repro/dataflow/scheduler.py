@@ -72,6 +72,21 @@ def blocked_snapshot(actors: Iterable[Actor]) -> Dict[str, str]:
     }
 
 
+def _actor_plan_of(sim) -> Optional[object]:
+    """The armed actor-slowdown plan of ``sim.faults``, if any.
+
+    Both engines consult the plan before resuming a process: a process
+    whose actor sits inside a stall window is simply not resumed this
+    cycle (the fault model of ``repro.faults``). The plan is a pure
+    function of ``(actor name, cycle)`` so both schedulers defer the
+    exact same resumptions.
+    """
+    armed = getattr(sim, "faults", None)
+    if armed is None:
+        return None
+    return getattr(armed, "actor_plan", None)
+
+
 class LockstepEngine:
     """The original O(cycles x (actors + channels)) reference loop.
 
@@ -84,6 +99,7 @@ class LockstepEngine:
         self.sim = sim
         self.cycle = 0
         self._stall = 0
+        self._actor_plan = _actor_plan_of(sim)
         self._live: List[Tuple[Actor, Generator]] = [
             (a, gen) for a in sim.actors for gen in a.processes()
         ]
@@ -103,7 +119,11 @@ class LockstepEngine:
         for ch in sim.channels:
             ch.begin_cycle()
         still: List[Tuple[Actor, Generator]] = []
+        plan = self._actor_plan
         for actor, proc in self._live:
+            if plan is not None and plan.free_cycle(actor.name, self.cycle) > self.cycle:
+                still.append((actor, proc))  # stalled by an injected fault
+                continue
             actor.now = self.cycle
             try:
                 next(proc)
@@ -218,6 +238,7 @@ class EventEngine:
         self._stall = 0
         self._in_cycle = False
         self._cur_seq = -1
+        self._actor_plan = _actor_plan_of(sim)
         self._active: set = set()
         self._current: List[Tuple[int, _Proc]] = []
         self._next_ready: List[_Proc] = []
@@ -249,7 +270,13 @@ class EventEngine:
         current = self._current
         active = self._active
         if active:
-            for ch in active:
+            # Snapshot-then-clear: a channel whose fault hook *holds* its
+            # staged commit re-adds itself to the active set from inside
+            # begin_cycle(), and that registration must survive into the
+            # next cycle rather than be wiped by a post-loop clear.
+            pending_chs = list(active)
+            active.clear()
+            for ch in pending_chs:
                 ch.begin_cycle()
                 if ch._pop_waiters and ch.can_pop():
                     waiters = ch._pop_waiters
@@ -259,7 +286,6 @@ class EventEngine:
                     waiters = ch._push_waiters
                     ch._push_waiters = []
                     self._satisfy(waiters, c)
-            active.clear()
         nr = self._next_ready
         if nr:
             for p in nr:
@@ -271,11 +297,20 @@ class EventEngine:
                 current.append(heappop(timers)[2].key)
         current.sort()
         nr_append = nr.append
+        plan = self._actor_plan
         self._in_cycle = True
         pos = 0
         while pos < len(current):
             seq, p = current[pos]
             pos += 1
+            if plan is not None:
+                # Injected actor slow-down: defer resumption to the first
+                # fault-free cycle (lock-step skips the same resumptions,
+                # so both engines release the actor on the same cycle).
+                wake = plan.free_cycle(p.actor.name, c)
+                if wake > c:
+                    heappush(timers, (wake, seq, p))
+                    continue
             self._cur_seq = seq
             p.actor.now = c
             try:
@@ -431,6 +466,31 @@ class EventEngine:
     def _blocked(self) -> Dict[str, str]:
         return blocked_snapshot(p.actor for p in self._procs if p.alive)
 
+    def _blocked_channels(self) -> Dict[str, List[str]]:
+        """Per-actor unsatisfied channel conditions of every parked record.
+
+        Unlike :meth:`_blocked` (free-text ``blocked_reason`` strings) this
+        names the exact channels a deadlocked actor is waiting on, as
+        ``"pop:<name>"`` / ``"push:<name>"`` entries — the data the
+        fault-injection harness matches against the static analyzer's
+        FIFO-sizing diagnostics.
+        """
+        out: Dict[str, List[str]] = {}
+        for rec in self._parked:
+            conds = [
+                ("pop:" if op == POP else "push:") + ch.name
+                for (op, ch), r in zip(rec.conds, rec.ready)
+                if r is None
+            ]
+            if conds:
+                out.setdefault(rec.proc.actor.name, []).extend(conds)
+        return {name: sorted(conds) for name, conds in sorted(out.items())}
+
+    def _deadlock(self) -> DeadlockError:
+        return DeadlockError(
+            self.cycle, self._blocked(), channels=self._blocked_channels()
+        )
+
     def _check_stall(self) -> None:
         """Lock-step-compatible backstop for bare-``yield`` pollers."""
         if self._live_nondaemon <= 0:
@@ -440,7 +500,7 @@ class EventEngine:
         else:
             self._stall += 1
             if self._stall >= self.sim.stall_limit:
-                raise DeadlockError(self.cycle, self._blocked())
+                raise self._deadlock()
 
     # -- public API --------------------------------------------------------
 
@@ -464,7 +524,7 @@ class EventEngine:
             else:
                 # Exact and immediate: nothing is runnable, no wakeups
                 # are pending, and no channel committed anything.
-                raise DeadlockError(self.cycle, self._blocked())
+                raise self._deadlock()
             if c >= max_cycles:
                 raise SimulationError(
                     f"simulation exceeded max_cycles={max_cycles} with "
@@ -481,7 +541,7 @@ class EventEngine:
             elif self._live_nondaemon > 0:
                 self._stall += 1
                 if self._stall >= stall_limit:
-                    raise DeadlockError(self.cycle, self._blocked())
+                    raise self._deadlock()
         self._flush(self.cycle)
         return sim._result(self.cycle, True)
 
@@ -501,7 +561,7 @@ class EventEngine:
                 if self._live_nondaemon > 0:
                     self._stall += gap
                     if self._stall >= sim.stall_limit:
-                        raise DeadlockError(self.cycle, self._blocked())
+                        raise self._deadlock()
                 break
             self._exec_cycle(c)
             self.cycle = c + 1

@@ -89,6 +89,11 @@ class Simulator:
                 f"expected one of {sorted(SCHEDULERS)}"
             )
         self.scheduler = scheduler
+        #: Optional :class:`repro.faults.ArmedFaults`. Set (by
+        #: ``repro.faults.arm_faults``) *before* the first ``run`` /
+        #: ``run_cycles`` call; engines read it once at creation. None on
+        #: the no-fault hot path.
+        self.faults = None
         self._engine = None
         self._validate()
 

@@ -43,13 +43,29 @@ class DeadlockError(SimulationError):
     blocked:
         Mapping of ``actor_name -> reason`` describing what each live actor
         was waiting on when the deadlock was detected.
+    channels:
+        Mapping of ``actor_name -> ["pop:<channel>", "push:<channel>", ...]``
+        naming the exact channel conditions each parked actor is blocked on.
+        Populated by the event scheduler (whose wait records carry the
+        channels); empty under the lock-step scheduler, whose actors only
+        report free-text ``blocked_reason`` strings.
     """
 
-    def __init__(self, cycle: int, blocked: dict):
+    def __init__(self, cycle: int, blocked: dict, channels: dict | None = None):
         self.cycle = int(cycle)
         self.blocked = dict(blocked)
+        self.channels = {k: list(v) for k, v in (channels or {}).items()}
         detail = "; ".join(f"{k}: {v}" for k, v in sorted(self.blocked.items()))
         super().__init__(f"deadlock at cycle {self.cycle} ({detail or 'no live actors'})")
+
+    def blocked_channel_names(self) -> list:
+        """Sorted unique channel names appearing in :attr:`channels`."""
+        names = {
+            cond.split(":", 1)[1]
+            for conds in self.channels.values()
+            for cond in conds
+        }
+        return sorted(names)
 
 
 class ChannelProtocolError(SimulationError):

@@ -1,0 +1,79 @@
+"""Deterministic fault injection for the dataflow simulator.
+
+Public surface:
+
+* :mod:`repro.faults.scenario` — declarative, JSON-serialisable fault
+  scenarios (:class:`FaultScenario` and the five fault spec kinds);
+* :mod:`repro.faults.injectors` — runtime injectors and
+  :func:`arm_faults`, which wires a scenario into a built graph;
+* :mod:`repro.faults.harness` — clean-vs-faulty experiments
+  (:func:`faultsim`), campaigns, digests and pilot downscales.
+
+See DESIGN.md section 10 for the fault model and the two invariants
+this package machine-checks (latency insensitivity; analyzer/simulator
+deadlock agreement).
+"""
+
+from repro.faults.harness import (
+    PILOT_WEIGHT_LIMIT,
+    RunOutcome,
+    faultsim,
+    output_digest,
+    pilot_design,
+    resolve_shrink,
+    run_campaign,
+    run_design,
+    simulable_design,
+)
+from repro.faults.injectors import (
+    ActorStallPlan,
+    ArmedFaults,
+    CompositeFault,
+    CorruptionFault,
+    JitterFault,
+    ThrottleFault,
+    arm_faults,
+    disarm_faults,
+    target_rng,
+)
+from repro.faults.scenario import (
+    FAULT_KINDS,
+    ActorSlowdown,
+    BeatCorruption,
+    ChannelJitter,
+    DmaThrottle,
+    FaultScenario,
+    FifoShrink,
+    load_scenario,
+    preset_scenarios,
+)
+
+__all__ = [
+    "PILOT_WEIGHT_LIMIT",
+    "FAULT_KINDS",
+    "ActorSlowdown",
+    "ActorStallPlan",
+    "ArmedFaults",
+    "BeatCorruption",
+    "ChannelJitter",
+    "CompositeFault",
+    "CorruptionFault",
+    "DmaThrottle",
+    "FaultScenario",
+    "FifoShrink",
+    "JitterFault",
+    "RunOutcome",
+    "ThrottleFault",
+    "arm_faults",
+    "disarm_faults",
+    "faultsim",
+    "load_scenario",
+    "output_digest",
+    "pilot_design",
+    "preset_scenarios",
+    "resolve_shrink",
+    "run_campaign",
+    "run_design",
+    "simulable_design",
+    "target_rng",
+]

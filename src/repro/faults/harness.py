@@ -1,0 +1,440 @@
+"""Fault-injection harness: clean-vs-faulty runs, reports, campaigns.
+
+The harness operationalises the two invariants DESIGN.md section 10
+states about the reproduction:
+
+1. **Latency insensitivity** — a correctly buffered design is a Kahn
+   network with bounded FIFOs: timing faults (jitter, DMA throttle,
+   actor slow-down) may change *when* beats move, never *which values*
+   move. For any timing-only scenario, the faulty run's output digest
+   must equal the clean run's, under both schedulers.
+2. **Analyzer/simulator agreement** — shrinking a literal filter-chain
+   FIFO below the sizing model's minimum must (a) be flagged by the
+   static verifier's BUFFER.FULL rule and (b) deadlock the simulator
+   with the *same channel* named in both reports.
+
+:func:`faultsim` runs one (design, scenario, seed) experiment and emits
+a JSON-ready report with the verdict; :func:`run_campaign` sweeps
+designs x scenarios x seeds, caching clean runs. Designs too large to
+cycle-simulate (AlexNet/VGG-16) are swapped for a deterministic *pilot*
+downscale (:func:`pilot_design`) that preserves the layer topology —
+every layer kind, kernel, stride and pad — while shrinking feature maps
+and input resolution to simulable size; reports carry ``"pilot": true``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.builder import BuiltNetwork, build_network, random_weights
+from repro.core.layer_spec import (
+    ConvLayerSpec,
+    FCLayerSpec,
+    LayerSpec,
+    PoolLayerSpec,
+)
+from repro.core.network_design import NetworkDesign
+from repro.dataflow.deadlock import match_deadlock_diagnostics
+from repro.errors import ConfigurationError, DeadlockError, ReproError
+from repro.faults.injectors import ArmedFaults, arm_faults
+from repro.faults.scenario import FaultScenario, FifoShrink
+
+#: Above this many parameters a design is cycle-simulated as a pilot.
+PILOT_WEIGHT_LIMIT = 2_000_000
+
+
+def output_digest(outputs: np.ndarray) -> str:
+    """Stable content hash of a run's output tensor."""
+    arr = np.ascontiguousarray(outputs)
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+# -- pilot designs -----------------------------------------------------------
+
+
+def _pilot_specs(
+    design: NetworkDesign,
+    input_shape: Tuple[int, int, int],
+    max_fm: int,
+    max_classes: int,
+) -> List[LayerSpec]:
+    """Downscaled spec chain over ``input_shape``; raises if it won't fit."""
+    specs: List[LayerSpec] = []
+    shape = input_shape
+    for spec in design.specs:
+        if isinstance(spec, ConvLayerSpec):
+            new: LayerSpec = ConvLayerSpec(
+                name=spec.name,
+                in_fm=shape[0],
+                out_fm=min(spec.out_fm, max_fm),
+                kh=spec.kh,
+                kw=spec.kw,
+                stride=spec.stride,
+                pad=spec.pad,
+                activation=spec.activation,
+            )
+        elif isinstance(spec, PoolLayerSpec):
+            new = PoolLayerSpec(
+                name=spec.name,
+                in_fm=shape[0],
+                out_fm=shape[0],
+                kh=spec.kh,
+                kw=spec.kw,
+                stride=spec.stride,
+                mode=spec.mode,
+            )
+        elif isinstance(spec, FCLayerSpec):
+            new = FCLayerSpec(
+                name=spec.name,
+                in_fm=shape[0] * shape[1] * shape[2],
+                out_fm=min(spec.out_fm, max_classes),
+                activation=spec.activation,
+            )
+            shape = (new.in_fm, 1, 1)
+        else:  # pragma: no cover - specs are exhaustive
+            raise ConfigurationError(f"unknown spec kind {spec.kind!r}")
+        shape = new.out_shape(shape)
+        specs.append(new)
+    return specs
+
+
+def pilot_design(
+    design: NetworkDesign,
+    max_fm: int = 4,
+    max_classes: int = 8,
+    max_input: int = 256,
+) -> NetworkDesign:
+    """Deterministic simulable downscale preserving the layer topology.
+
+    Keeps every layer's kind, kernel, stride, padding and activation;
+    shrinks feature-map counts to ``max_fm`` (``max_classes`` for FC
+    outputs) and scans square input sizes ascending for the smallest one
+    every window fits — so the pilot is a pure function of the design,
+    the same in every process and on every seed.
+    """
+    c0 = design.input_shape[0]
+    for hw in range(4, max_input + 1):
+        shape = (c0, hw, hw)
+        try:
+            specs = _pilot_specs(design, shape, max_fm, max_classes)
+            return NetworkDesign(f"{design.name}-pilot{hw}", shape, specs)
+        except ReproError:
+            continue
+    raise ConfigurationError(
+        f"no input size up to {max_input} makes a simulable pilot of "
+        f"{design.name!r}"
+    )
+
+
+def simulable_design(design: NetworkDesign) -> Tuple[NetworkDesign, bool]:
+    """``(design, False)`` or its pilot + True when too large to simulate."""
+    if design.weight_count() <= PILOT_WEIGHT_LIMIT:
+        return design, False
+    return pilot_design(design), True
+
+
+# -- single runs -------------------------------------------------------------
+
+
+@dataclass
+class RunOutcome:
+    """One simulation of one built design, clean or faulted."""
+
+    cycles: int
+    finished: bool
+    digest: Optional[str]
+    scheduler: str
+    #: Present only on faulted runs.
+    armed: Optional[ArmedFaults] = None
+    #: The deadlock, when the run jammed instead of finishing.
+    deadlock: Optional[DeadlockError] = None
+    #: The built network (weights/graph), for callers needing outputs.
+    built: Optional[BuiltNetwork] = field(default=None, repr=False)
+
+    def to_dict(self) -> dict:
+        d: dict = {
+            "cycles": self.cycles,
+            "finished": self.finished,
+            "digest": self.digest,
+            "scheduler": self.scheduler,
+        }
+        if self.armed is not None:
+            d["armed"] = self.armed.describe()
+            d["hold_cycles"] = self.armed.hold_cycles()
+            d["corruption_hits"] = self.armed.corruption_hits()
+        if self.deadlock is not None:
+            d["deadlock"] = {
+                "cycle": self.deadlock.cycle,
+                "blocked": self.deadlock.blocked,
+                "channels": self.deadlock.channels,
+            }
+        return d
+
+
+def resolve_shrink(
+    scenario: FaultScenario, graph
+) -> FaultScenario:
+    """Replace ``FifoShrink(channels="auto")`` with a concrete target.
+
+    Picks the alphabetically first literal chain FIFO that a capacity-1
+    shrink provably jams — one whose full-buffering depth exceeds the
+    downstream tap channel's slack (the criterion of
+    ``repro.sst.sizing.deadlock_shrink_targets``: the next filter can run
+    at most ``tap_cap`` steps ahead, so the FIFO must hold
+    ``depth - tap_cap`` words). No-op for scenarios without an auto
+    shrink.
+    """
+    if not any(
+        isinstance(f, FifoShrink) and f.channels == "auto"
+        for f in scenario.faults
+    ):
+        return scenario
+    candidates = []
+    for name, ch in sorted(graph.channels.items()):
+        if ".fifo" not in name or ch.capacity is None:
+            continue
+        base = name.rsplit(".fifo", 1)[0]
+        tap0 = graph.channels.get(f"{base}.tap0")
+        tap_cap = tap0.capacity if tap0 is not None and tap0.capacity else 4
+        # ch.capacity is depth + 1; eligible when depth >= tap_cap + 2.
+        if ch.capacity - 1 >= tap_cap + 2:
+            candidates.append(name)
+    if not candidates:
+        raise ConfigurationError(
+            "no provably-deadlocking chain FIFO in the graph (build with "
+            "memory_system='literal' and a window tall enough that a line "
+            "FIFO exceeds the tap slack)"
+        )
+    target = candidates[0]
+    faults = tuple(
+        FifoShrink(channels=target, capacity=1)
+        if isinstance(f, FifoShrink) and f.channels == "auto"
+        else f
+        for f in scenario.faults
+    )
+    return FaultScenario(scenario.name, faults)
+
+
+def run_design(
+    design: NetworkDesign,
+    seed: int = 0,
+    images: int = 2,
+    scenario: Optional[FaultScenario] = None,
+    scheduler: str = "event",
+    memory_system: str = "behavioral",
+    max_cycles: int = 50_000_000,
+    stall_limit: int = 10_000,
+) -> RunOutcome:
+    """Build, (optionally) arm, and cycle-simulate one design.
+
+    Weights and the input batch are derived from ``seed`` alone, so a
+    clean and a faulted run with the same seed process identical data —
+    the precondition for digest comparison.
+    """
+    weights = random_weights(design, seed=seed)
+    rng = np.random.default_rng(seed)
+    batch = rng.uniform(0, 1, (images,) + design.input_shape).astype(np.float32)
+    built = build_network(design, weights, batch, memory_system=memory_system)
+    armed = None
+    if scenario is not None:
+        scenario = resolve_shrink(scenario, built.graph)
+        armed = arm_faults(built.graph, scenario, seed)
+    sim = built.graph.build_simulator(
+        stall_limit=stall_limit, scheduler=scheduler
+    )
+    sim.faults = armed
+    try:
+        result = sim.run(max_cycles=max_cycles)
+    except DeadlockError as err:
+        return RunOutcome(
+            cycles=err.cycle,
+            finished=False,
+            digest=None,
+            scheduler=scheduler,
+            armed=armed,
+            deadlock=err,
+            built=built,
+        )
+    built.result = result
+    return RunOutcome(
+        cycles=result.cycles,
+        finished=result.finished,
+        digest=output_digest(built.outputs()) if result.finished else None,
+        scheduler=scheduler,
+        armed=armed,
+        deadlock=None,
+        built=built,
+    )
+
+
+# -- the faultsim experiment -------------------------------------------------
+
+
+def _shrink_verdict(faulty: RunOutcome, design: NetworkDesign) -> dict:
+    """Cross-validate a shrink deadlock against the static verifier."""
+    from repro.analysis import analyze_graph
+
+    info: dict = {"expected": "deadlock_matches_analysis"}
+    if faulty.deadlock is None:
+        info["verdict"] = "shrink_did_not_deadlock"
+        info["ok"] = False
+        return info
+    report = analyze_graph(faulty.built.graph, design)
+    shrunk = sorted(faulty.armed.shrunk) if faulty.armed else []
+    pats = [
+        re.compile(re.escape(name) + r"(?![0-9A-Za-z_])") for name in shrunk
+    ]
+    flagged = [
+        d.to_dict()
+        for d in report.errors
+        if any(p.search(d.message) or p.search(d.location) for p in pats)
+    ]
+    matches = match_deadlock_diagnostics(faulty.deadlock, report)
+    info["shrunk_channels"] = shrunk
+    info["blocked_channels"] = faulty.deadlock.blocked_channel_names()
+    info["analysis_flagged"] = flagged
+    info["matched_channels"] = sorted({name for name, _ in matches})
+    if not flagged:
+        info["verdict"] = "analysis_missed_shrink"
+        info["ok"] = False
+    elif not matches:
+        info["verdict"] = "deadlock_channel_mismatch"
+        info["ok"] = False
+    else:
+        info["verdict"] = "deadlock_matches_analysis"
+        info["ok"] = True
+    return info
+
+
+def faultsim(
+    design: NetworkDesign,
+    scenario: FaultScenario,
+    seed: int = 0,
+    images: int = 2,
+    scheduler: str = "event",
+    memory_system: str = "behavioral",
+    max_cycles: int = 50_000_000,
+    stall_limit: int = 10_000,
+    pilot: Optional[bool] = None,
+    _clean_cache: Optional[Dict] = None,
+) -> dict:
+    """One experiment: clean run vs faulted run, verdict, JSON report.
+
+    ``pilot`` forces (True) or forbids (False) the pilot downscale; the
+    default decides by parameter count. ``_clean_cache`` lets the
+    campaign runner share clean runs across scenarios.
+    """
+    if pilot or (pilot is None and design.weight_count() > PILOT_WEIGHT_LIMIT):
+        sim_design, piloted = pilot_design(design), True
+    else:
+        sim_design, piloted = design, False
+    if scenario.has_kind("shrink"):
+        # Shrink targets only exist in the literal SST chains.
+        memory_system = "literal"
+    key = (sim_design.name, seed, images, scheduler, memory_system)
+    clean = _clean_cache.get(key) if _clean_cache is not None else None
+    if clean is None:
+        clean = run_design(
+            sim_design, seed=seed, images=images, scenario=None,
+            scheduler=scheduler, memory_system=memory_system,
+            max_cycles=max_cycles, stall_limit=stall_limit,
+        )
+        if _clean_cache is not None:
+            _clean_cache[key] = clean
+    faulty = run_design(
+        sim_design, seed=seed, images=images, scenario=scenario,
+        scheduler=scheduler, memory_system=memory_system,
+        max_cycles=max_cycles, stall_limit=stall_limit,
+    )
+    report: dict = {
+        "design": design.name,
+        "simulated_design": sim_design.name,
+        "pilot": piloted,
+        "scenario": scenario.to_dict(),
+        "seed": seed,
+        "images": images,
+        "scheduler": scheduler,
+        "memory_system": memory_system,
+        "clean": clean.to_dict(),
+        "faulty": faulty.to_dict(),
+    }
+    if clean.finished and faulty.finished:
+        report["cycle_overhead"] = faulty.cycles - clean.cycles
+        report["cycle_overhead_pct"] = round(
+            100.0 * (faulty.cycles - clean.cycles) / max(clean.cycles, 1), 2
+        )
+    if scenario.timing_only():
+        ok = (
+            clean.finished
+            and faulty.finished
+            and clean.digest == faulty.digest
+        )
+        report["invariant"] = "latency_insensitive"
+        report["verdict"] = (
+            "latency_insensitive" if ok else "LATENCY_SENSITIVITY_VIOLATED"
+        )
+        report["ok"] = ok
+    elif scenario.has_kind("shrink"):
+        info = _shrink_verdict(faulty, sim_design)
+        report["invariant"] = "deadlock_matches_analysis"
+        report.update(info)
+    else:  # corruption (possibly mixed with timing faults)
+        hits = faulty.armed.corruption_hits() if faulty.armed else 0
+        if hits == 0:
+            report["verdict"] = "corruption_not_injected"
+            report["ok"] = False
+        elif faulty.finished and faulty.digest != clean.digest:
+            report["verdict"] = "corruption_detected"
+            report["ok"] = True
+        elif not faulty.finished:
+            # A corrupted control value can jam the pipeline; the digest
+            # check still "detected" the fault (no silent wrong answer).
+            report["verdict"] = "corruption_detected"
+            report["ok"] = True
+        else:
+            report["verdict"] = "CORRUPTION_MISSED"
+            report["ok"] = False
+        report["invariant"] = "corruption_detected"
+    return report
+
+
+def run_campaign(
+    designs: Sequence[Tuple[str, NetworkDesign]],
+    scenarios: Sequence[FaultScenario],
+    seeds: Sequence[int],
+    images: int = 2,
+    scheduler: str = "event",
+) -> dict:
+    """Sweep designs x scenarios x seeds; one report per experiment.
+
+    Clean runs are cached per (design, seed) so an N-scenario campaign
+    pays for each baseline once. Returns a summary dict with the full
+    report list and an overall ``ok``.
+    """
+    cache: Dict = {}
+    runs: List[dict] = []
+    for name, design in designs:
+        for scenario in scenarios:
+            for seed in seeds:
+                runs.append(
+                    faultsim(
+                        design, scenario, seed=seed, images=images,
+                        scheduler=scheduler, _clean_cache=cache,
+                    )
+                )
+    failed = [r for r in runs if not r.get("ok")]
+    return {
+        "experiments": len(runs),
+        "passed": len(runs) - len(failed),
+        "failed": len(failed),
+        "ok": not failed,
+        "runs": runs,
+    }

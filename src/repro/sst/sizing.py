@@ -94,6 +94,39 @@ def chain_fifo_capacities(spec: WindowSpec, w: int, group: int = 1) -> List[int]
     return [d + 1 for d in fifo_depths(spec, wp, group)]
 
 
+def deadlock_shrink_targets(
+    spec: WindowSpec, w: int, group: int = 1
+) -> List[tuple]:
+    """FIFO shrinks that *provably* deadlock a literal filter chain.
+
+    Returns ``(fifo_index, shrunk_capacity)`` pairs, capacity always 1.
+    For filter ``i`` to tap assembly step ``s`` it must consume stream
+    beat ``off_i + s``; the next filter is bounded by its own tap FIFO to
+    beat ``off_{i+1} + s + tap_cap``, so chain FIFO ``i`` must hold at
+    least ``depth_i - tap_cap`` words (``tap_cap = max(4, group + 1)``,
+    the tap channel capacity ``build_filter_chain`` uses). Shrinking to
+    capacity 1 therefore jams every FIFO with
+    ``depth_i >= tap_cap + 2`` — the margin keeps the bound robust at
+    image boundaries, where a filter past its tapping window can run
+    further ahead. Small inter-tap FIFOs (depth 1, between taps in the
+    same kernel row) are excluded: the tap slack absorbs their whole
+    skew at any legal capacity.
+
+    The fault-injection agreement suite iterates these targets and
+    asserts the simulator's deadlock names the same channel as the
+    BUFFER.FULL diagnostic.
+    """
+    from repro.sst.filter_chain import fifo_depths  # local: avoid heavy import
+
+    _, wp = spec.padded_shape(1, w)
+    tap_cap = max(4, group + 1)
+    return [
+        (i, 1)
+        for i, d in enumerate(fifo_depths(spec, wp, group))
+        if d >= tap_cap + 2
+    ]
+
+
 def bandwidth_memory_tradeoff(
     spec: WindowSpec, w: int, in_fm: int, replicas: List[int]
 ) -> List[dict]:

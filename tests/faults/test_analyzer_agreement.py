@@ -1,0 +1,123 @@
+"""Cross-validation: static BUFFER.FULL errors vs simulated deadlocks.
+
+Invariant 2 of DESIGN.md section 10: shrinking a literal filter-chain
+FIFO below the sizing model's minimum must (a) raise a BUFFER.FULL error
+in the static verifier and (b) deadlock the simulator on the *same
+channel*. Each side checks the other — a diagnostic with no matching
+deadlock means the verifier cries wolf; a deadlock with no matching
+diagnostic means the verifier misses real bugs.
+"""
+
+import pytest
+
+from repro.analysis import analyze_graph
+from repro.core import tiny_design
+from repro.core.builder import build_network, random_weights
+from repro.core.models import cifar10_design, usps_design
+from repro.dataflow.deadlock import match_deadlock_diagnostics
+from repro.errors import DeadlockError
+from repro.faults import (
+    FaultScenario,
+    FifoShrink,
+    faultsim,
+    resolve_shrink,
+    run_design,
+)
+from repro.sst.sizing import deadlock_shrink_targets
+from repro.sst.window import WindowSpec
+
+SHRINK = FaultScenario("shrink", (FifoShrink(),))
+
+DESIGNS = [
+    pytest.param(tiny_design, id="tiny"),
+    pytest.param(usps_design, id="usps"),
+    pytest.param(cifar10_design, id="cifar10"),
+]
+
+
+class TestSizingTargets:
+    def test_targets_require_depth_beyond_tap_slack(self):
+        # A 3x3 window over a width-8 row: line FIFOs have depth ~w-kw,
+        # far above the tap slack; inter-tap FIFOs (depth 1) are excluded.
+        spec = WindowSpec(kh=3, kw=3)
+        targets = dict(deadlock_shrink_targets(spec, w=8))
+        from repro.sst.filter_chain import fifo_depths
+
+        _, wp = spec.padded_shape(1, 8)
+        depths = fifo_depths(spec, wp, 1)
+        tap_cap = 4  # max(4, group + 1) with group=1
+        for i, d in enumerate(depths):
+            if d >= tap_cap + 2:
+                assert targets[i] == 1
+            else:
+                assert i not in targets
+
+    def test_tiny_window_has_no_targets(self):
+        # 2x2 over width 4: every FIFO depth is within the tap slack, so
+        # no capacity-1 shrink provably deadlocks.
+        spec = WindowSpec(kh=2, kw=2)
+        assert deadlock_shrink_targets(spec, w=4) == []
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("factory", DESIGNS)
+    def test_shrink_deadlock_matches_static_error(self, factory):
+        design = factory()
+        outcome = run_design(
+            design, seed=0, images=1, scenario=SHRINK,
+            memory_system="literal", stall_limit=5_000,
+        )
+        # (a) the simulator deadlocks ...
+        assert outcome.deadlock is not None, (
+            f"capacity-1 shrink of {sorted(outcome.armed.shrunk)} "
+            f"did not deadlock {design.name}"
+        )
+        assert isinstance(outcome.deadlock, DeadlockError)
+        shrunk = sorted(outcome.armed.shrunk)
+        assert len(shrunk) == 1
+        # (b) ... the verifier flags the shrunk channel as an error ...
+        report = analyze_graph(outcome.built.graph, design)
+        assert not report.ok
+        assert any(shrunk[0] in d.message for d in report.errors)
+        # (c) ... and both name the same channel.
+        matches = match_deadlock_diagnostics(outcome.deadlock, report)
+        matched = {name for name, _ in matches}
+        assert shrunk[0] in matched, (
+            f"deadlock blocked on {outcome.deadlock.blocked_channel_names()} "
+            f"but the verifier flagged {shrunk[0]}"
+        )
+
+    def test_faultsim_shrink_verdict(self):
+        report = faultsim(tiny_design(), SHRINK, seed=0, images=1)
+        assert report["memory_system"] == "literal"
+        assert report["verdict"] == "deadlock_matches_analysis"
+        assert report["ok"] is True
+        assert report["matched_channels"] == report["shrunk_channels"]
+        assert report["analysis_flagged"]
+
+    def test_resolve_shrink_picks_provable_target(self):
+        design = tiny_design()
+        weights = random_weights(design, seed=0)
+        import numpy as np
+
+        batch = np.zeros((1,) + design.input_shape, dtype=np.float32)
+        built = build_network(design, weights, batch, memory_system="literal")
+        resolved = resolve_shrink(SHRINK, built.graph)
+        target = resolved.faults[0].channels
+        assert target in built.graph.channels
+        ch = built.graph.channels[target]
+        base = target.rsplit(".fifo", 1)[0]
+        tap_cap = built.graph.channels[f"{base}.tap0"].capacity
+        # The chosen FIFO's depth exceeds the downstream tap slack.
+        assert ch.capacity - 1 >= tap_cap + 2
+
+    def test_clean_literal_run_has_no_buffer_errors(self):
+        # Control: without the shrink, the verifier is quiet and the
+        # simulator finishes — neither side reports a phantom problem.
+        design = tiny_design()
+        outcome = run_design(
+            design, seed=0, images=1, memory_system="literal",
+        )
+        assert outcome.finished and outcome.deadlock is None
+        report = analyze_graph(outcome.built.graph, design)
+        assert not any(d.rule == "BUFFER.FULL" for d in report.errors)
