@@ -10,13 +10,13 @@ check``) and as a machine-readable JSON document (CI artifacts).
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional
+from typing import ClassVar, Dict, Iterable, List, Optional
 
 from repro.analysis.rules import RULES
 from repro.errors import ConfigurationError
+from repro.report.base import Report
 
 
 class Severity(Enum):
@@ -75,8 +75,10 @@ class Diagnostic:
 
 
 @dataclass
-class AnalysisReport:
+class AnalysisReport(Report):
     """All diagnostics of one verifier run over one design/graph."""
+
+    kind: ClassVar[str] = "analysis"
 
     design_name: str
     diagnostics: List[Diagnostic] = field(default_factory=list)
@@ -145,8 +147,13 @@ class AnalysisReport:
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
-    def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+    def summary(self) -> str:
+        c = self.counts()
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"check {self.design_name}: {verdict} "
+            f"({c['error']} error(s), {c['warning']} warning(s))"
+        )
 
     def format_text(self, show_info: bool = True) -> str:
         """Terminal report: findings sorted most-severe-first, then a verdict."""

@@ -141,6 +141,23 @@ _RULES = [
         ),
     ),
     RuleInfo(
+        id="PROFILE.II_MISMATCH",
+        title="measured initiation interval agrees with Eq. 4",
+        level="profile",
+        paper_ref="Section IV-B, Eq. 4",
+        description=(
+            "Run by `repro profile` against a cycle simulation, not by the "
+            "static checker. Each compute core's *measured* initiation "
+            "interval — productive (non-stalled) cycles per output "
+            "coordinate, from the schedulers' native counters — must match "
+            "the static prediction II = max(IN_FM/IN_PORTS, "
+            "OUT_FM/OUT_PORTS) within 5%. A mismatch means the pipelined "
+            "implementation does not sustain the paper's per-core rate "
+            "(error); the same rule reports steady-state pipeline-interval "
+            "disagreements between simulation and the perf model (warning)."
+        ),
+    ),
+    RuleInfo(
         id="GRAPH.STRUCTURE",
         title="the dataflow graph is structurally sound",
         level="graph",

@@ -73,38 +73,86 @@ def _load_design(arg: str):
         ) from None
 
 
+def _common_options() -> argparse.ArgumentParser:
+    """Parent parser shared by ``check``/``faultsim``/``flow``/``profile``.
+
+    ``--design`` is the canonical spelling; the bare positional form is
+    kept as a deprecated alias (resolved by :func:`_resolve_design`,
+    which notes the deprecation on stderr). ``--json`` and ``--seed``
+    are spelled identically across the four commands.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "design_pos", nargs="?", default=None, metavar="DESIGN",
+        help="deprecated positional form of --design",
+    )
+    parent.add_argument(
+        "--design", dest="design_opt", default=None, metavar="DESIGN",
+        help="preset (usps|cifar10|tiny|alexnet|vgg16) or design JSON path",
+    )
+    parent.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the machine-readable report to PATH")
+    parent.add_argument("--seed", type=int, default=0,
+                        help="RNG seed (simulation-backed commands)")
+    return parent
+
+
+def _resolve_design(args, required: bool = True) -> Optional[str]:
+    """The design argument from ``--design`` or the deprecated positional."""
+    if args.design_pos is not None and args.design_opt is not None:
+        if args.design_pos != args.design_opt:
+            raise ReproError(
+                f"{args.command}: positional design {args.design_pos!r} "
+                f"conflicts with --design {args.design_opt!r}"
+            )
+        return args.design_opt
+    if args.design_pos is not None:
+        print(
+            f"note: '{args.command} DESIGN' is deprecated; "
+            f"use '{args.command} --design DESIGN'",
+            file=sys.stderr,
+        )
+        return args.design_pos
+    if args.design_opt is not None:
+        return args.design_opt
+    if required:
+        raise ReproError(f"{args.command}: a design is required (--design)")
+    return None
+
+
 def _cmd_check(args):
     """Static dataflow verification; returns ``(text, exit_code)``."""
     from repro.analysis import check_design_dict, check_network, render_catalog
 
     if args.list_rules:
         return render_catalog(), 0
-    if args.design is None:
+    design_arg = _resolve_design(args, required=False)
+    if design_arg is None:
         raise ReproError("check: a design (or --list-rules) is required")
     elaborate = "auto"
     if args.no_elaborate:
         elaborate = False
     elif args.elaborate:
         elaborate = True
-    if args.design in _PRESETS:
-        report = check_network(_PRESETS[args.design](), elaborate=elaborate)
+    if design_arg in _PRESETS:
+        report = check_network(_PRESETS[design_arg](), elaborate=elaborate)
     else:
         # Lenient path: a broken design JSON still yields a full report
         # (per-rule diagnostics + nonzero exit) instead of one exception.
         import json
 
         try:
-            with open(args.design) as fh:
+            with open(design_arg) as fh:
                 d = json.load(fh)
         except FileNotFoundError:
             raise ReproError(
-                f"unknown design {args.design!r}: not a preset "
+                f"unknown design {design_arg!r}: not a preset "
                 f"({sorted(_PRESETS)}) and not a readable JSON file"
             ) from None
         except json.JSONDecodeError as exc:
-            raise ReproError(f"{args.design}: not valid JSON ({exc})") from None
+            raise ReproError(f"{design_arg}: not valid JSON ({exc})") from None
         if not isinstance(d, dict):
-            raise ReproError(f"{args.design}: design JSON must be an object")
+            raise ReproError(f"{design_arg}: design JSON must be an object")
         report = check_design_dict(d, elaborate=elaborate)
     if args.json:
         with open(args.json, "w") as fh:
@@ -115,8 +163,6 @@ def _cmd_check(args):
 
 def _cmd_faultsim(args):
     """Fault-injection run(s); returns ``(text, exit_code)``."""
-    import json
-
     from repro.faults import faultsim, load_scenario, run_campaign
 
     pilot = None
@@ -134,8 +180,7 @@ def _cmd_faultsim(args):
         )
         if args.json:
             with open(args.json, "w") as fh:
-                json.dump(summary, fh, indent=2)
-                fh.write("\n")
+                fh.write(summary.to_json() + "\n")
         rows = [
             [r["design"], r["scenario"]["name"], r["seed"],
              "pilot" if r["pilot"] else "full", r["verdict"],
@@ -149,9 +194,10 @@ def _cmd_faultsim(args):
                   f"{summary['experiments']} passed",
         )
         return text, 0 if summary["ok"] else 1
-    if args.design is None:
+    design_arg = _resolve_design(args, required=False)
+    if design_arg is None:
         raise ReproError("faultsim: a design (or --campaign) is required")
-    design = _load_design(args.design)
+    design = _load_design(design_arg)
     scenario = load_scenario(args.scenario)
     report = faultsim(
         design, scenario, seed=args.seed, images=args.images,
@@ -160,8 +206,7 @@ def _cmd_faultsim(args):
     )
     if args.json:
         with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2)
-            fh.write("\n")
+            fh.write(report.to_json() + "\n")
     pairs = [
         ("scenario", scenario.name),
         ("seed", report["seed"]),
@@ -307,8 +352,29 @@ def _cmd_resources(args) -> str:
 def _cmd_flow(args) -> str:
     from repro.core import run_flow
 
-    res = run_flow(args.design, seed=args.seed, output_dir=args.out,
+    design_arg = _resolve_design(args)
+    res = run_flow(design_arg, seed=args.seed, output_dir=args.out,
                    epochs=args.epochs)
+    if args.json:
+        import json
+
+        from repro.report import SCHEMA_VERSION
+
+        summary = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "flow",
+            "design": design_arg,
+            "seed": args.seed,
+            "test_accuracy": res.training.test_accuracy,
+            "verified": res.verification.passed,
+            "interval": res.interval,
+            "fits_device": res.fits_device,
+            "ok": res.ok,
+            "artifacts": list(res.artifacts),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2)
+            fh.write("\n")
     pairs = [
         ("training loss", f"{res.training.losses[0]:.3f} -> "
                           f"{res.training.losses[-1]:.3f}"),
@@ -322,7 +388,33 @@ def _cmd_flow(args) -> str:
     ]
     if res.artifacts:
         pairs.append(("artifacts", ", ".join(res.artifacts)))
-    return format_kv(f"automated flow: {args.design}", pairs)
+    return format_kv(f"automated flow: {design_arg}", pairs)
+
+
+def _cmd_profile(args):
+    """Measured-vs-predicted profile; returns ``(text, exit_code)``."""
+    from repro.profiling import profile_design, write_chrome_trace
+
+    design = _load_design(_resolve_design(args))
+    pilot = None
+    if args.pilot:
+        pilot = True
+    elif args.no_pilot:
+        pilot = False
+    kwargs = {}
+    if args.tolerance is not None:
+        kwargs["tolerance"] = args.tolerance
+    report = profile_design(
+        design, images=args.images, seed=args.seed,
+        scheduler=args.scheduler, sample_every=args.sample_every,
+        pilot=pilot, **kwargs,
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json() + "\n")
+    if args.chrome_trace:
+        write_chrome_trace(report, args.chrome_trace)
+    return report.format_text(), 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -339,15 +431,12 @@ def build_parser() -> argparse.ArgumentParser:
         sp.set_defaults(fn=fn)
         return sp
 
+    common = _common_options()
+
     check = sub.add_parser(
-        "check", help="static dataflow verification (rate/adapter/buffer/II rules)"
+        "check", parents=[common],
+        help="static dataflow verification (rate/adapter/buffer/II rules)",
     )
-    check.add_argument(
-        "design", nargs="?", default=None,
-        help="preset (usps|cifar10|tiny|alexnet|vgg16) or design JSON path",
-    )
-    check.add_argument("--json", metavar="PATH", default=None,
-                       help="also write the machine-readable report to PATH")
     check.add_argument("--elaborate", action="store_true",
                        help="force graph-level rules even on huge designs")
     check.add_argument("--no-elaborate", action="store_true",
@@ -373,28 +462,21 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--tolerance", type=float, default=1e-4)
     fault = sub.add_parser(
-        "faultsim",
+        "faultsim", parents=[common],
         help="fault injection: prove latency-insensitivity / deadlock "
              "agreement (see repro.faults)",
-    )
-    fault.add_argument(
-        "design", nargs="?", default=None,
-        help="preset (usps|cifar10|tiny|alexnet|vgg16) or design JSON path",
     )
     fault.add_argument(
         "--scenario", default="jitter",
         help="preset scenario (jitter|dma|slowdown|storm|corrupt|shrink) "
              "or scenario JSON path",
     )
-    fault.add_argument("--seed", type=int, default=0)
     fault.add_argument("--images", type=int, default=2)
     fault.add_argument("--scheduler", choices=["event", "lockstep"],
                        default="event")
     fault.add_argument("--memory-system", choices=["behavioral", "literal"],
                        default="behavioral",
                        help="shrink scenarios force 'literal'")
-    fault.add_argument("--json", metavar="PATH", default=None,
-                       help="also write the machine-readable report to PATH")
     fault.add_argument("--pilot", action="store_true",
                        help="force the pilot downscale even for small designs")
     fault.add_argument("--no-pilot", action="store_true",
@@ -413,13 +495,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="campaign seeds")
     fault.set_defaults(fn=_cmd_faultsim)
     flow = sub.add_parser(
-        "flow", help="automated design flow: train, verify, report, emit artifacts"
+        "flow", parents=[common],
+        help="automated design flow: train, verify, report, emit artifacts",
     )
-    flow.add_argument("design", help="flow preset (usps|cifar10|tiny)")
     flow.add_argument("--out", default=None, help="artifact output directory")
-    flow.add_argument("--seed", type=int, default=0)
     flow.add_argument("--epochs", type=int, default=None)
     flow.set_defaults(fn=_cmd_flow)
+    profile = sub.add_parser(
+        "profile", parents=[common],
+        help="native-counter profile: measured II / throughput / bottleneck "
+             "vs the Eq. 4 performance model",
+    )
+    profile.add_argument("--images", type=int, default=3)
+    profile.add_argument("--scheduler", choices=["event", "lockstep"],
+                         default="event")
+    profile.add_argument("--sample-every", type=int, default=None,
+                         metavar="N",
+                         help="attach the high-resolution tracer backend "
+                              "(sample occupancy every N cycles; disables "
+                              "bulk cycle-skipping)")
+    profile.add_argument("--chrome-trace", metavar="PATH", default=None,
+                         help="write a chrome://tracing / Perfetto JSON "
+                              "trace to PATH")
+    profile.add_argument("--pilot", action="store_true",
+                         help="force the pilot downscale even for small "
+                              "designs")
+    profile.add_argument("--no-pilot", action="store_true",
+                         help="forbid the pilot downscale (huge designs "
+                              "will simulate at full size)")
+    profile.add_argument("--tolerance", type=float, default=None,
+                         help="relative II error treated as a mismatch "
+                              "(default 0.05)")
+    profile.set_defaults(fn=_cmd_profile)
     return p
 
 

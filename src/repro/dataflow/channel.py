@@ -29,13 +29,23 @@ from repro.errors import ChannelProtocolError, ConfigurationError
 
 @dataclass(slots=True)
 class ChannelStats:
-    """Lifetime statistics of a channel, used for utilisation reports."""
+    """Lifetime statistics of a channel, used for utilisation reports.
+
+    The first/last beat stamps (``-1`` when no beat of that kind ever
+    happened) give each link's activity span: the profiler derives
+    pipeline fill/drain latency and per-layer activity windows from them
+    without sampling every cycle.
+    """
 
     total_pushed: int = 0
     total_popped: int = 0
     high_water: int = 0
     full_stall_cycles: int = 0
     empty_stall_cycles: int = 0
+    first_push_cycle: int = -1
+    last_push_cycle: int = -1
+    first_pop_cycle: int = -1
+    last_pop_cycle: int = -1
 
     def as_dict(self) -> dict:
         """Return the statistics as a plain dictionary."""
@@ -45,7 +55,21 @@ class ChannelStats:
             "high_water": self.high_water,
             "full_stall_cycles": self.full_stall_cycles,
             "empty_stall_cycles": self.empty_stall_cycles,
+            "first_push_cycle": self.first_push_cycle,
+            "last_push_cycle": self.last_push_cycle,
+            "first_pop_cycle": self.first_pop_cycle,
+            "last_pop_cycle": self.last_pop_cycle,
         }
+
+
+class _NullClock:
+    """Stand-in clock for channels used outside an engine (cycle 0)."""
+
+    __slots__ = ()
+    cycle = 0
+
+
+_NULL_CLOCK = _NullClock()
 
 
 class Channel:
@@ -78,6 +102,7 @@ class Channel:
         "_pop_wait_desc",
         "_push_wait_desc",
         "_fault",
+        "_clock",
     )
 
     def __init__(self, name: str, capacity: Optional[int] = None):
@@ -111,6 +136,11 @@ class Channel:
         # or mutate the staged beats (corruption). None on the no-fault
         # hot path, like `_touched`.
         self._fault: Optional[object] = None
+        # Whoever owns the clock: both engines install themselves here so
+        # push/pop can stamp first/last beat cycles with two attribute
+        # loads and no callback. The null clock reads cycle 0 for channels
+        # exercised outside a simulation (unit tests, functional executor).
+        self._clock = _NULL_CLOCK
 
     # -- binding ---------------------------------------------------------
 
@@ -188,7 +218,12 @@ class Channel:
             )
         self._staged.append(value)
         self._pushed_this_cycle = 1
-        self.stats.total_pushed += 1
+        stats = self.stats
+        stats.total_pushed += 1
+        c = self._clock.cycle
+        if stats.first_push_cycle < 0:
+            stats.first_push_cycle = c
+        stats.last_push_cycle = c
         touched = self._touched
         if touched is not None:
             touched.add(self)
@@ -201,7 +236,12 @@ class Channel:
                 f"(visible occupancy {self._occ_at_cycle_start})"
             )
         self._popped_this_cycle = 1
-        self.stats.total_popped += 1
+        stats = self.stats
+        stats.total_popped += 1
+        c = self._clock.cycle
+        if stats.first_pop_cycle < 0:
+            stats.first_pop_cycle = c
+        stats.last_pop_cycle = c
         touched = self._touched
         if touched is not None:
             touched.add(self)

@@ -52,6 +52,7 @@ from heapq import heappop, heappush
 from typing import Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.dataflow.actor import Actor
+from repro.dataflow.counters import ProcCounters, actor_stats_dict
 from repro.dataflow.events import (
     CHARGE_EACH,
     CHARGE_NONE,
@@ -100,8 +101,13 @@ class LockstepEngine:
         self.cycle = 0
         self._stall = 0
         self._actor_plan = _actor_plan_of(sim)
-        self._live: List[Tuple[Actor, Generator]] = [
-            (a, gen) for a in sim.actors for gen in a.processes()
+        self._live: List[Tuple[Actor, Generator, ProcCounters]] = [
+            (a, gen, ProcCounters()) for a in sim.actors for gen in a.processes()
+        ]
+        #: Full (actor, counters) roster, surviving process completion, for
+        #: the end-of-run actor_stats report.
+        self._counters: List[Tuple[Actor, ProcCounters]] = [
+            (a, cnt) for a, _, cnt in self._live
         ]
         # Make sure no event-engine hooks linger from a previous engine on
         # the same graph: descriptors must be inert under lock-step.
@@ -109,31 +115,58 @@ class LockstepEngine:
             ch._touched = None
             ch._pop_waiters.clear()
             ch._push_waiters.clear()
+            ch._clock = self
 
     def _nondaemon_live(self) -> bool:
-        return any(not a.daemon for a, _ in self._live)
+        return any(not a.daemon for a, _, _ in self._live)
 
     def _step(self) -> None:
         """One cycle: commit all channels, resume all processes, trace."""
         sim = self.sim
         for ch in sim.channels:
             ch.begin_cycle()
-        still: List[Tuple[Actor, Generator]] = []
+        still: List[Tuple[Actor, Generator, ProcCounters]] = []
         plan = self._actor_plan
-        for actor, proc in self._live:
+        for actor, proc, cnt in self._live:
             if plan is not None and plan.free_cycle(actor.name, self.cycle) > self.cycle:
-                still.append((actor, proc))  # stalled by an injected fault
+                still.append((actor, proc, cnt))  # stalled by an injected fault
                 continue
             actor.now = self.cycle
             try:
-                next(proc)
+                y = next(proc)
             except StopIteration:
+                cnt.end_cycle = self.cycle
                 continue
-            still.append((actor, proc))
+            # Native stall classification: one yield per executed cycle,
+            # so counting blocked descriptors here reproduces exactly what
+            # the event engine charges as park/wake spans.
+            if y is not None:
+                t = type(y)
+                if t is ChannelWait:
+                    cnt.stalled_channel += 1
+                elif t is WaitCycles:
+                    cnt.stalled_timer += 1
+                elif t is GateWait:
+                    cnt.stalled_gate += 1
+            still.append((actor, proc, cnt))
         self._live = still
         if sim.tracer is not None:
             sim.tracer.record(self.cycle, sim.actors, sim.channels)
         self.cycle += 1
+
+    def actor_stats(self) -> Dict[str, List[dict]]:
+        """Per-actor, per-process counter report (see ProcCounters)."""
+        return actor_stats_dict(self._counters, self.cycle)
+
+    def scheduler_stats(self) -> dict:
+        """Engine-specific scheduling metrics (not part of equivalence)."""
+        return {
+            "scheduler": "lockstep",
+            "executed_cycles": self.cycle,
+            "skipped_cycles": 0,
+            "parks": 0,
+            "wakeups": 0,
+        }
 
     def _check_stall(self) -> None:
         if not self._nondaemon_live():
@@ -146,7 +179,7 @@ class LockstepEngine:
             self._stall += 1
             if self._stall >= self.sim.stall_limit:
                 raise DeadlockError(
-                    self.cycle, blocked_snapshot(a for a, _ in self._live)
+                    self.cycle, blocked_snapshot(a for a, _, _ in self._live)
                 )
         else:
             self._stall = 0
@@ -177,7 +210,7 @@ class LockstepEngine:
 class _Proc:
     """One live generator: its actor, stable resumption rank, liveness."""
 
-    __slots__ = ("actor", "gen", "seq", "alive", "key")
+    __slots__ = ("actor", "gen", "seq", "alive", "key", "cnt")
 
     def __init__(self, actor: Actor, gen: Generator, seq: int):
         self.actor = actor
@@ -187,6 +220,7 @@ class _Proc:
         #: Preallocated run-list entry; scheduling containers reuse it so
         #: the hot loop never builds tuples.
         self.key = (seq, self)
+        self.cnt = ProcCounters()
 
 
 class _WaitRec:
@@ -197,13 +231,20 @@ class _WaitRec:
     blocked); ``pending`` counts the ``None`` entries. The record wakes when
     ``pending`` hits zero, at which point the stall cycles the lock-step
     loop would have recorded are charged retroactively from ``ready``.
+
+    ``park`` and ``apark`` start equal but rebase differently at an
+    end-of-run flush: channel charging owes ``ready - park - 1`` (the
+    actor's loop charged the park cycle itself before yielding) and
+    rebases to ``end - 1``, while the actor's own stall counter owes the
+    full ``wake - apark`` span and rebases to ``end``.
     """
 
-    __slots__ = ("proc", "park", "conds", "charge", "ready", "pending")
+    __slots__ = ("proc", "park", "apark", "conds", "charge", "ready", "pending")
 
     def __init__(self, proc: _Proc, park: int, conds, charge: int):
         self.proc = proc
         self.park = park
+        self.apark = park
         self.conds = conds
         self.charge = charge
         self.ready: List[Optional[int]] = [None] * len(conds)
@@ -242,8 +283,18 @@ class EventEngine:
         self._active: set = set()
         self._current: List[Tuple[int, _Proc]] = []
         self._next_ready: List[_Proc] = []
-        self._timers: List[Tuple[int, int, _Proc]] = []
+        # Timer heap entries are (wake_cycle, seq, proc, park_cycle); the
+        # park cycle pays the proc's stalled_timer charge when the timer
+        # fires. Entries pushed by the fault plan's resumption deferral
+        # carry park=None: a deferred resumption is not a stall the
+        # lock-step loop would have counted (it skips the resumption too).
+        self._timers: List[Tuple[int, int, _Proc, Optional[int]]] = []
         self._parked: set = set()
+        #: Gates that ever parked a waiter, for the end-of-run flush.
+        self._gates: set = set()
+        self._executed = 0
+        self._parks = 0
+        self._wakeups = 0
         self._procs: List[_Proc] = []
         for a in sim.actors:
             for gen in a.processes():
@@ -257,6 +308,7 @@ class EventEngine:
             ch._touched = self._active
             ch._pop_waiters.clear()
             ch._push_waiters.clear()
+            ch._clock = self
         # Cycle 0 commits every channel (pre-staged values, initial
         # high-water marks), exactly like the lock-step loop's first cycle.
         self._active.update(sim.channels)
@@ -267,6 +319,11 @@ class EventEngine:
         # The hottest loop in the whole reproduction: every simulated beat of
         # every benchmark passes through here, hence the inlined dispatch,
         # exact type checks and local bindings.
+        # Publish the executing cycle before any channel work: push/pop
+        # stamp their first/last beats off this attribute (the caller sets
+        # cycle back to c + 1 on return, preserving "next to execute").
+        self.cycle = c
+        self._executed += 1
         current = self._current
         active = self._active
         if active:
@@ -294,7 +351,11 @@ class EventEngine:
         timers = self._timers
         if timers and timers[0][0] <= c:
             while timers and timers[0][0] <= c:
-                current.append(heappop(timers)[2].key)
+                _w, _s, p, park = heappop(timers)
+                if park is not None:
+                    p.cnt.stalled_timer += c - park
+                    self._wakeups += 1
+                current.append(p.key)
         current.sort()
         nr_append = nr.append
         plan = self._actor_plan
@@ -309,7 +370,7 @@ class EventEngine:
                 # so both engines release the actor on the same cycle).
                 wake = plan.free_cycle(p.actor.name, c)
                 if wake > c:
-                    heappush(timers, (wake, seq, p))
+                    heappush(timers, (wake, seq, p, None))
                     continue
             self._cur_seq = seq
             p.actor.now = c
@@ -317,6 +378,7 @@ class EventEngine:
                 y = next(p.gen)
             except StopIteration:
                 p.alive = False
+                p.cnt.end_cycle = c
                 self._live_total -= 1
                 if not p.actor.daemon:
                     self._live_nondaemon -= 1
@@ -327,12 +389,15 @@ class EventEngine:
                 self._park(p, y, c)
             elif type(y) is WaitCycles:
                 n = y.cycles
-                heappush(timers, (c + (n if n >= 1 else 1), seq, p))
+                heappush(timers, (c + (n if n >= 1 else 1), seq, p, c))
+                self._parks += 1
             elif type(y) is GateWait:
                 gate = y.gate
                 if gate._engine is not self:
                     gate._engine = self
-                gate._waiters.append(p)
+                    self._gates.add(gate)
+                gate._waiters.append((p, c))
+                self._parks += 1
             else:
                 self._reject(p, y)
         self._in_cycle = False
@@ -362,11 +427,14 @@ class EventEngine:
                 )
         if pending == 0:
             # Everything is already satisfiable: behave like a bare yield
-            # (the actor's loop re-checks and proceeds next cycle).
+            # (the actor's loop re-checks and proceeds next cycle). The
+            # lock-step loop still saw one blocked-descriptor yield.
+            p.cnt.stalled_channel += 1
             self._next_ready.append(p)
             return
         rec.pending = pending
         self._parked.add(rec)
+        self._parks += 1
 
     def _satisfy(self, waiters: List[tuple], c: int) -> None:
         # Phase 1 only: _current is still under construction (sorted later).
@@ -377,6 +445,10 @@ class EventEngine:
                 if rec.pending == 0:
                     self._parked.discard(rec)
                     self._apply_charges(rec, c)
+                    # The lock-step loop yielded the descriptor on every
+                    # cycle of the park span (the wake cycle itself fires).
+                    rec.proc.cnt.stalled_channel += c - rec.apark
+                    self._wakeups += 1
                     self._current.append(rec.proc.key)
 
     def _gate_notify(self, gate) -> None:
@@ -384,19 +456,27 @@ class EventEngine:
 
         Mirrors lock-step shared-memory visibility: a process later in the
         resumption order sees this cycle's mutation in its own slice, an
-        earlier one only next cycle.
+        earlier one only next cycle. The stall charge mirrors that split:
+        a same-cycle waker's lock-step twin last yielded ``GateWait`` at
+        ``c - 1`` (at ``c`` it runs after the notifier and proceeds), so
+        it owes ``c - park`` yields; a next-cycle waker ran *before* the
+        notifier at ``c``, yielded once more, and owes ``c + 1 - park``.
         """
         waiters = gate._waiters
         gate._waiters = []
         cur = self._cur_seq if self._in_cycle else -1
-        for p in waiters:
+        c = self.cycle
+        for p, park in waiters:
             if not p.alive:
                 continue
+            self._wakeups += 1
             if p.seq > cur:
                 # Insert into the still-unconsumed tail of the run list
                 # (every consumed entry has seq <= cur < p.seq).
+                p.cnt.stalled_gate += c - park
                 insort(self._current, p.key)
             else:
+                p.cnt.stalled_gate += c + 1 - park
                 self._next_ready.append(p)
 
     # -- retroactive stall accounting --------------------------------------
@@ -449,6 +529,49 @@ class EventEngine:
         for rec in self._parked:
             self._apply_charges(rec, end)
             rec.park = rebase
+            # Actor-side counter: a lock-step twin yielded the descriptor
+            # on every executed cycle apark..end-1; rebase to end so a
+            # continuation charges from there.
+            rec.proc.cnt.stalled_channel += end - rec.apark
+            rec.apark = end
+        for gate in self._gates:
+            waiters = gate._waiters
+            if waiters:
+                gate._waiters = [
+                    (p, end) for p, park in waiters if p.alive
+                ]
+                for p, park in waiters:
+                    if p.alive:
+                        p.cnt.stalled_gate += end - park
+        if self._timers:
+            # Rebase pending timer parks; the (wake, seq) heap keys are
+            # untouched, so the list stays a valid heap. Plan-deferral
+            # entries (park=None) are never charged.
+            timers = []
+            for wake, seq, p, park in self._timers:
+                if park is not None:
+                    p.cnt.stalled_timer += end - park
+                    park = end
+                timers.append((wake, seq, p, park))
+            self._timers = timers
+
+    # -- counter reports ---------------------------------------------------
+
+    def actor_stats(self) -> Dict[str, List[dict]]:
+        """Per-actor, per-process counter report (see ProcCounters)."""
+        return actor_stats_dict(
+            [(p.actor, p.cnt) for p in self._procs], self.cycle
+        )
+
+    def scheduler_stats(self) -> dict:
+        """Engine-specific scheduling metrics (not part of equivalence)."""
+        return {
+            "scheduler": "event",
+            "executed_cycles": self._executed,
+            "skipped_cycles": self.cycle - self._executed,
+            "parks": self._parks,
+            "wakeups": self._wakeups,
+        }
 
     # -- clock advance and stall/deadlock policy ---------------------------
 

@@ -25,24 +25,48 @@ no channel activity) instead of after ``stall_limit`` idle cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import ClassVar, Dict, Sequence
 
 from repro.dataflow.actor import Actor
 from repro.dataflow.channel import Channel
 from repro.dataflow.scheduler import EventEngine, LockstepEngine
 from repro.errors import ConfigurationError, SimulationError
+from repro.report.base import Report
 
 #: Engine name -> engine class (see :mod:`repro.dataflow.scheduler`).
 SCHEDULERS = {"event": EventEngine, "lockstep": LockstepEngine}
 
 
 @dataclass
-class SimulationResult:
-    """Outcome of a simulation run."""
+class SimulationResult(Report):
+    """Outcome of a simulation run.
 
-    cycles: int
-    finished: bool
+    ``actor_stats`` maps actor name to one counter dict per process (see
+    :class:`~repro.dataflow.counters.ProcCounters`): fires, per-kind
+    stall cycles, lifetime. ``scheduler_stats`` carries engine-specific
+    scheduling metrics (parks, wakeups, executed vs skipped cycles) and
+    is *not* part of the cross-engine equivalence contract.
+    """
+
+    kind: ClassVar[str] = "simulation"
+
+    cycles: int = 0
+    finished: bool = False
     channel_stats: Dict[str, dict] = field(default_factory=dict)
+    actor_stats: Dict[str, list] = field(default_factory=dict)
+    scheduler_stats: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "finished": self.finished,
+            "channel_stats": self.channel_stats,
+            "actor_stats": self.actor_stats,
+            "scheduler_stats": self.scheduler_stats,
+        }
+
+    def summary(self) -> str:
+        return str(self)
 
     def __str__(self) -> str:
         state = "finished" if self.finished else "stopped"
@@ -135,10 +159,13 @@ class Simulator:
 
     def _result(self, cycles: int, finished: bool) -> SimulationResult:
         """Engine callback packaging the run outcome with channel stats."""
+        engine = self._engine
         return SimulationResult(
             cycles=cycles,
             finished=finished,
             channel_stats={ch.name: ch.stats.as_dict() for ch in self.channels},
+            actor_stats=engine.actor_stats(),
+            scheduler_stats=engine.scheduler_stats(),
         )
 
     def run(self, max_cycles: int = 10_000_000, until=None) -> SimulationResult:

@@ -12,6 +12,15 @@ samples it derives:
 * a Value Change Dump (``.vcd``) of channel occupancies viewable in any
   waveform viewer (GTKWave etc.).
 
+The tracer is the *optional high-resolution backend* of the profiling
+stack: the always-on native counters (:mod:`repro.dataflow.counters`)
+already give every whole-run quantity for free — per-process fire/stall
+splits, channel high-water marks and activity spans —
+and :func:`counter_busy_fractions` derives whole-run utilization from
+them with no tracer attached. Attach a :class:`Tracer` only to refine
+the same quantities over arbitrary cycle windows
+(:meth:`Tracer.busy_fraction`) or to see per-cycle occupancy waveforms.
+
 Tracing costs a Python callback per cycle; attach it only when inspecting.
 With a tracer attached, the event scheduler disables bulk cycle-skipping
 and executes every cycle sequentially (it still parks blocked actors), so
@@ -27,6 +36,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.dataflow.actor import Actor
 from repro.dataflow.channel import Channel
 from repro.errors import ConfigurationError
+
+
+def counter_busy_fractions(
+    actor_stats: Dict[str, List[dict]], cycles: int
+) -> Dict[str, float]:
+    """Whole-run busy fraction per actor from the native counters alone.
+
+    An actor's busiest process fires once per productive cycle, so
+    ``fires / cycles`` is the sampling-free equivalent of
+    :meth:`Tracer.busy_fraction` over the full run (the tracer refines
+    this to arbitrary windows). ``actor_stats`` is the
+    ``SimulationResult.actor_stats`` mapping.
+    """
+    if cycles <= 0:
+        return {name: 0.0 for name in actor_stats}
+    return {
+        name: max(p["fires"] for p in procs) / cycles
+        for name, procs in actor_stats.items()
+        if procs
+    }
 
 
 class Tracer:

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import hashlib
 import re
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import ClassVar, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +44,7 @@ from repro.dataflow.deadlock import match_deadlock_diagnostics
 from repro.errors import ConfigurationError, DeadlockError, ReproError
 from repro.faults.injectors import ArmedFaults, arm_faults
 from repro.faults.scenario import FaultScenario, FifoShrink
+from repro.report.base import Report
 
 #: Above this many parameters a design is cycle-simulated as a pilot.
 PILOT_WEIGHT_LIMIT = 2_000_000
@@ -275,6 +277,98 @@ def run_design(
     )
 
 
+# -- report wrappers ---------------------------------------------------------
+
+
+class _MappingReport(Report, Mapping):
+    """A dict-shaped report behind the shared envelope.
+
+    Implements :class:`collections.abc.Mapping`, so every pre-envelope
+    consumer that indexed the plain dict (``report["ok"]``,
+    ``report.get("verdict")``, iteration) keeps working unchanged; the
+    data is read-only from the outside.
+    """
+
+    def __init__(self, data: Dict):
+        self._data = data
+
+    def __getitem__(self, key: str):
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def to_dict(self) -> Dict:
+        return dict(self._data)
+
+
+class FaultRunReport(_MappingReport):
+    """One (design, scenario, seed) faultsim experiment."""
+
+    kind: ClassVar[str] = "faultsim"
+
+    def summary(self) -> str:
+        d = self._data
+        return (
+            f"faultsim {d['design']}/{d['scenario']['name']} "
+            f"seed {d['seed']}: {d['verdict']}"
+        )
+
+
+class CampaignReport(_MappingReport):
+    """A designs x scenarios x seeds fault-campaign summary."""
+
+    kind: ClassVar[str] = "fault-campaign"
+
+    def to_dict(self) -> Dict:
+        d = dict(self._data)
+        d["runs"] = [r.envelope() for r in self._data["runs"]]
+        return d
+
+    def summary(self) -> str:
+        d = self._data
+        state = "ok" if d["ok"] else "FAILED"
+        return (
+            f"fault campaign: {d['passed']}/{d['experiments']} passed "
+            f"({state})"
+        )
+
+
+def _stall_delta(clean: RunOutcome, faulty: RunOutcome, top: int = 5) -> dict:
+    """Per-channel stall-cycle shift the fault scenario introduced.
+
+    Comes straight from the schedulers' native channel counters: how many
+    extra full/empty stall cycles the faulty run paid over the clean one,
+    and which channels absorbed the hit.
+    """
+
+    def per_channel(outcome: RunOutcome) -> Dict[str, Tuple[int, int]]:
+        return {
+            name: (ch.stats.full_stall_cycles, ch.stats.empty_stall_cycles)
+            for name, ch in outcome.built.graph.channels.items()
+        }
+
+    c, f = per_channel(clean), per_channel(faulty)
+    deltas = {
+        name: (f[name][0] - c.get(name, (0, 0))[0])
+        + (f[name][1] - c.get(name, (0, 0))[1])
+        for name in f
+    }
+    hot = sorted(deltas.items(), key=lambda kv: -abs(kv[1]))[:top]
+    return {
+        "full_delta": sum(fv[0] for fv in f.values())
+        - sum(cv[0] for cv in c.values()),
+        "empty_delta": sum(fv[1] for fv in f.values())
+        - sum(cv[1] for cv in c.values()),
+        "clean_total": sum(cv[0] + cv[1] for cv in c.values()),
+        "faulty_total": sum(fv[0] + fv[1] for fv in f.values()),
+        "top_channels": [[name, delta] for name, delta in hot if delta],
+    }
+
+
 # -- the faultsim experiment -------------------------------------------------
 
 
@@ -325,7 +419,7 @@ def faultsim(
     stall_limit: int = 10_000,
     pilot: Optional[bool] = None,
     _clean_cache: Optional[Dict] = None,
-) -> dict:
+) -> FaultRunReport:
     """One experiment: clean run vs faulted run, verdict, JSON report.
 
     ``pilot`` forces (True) or forbids (False) the pilot downscale; the
@@ -365,6 +459,7 @@ def faultsim(
         "memory_system": memory_system,
         "clean": clean.to_dict(),
         "faulty": faulty.to_dict(),
+        "stall_delta": _stall_delta(clean, faulty),
     }
     if clean.finished and faulty.finished:
         report["cycle_overhead"] = faulty.cycles - clean.cycles
@@ -403,7 +498,7 @@ def faultsim(
             report["verdict"] = "CORRUPTION_MISSED"
             report["ok"] = False
         report["invariant"] = "corruption_detected"
-    return report
+    return FaultRunReport(report)
 
 
 def run_campaign(
@@ -412,15 +507,16 @@ def run_campaign(
     seeds: Sequence[int],
     images: int = 2,
     scheduler: str = "event",
-) -> dict:
+) -> CampaignReport:
     """Sweep designs x scenarios x seeds; one report per experiment.
 
     Clean runs are cached per (design, seed) so an N-scenario campaign
-    pays for each baseline once. Returns a summary dict with the full
-    report list and an overall ``ok``.
+    pays for each baseline once. Returns a :class:`CampaignReport` (a
+    read-only mapping) with the full report list, a per-scenario stall
+    aggregate, and an overall ``ok``.
     """
     cache: Dict = {}
-    runs: List[dict] = []
+    runs: List[FaultRunReport] = []
     for name, design in designs:
         for scenario in scenarios:
             for seed in seeds:
@@ -431,10 +527,27 @@ def run_campaign(
                     )
                 )
     failed = [r for r in runs if not r.get("ok")]
-    return {
-        "experiments": len(runs),
-        "passed": len(runs) - len(failed),
-        "failed": len(failed),
-        "ok": not failed,
-        "runs": runs,
+    by_scenario: Dict[str, List[int]] = {}
+    for r in runs:
+        delta = r["stall_delta"]
+        by_scenario.setdefault(r["scenario"]["name"], []).append(
+            delta["full_delta"] + delta["empty_delta"]
+        )
+    stall_deltas = {
+        name: {
+            "experiments": len(vals),
+            "mean_total_delta": round(sum(vals) / len(vals), 1),
+            "max_total_delta": max(vals),
+        }
+        for name, vals in sorted(by_scenario.items())
     }
+    return CampaignReport(
+        {
+            "experiments": len(runs),
+            "passed": len(runs) - len(failed),
+            "failed": len(failed),
+            "ok": not failed,
+            "stall_deltas": stall_deltas,
+            "runs": runs,
+        }
+    )

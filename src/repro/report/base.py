@@ -1,0 +1,51 @@
+"""Shared report envelope: one JSON shape for every CLI-facing output.
+
+Every report the toolchain can emit — simulation results, static-analysis
+diagnostics, fault-campaign summaries, profiles — derives from
+:class:`Report` and serialises through the same envelope::
+
+    {"schema_version": 1, "kind": "<report kind>", ...payload...}
+
+The payload is merged at the top level (not nested under a key) so that
+pre-envelope consumers indexing ``d["ok"]`` / ``d["design"]`` keep
+working; ``schema_version`` lets them detect shape changes from here on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, ClassVar, Dict
+
+#: Bump when any report's JSON shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class Report:
+    """Base class for every serialisable report.
+
+    Subclasses set :attr:`kind` and implement :meth:`to_dict` (plain,
+    JSON-serialisable payload) and :meth:`summary` (one-line human
+    digest). :meth:`envelope` / :meth:`to_json` are shared.
+    """
+
+    kind: ClassVar[str] = "report"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict payload; must be JSON-serialisable."""
+        raise NotImplementedError
+
+    def summary(self) -> str:
+        """One-line human-readable digest of the report."""
+        return f"{self.kind} report"
+
+    def envelope(self) -> Dict[str, Any]:
+        """Payload wrapped with the shared version/kind header."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": self.kind,
+            **self.to_dict(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The envelope as a JSON string."""
+        return json.dumps(self.envelope(), indent=indent)

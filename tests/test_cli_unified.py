@@ -1,0 +1,83 @@
+"""Unified CLI surface: shared --design/--json/--seed flags and `profile`."""
+
+import json
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestUnifiedFlags:
+    def test_design_flag_on_check(self, capsys):
+        code, out, err = run_cli(capsys, "check", "--design", "tiny")
+        assert code == 0
+        assert "repro check: tiny" in out
+        assert "deprecated" not in err
+
+    def test_positional_design_deprecated_but_works(self, capsys):
+        code, out, err = run_cli(capsys, "check", "tiny")
+        assert code == 0
+        assert "repro check: tiny" in out
+        assert "deprecated" in err
+
+    def test_conflicting_spellings_rejected(self, capsys):
+        code, _, err = run_cli(capsys, "check", "tiny", "--design", "usps")
+        assert code == 1
+        assert "conflicts" in err
+
+    def test_flow_requires_design(self, capsys):
+        code, _, err = run_cli(capsys, "flow")
+        assert code == 1
+        assert "design is required" in err
+
+    def test_faultsim_design_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "faultsim", "--design", "tiny", "--images", "1"
+        )
+        assert code == 0
+        assert "fault injection: tiny" in out
+
+    def test_faultsim_json_envelope(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        code, _, _ = run_cli(
+            capsys, "faultsim", "--design", "tiny", "--images", "1",
+            "--json", str(path),
+        )
+        assert code == 0
+        d = json.loads(path.read_text())
+        assert d["schema_version"] == 1
+        assert d["kind"] == "faultsim"
+
+
+class TestProfileCommand:
+    def test_profile_text(self, capsys):
+        code, out, _ = run_cli(capsys, "profile", "--design", "tiny")
+        assert code == 0
+        assert "profile: tiny" in out
+        assert "Eq.4" in out
+        assert "bottleneck" in out
+
+    def test_profile_json_and_trace(self, capsys, tmp_path):
+        jpath = tmp_path / "profile.json"
+        tpath = tmp_path / "trace.json"
+        code, _, _ = run_cli(
+            capsys, "profile", "--design", "tiny", "--images", "2",
+            "--json", str(jpath), "--chrome-trace", str(tpath),
+        )
+        assert code == 0
+        d = json.loads(jpath.read_text())
+        assert d["kind"] == "profile" and d["cores"]
+        trace = json.loads(tpath.read_text())
+        assert trace["traceEvents"]
+
+    def test_profile_lockstep_scheduler(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "profile", "--design", "tiny", "--scheduler", "lockstep",
+            "--images", "2",
+        )
+        assert code == 0
+        assert "lockstep" in out
