@@ -354,7 +354,7 @@ def _cmd_flow(args) -> str:
 
     design_arg = _resolve_design(args)
     res = run_flow(design_arg, seed=args.seed, output_dir=args.out,
-                   epochs=args.epochs)
+                   epochs=args.epochs, scheduler=args.scheduler)
     if args.json:
         import json
 
@@ -472,8 +472,11 @@ def build_parser() -> argparse.ArgumentParser:
              "or scenario JSON path",
     )
     fault.add_argument("--images", type=int, default=2)
-    fault.add_argument("--scheduler", choices=["event", "lockstep"],
-                       default="event")
+    fault.add_argument("--scheduler",
+                       choices=["event", "lockstep", "compiled"],
+                       default="event",
+                       help="simulation engine; 'compiled' is rejected "
+                            "(faults require an interpreted engine)")
     fault.add_argument("--memory-system", choices=["behavioral", "literal"],
                        default="behavioral",
                        help="shrink scenarios force 'literal'")
@@ -500,6 +503,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     flow.add_argument("--out", default=None, help="artifact output directory")
     flow.add_argument("--epochs", type=int, default=None)
+    flow.add_argument("--scheduler",
+                      choices=["event", "lockstep", "compiled"],
+                      default=None,
+                      help="run the layerwise verification cycle-timed on "
+                           "this engine (default: untimed functional "
+                           "execution)")
     flow.set_defaults(fn=_cmd_flow)
     profile = sub.add_parser(
         "profile", parents=[common],
@@ -507,8 +516,12 @@ def build_parser() -> argparse.ArgumentParser:
              "vs the Eq. 4 performance model",
     )
     profile.add_argument("--images", type=int, default=3)
-    profile.add_argument("--scheduler", choices=["event", "lockstep"],
-                         default="event")
+    profile.add_argument("--scheduler",
+                         choices=["event", "lockstep", "compiled"],
+                         default="event",
+                         help="simulation engine; 'compiled' runs the fused "
+                              "steady-state kernels (falls back to 'event' "
+                              "with a warning if the graph cannot compile)")
     profile.add_argument("--sample-every", type=int, default=None,
                          metavar="N",
                          help="attach the high-resolution tracer backend "

@@ -1,0 +1,153 @@
+"""The compiled steady-state engine.
+
+Third simulation engine next to ``"event"`` and ``"lockstep"``
+(:mod:`repro.dataflow.scheduler`): instead of interpreting actor
+processes cycle by cycle, it compiles a *verified* design graph down to
+a handful of fused numpy kernels and executes whole streams at once.
+
+Two passes keep the fallback contract clean:
+
+* **compile** (at engine construction): the strict-only gate — a
+  :class:`~repro.core.network_design.NetworkDesign` must be attached to
+  the graph, no tracer may be installed, the static verifier
+  (:func:`repro.analysis.analyze_design`) must pass — followed by
+  :func:`~repro.analysis.steady_state.extract_schedule`, which solves
+  rates, closed-form fires, and the analytic timing frame. Everything
+  that can refuse, refuses here, before any actor or channel state is
+  touched, so the simulator can transparently fall back to the event
+  engine on :class:`~repro.errors.CompilationError`.
+* **execute** (at :meth:`run`): the fused kernels
+  (:mod:`repro.compiled.kernels`) stream every channel's full beat
+  sequence through the pipeline in topological order; only then are the
+  sink and channel statistics mutated.
+
+The equivalence contract with the interpreted engines covers values
+(sink stream, hence output digests), per-process ``fires`` (hence
+measured II and bottleneck attribution), and channel beat totals. Cycle
+timing is *modeled* (the perf-model steady state: completions at
+``fill + i * interval``) rather than measured — by construction it
+matches the prediction the profiler checks measurements against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis import analyze_design
+from repro.analysis.steady_state import (
+    SteadySchedule,
+    extract_schedule,
+    port_maps,
+)
+from repro.compiled.kernels import run_kernels
+from repro.compiled.numba_support import backend_name
+from repro.dataflow.actors import ArraySource, ListSink
+from repro.errors import CompilationError, ConfigurationError, SimulationError
+from repro.profiling.synthesis import (
+    synthesize_actor_stats,
+    synthesize_channel_stats,
+)
+
+
+class CompiledFallbackWarning(UserWarning):
+    """``scheduler="compiled"`` fell back to the interpreted event engine."""
+
+
+class CompiledEngine:
+    """Steady-state execution of one verified design graph.
+
+    Satisfies the engine protocol of
+    :class:`~repro.dataflow.simulator.Simulator` (``cycle``, ``run``,
+    ``run_cycles``, ``actor_stats``, ``scheduler_stats``) with two
+    restrictions, both rejected with :class:`ConfigurationError`:
+    ``run_cycles`` / ``run(until=...)`` (no partial execution — the run
+    is a single fused pass) and armed faults (checked by the factory in
+    :mod:`repro.dataflow.simulator` before this class is reached).
+    """
+
+    name = "compiled"
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.cycle = 0
+        self._ran = False
+
+        if sim.tracer is not None:
+            raise CompilationError(
+                "a tracer is attached; tracing samples interpreted "
+                "execution and cannot observe a compiled run"
+            )
+        design = getattr(sim, "design", None)
+        if design is None:
+            raise CompilationError(
+                "the graph carries no NetworkDesign (hand-built graphs "
+                "cannot be compiled; build via repro.core.builder)"
+            )
+        report = analyze_design(design)
+        if not report.ok:
+            rules = ", ".join(report.error_rules())
+            raise CompilationError(
+                f"design {design.name!r} fails static verification "
+                f"({len(report.errors)} error(s) [{rules}]); only designs "
+                f"that pass `repro check` compile"
+            )
+        self.design = design
+        self.schedule: SteadySchedule = extract_schedule(
+            sim.actors, sim.channels, design
+        )
+        self._in_ports, self._out_ports = port_maps(sim.actors, sim.channels)
+        sources = [a for a in sim.actors if type(a) is ArraySource]
+        sinks = [a for a in sim.actors if type(a) is ListSink]
+        self._source, self._sink = sources[0], sinks[0]
+
+    # -- engine protocol ---------------------------------------------------
+
+    def run(self, max_cycles: int = 10_000_000, until=None):
+        if until is not None:
+            raise ConfigurationError(
+                "the compiled engine runs to completion in one pass and "
+                "cannot stop on an `until` predicate; use the 'event' or "
+                "'lockstep' engine for early stopping"
+            )
+        sched = self.schedule
+        if sched.cycles > max_cycles:
+            raise SimulationError(
+                f"compiled run of {self.design.name!r} spans "
+                f"{sched.cycles} modeled cycles, exceeding "
+                f"max_cycles={max_cycles}"
+            )
+        if not self._ran:
+            run_kernels(
+                self.sim.actors, self._in_ports, self._out_ports, sched.order
+            )
+            # Modeled output timing: each image's last beat lands at its
+            # perf-model completion cycle, earlier beats back-to-back.
+            # interval >= per-image output beats, so images never overlap.
+            ts = self._sink.timestamps
+            for done in sched.completions:
+                ts.extend(range(done - sched.per_image_out + 1, done + 1))
+            synthesize_channel_stats(
+                sched, self.sim.channels, self._source.name
+            )
+            self.cycle = sched.cycles
+            self._ran = True
+        return self.sim._result(self.cycle, True)
+
+    def run_cycles(self, n: int) -> int:
+        raise ConfigurationError(
+            "the compiled engine cannot single-step; use the 'event' or "
+            "'lockstep' engine for run_cycles debugging"
+        )
+
+    def actor_stats(self) -> Dict[str, list]:
+        return synthesize_actor_stats(self.schedule)
+
+    def scheduler_stats(self) -> Dict[str, object]:
+        return {
+            "scheduler": "compiled",
+            "backend": backend_name(),
+            "executed_cycles": 0,
+            "skipped_cycles": self.cycle,
+            "parks": 0,
+            "wakeups": 0,
+        }

@@ -1,0 +1,379 @@
+"""Fused, bit-exact vectorized kernels for the compiled engine.
+
+Each kernel consumes an actor's *entire* input streams as numpy arrays
+(scalars as ``(n,)`` float32 lanes, windows as ``(n, kh, kw)`` stacks)
+and produces its entire output streams in one pass, batching over the
+``images x coordinates`` lanes of the steady-state schedule.
+
+Bit-exactness with the interpreted engines is a hard contract, kept by
+reproducing the per-beat association order exactly:
+
+* the conv kernel runs the same batched product tree
+  (``tree_reduce(w_all * wins)``) and the same sequential per-group
+  accumulation chain the actor runs per coordinate — only the
+  coordinate axis is batched, and float32 elementwise ops are
+  bit-identical across broadcast shapes;
+* the FC kernel replays the interleaved-lane MAC recurrence input by
+  input (lane ``i % acc_lanes``), rounding to float32 after each step
+  exactly like the actor, then tree-combines the lanes;
+* pool/activation/softmax are elementwise or per-row reductions whose
+  numpy reduction order over the trailing axis is the same for one row
+  or a batch of rows.
+
+Kernels validate stream lengths against the extracted schedule as they
+go; a mismatch is a :class:`~repro.errors.CompilationError` (the graph
+was not in steady state after all).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.config import DTYPE
+from repro.core.compute_core import ConvCoreActor
+from repro.core.fc_core import FCCoreActor
+from repro.core.norm_core import NormalizationActor
+from repro.core.pool_core import PoolCoreActor
+from repro.dataflow.actors import (
+    ArraySource,
+    FifoStage,
+    Fork,
+    Interleaver,
+    ListSink,
+    MapActor,
+    ScheduleDemux,
+)
+from repro.errors import CompilationError
+from repro.hls.tree_adder import tree_reduce
+from repro.sst.line_buffer import SlidingWindowActor
+
+from repro.compiled.numba_support import HAVE_NUMBA, maybe_njit
+
+#: Target size of one conv product slab (bytes): coordinates are blocked
+#: so the slab stays cache-resident. Blocking is bit-neutral (the
+#: product tree is elementwise per coordinate) — it only sets how many
+#: coordinates one vectorized pass carries.
+_CONV_BLOCK_BYTES = 1 << 19
+
+Streams = Dict[str, np.ndarray]
+
+
+def _expect(actor_name: str, what: str, got: int, want: int) -> None:
+    if got != want:
+        raise CompilationError(
+            f"{actor_name!r}: {what} carries {got} beats, schedule "
+            f"expects {want}"
+        )
+
+
+# -- endpoint / routing kernels ------------------------------------------
+
+
+def k_source(actor: ArraySource, ins: Streams) -> Streams:
+    return {actor.port: np.asarray(actor.values)}
+
+
+def k_sink(actor: ListSink, ins: Streams) -> Streams:
+    arr = ins[actor.port]
+    if actor.count is not None:
+        _expect(actor.name, "sink input", len(arr), actor.count)
+    # received gets the per-beat values (numpy scalars / window arrays),
+    # matching what the interpreted engines would have appended.
+    actor.received.extend(list(arr))
+    return {}
+
+
+def k_fifo(actor: FifoStage, ins: Streams) -> Streams:
+    return {actor.dst: ins[actor.src]}
+
+
+def k_map(actor: MapActor, ins: Streams) -> Streams:
+    # MapActor carries an arbitrary Python callable: apply it per beat
+    # (bit-exact by construction, just not vectorized).
+    return {actor.dst: np.asarray([actor.fn(v) for v in ins[actor.src]])}
+
+
+def k_fork(actor: Fork, ins: Streams) -> Streams:
+    arr = ins[actor.src]
+    return {f"out{i}": arr for i in range(actor.n_outputs)}
+
+
+def _cyclic_sources(schedule: List[int], n: int) -> np.ndarray:
+    sched = np.asarray(schedule, dtype=np.int64)
+    return sched[np.arange(n, dtype=np.int64) % len(sched)]
+
+
+def k_demux(actor: ScheduleDemux, ins: Streams) -> Streams:
+    arr = ins[actor.src]
+    dst = _cyclic_sources(actor.schedule, len(arr))
+    return {f"out{i}": arr[dst == i] for i in range(actor.n_outputs)}
+
+
+def k_interleave(actor: Interleaver, ins: Streams) -> Streams:
+    lanes = [ins[f"in{i}"] for i in range(actor.n_inputs)]
+    n = sum(len(l) for l in lanes)
+    src = _cyclic_sources(actor.schedule, n)
+    first = next((l for l in lanes if len(l)), None)
+    if first is None:
+        return {actor.dst: np.empty(0, dtype=DTYPE)}
+    out = np.empty((n,) + first.shape[1:], dtype=first.dtype)
+    for i, lane in enumerate(lanes):
+        mask = src == i
+        _expect(actor.name, f"in{i} consumption", int(mask.sum()), len(lane))
+        out[mask] = lane
+    return {actor.dst: out}
+
+
+# -- memory structure ----------------------------------------------------
+
+
+def k_window(actor: SlidingWindowActor, ins: Streams) -> Streams:
+    spec = actor.spec
+    n_in = actor.images * actor.h * actor.w * actor.group
+    arr = np.asarray(ins["in"], dtype=DTYPE)
+    _expect(actor.name, "pixel stream", len(arr), n_in)
+    # Raster-ordered FM-minor stream -> (images, group, h, w) planes.
+    px = np.ascontiguousarray(
+        arr.reshape(actor.images, actor.h, actor.w, actor.group)
+        .transpose(0, 3, 1, 2)
+    )
+    if spec.pad:
+        px = np.pad(px, ((0, 0), (0, 0), (spec.pad,) * 2, (spec.pad,) * 2))
+    wins = sliding_window_view(px, (spec.kh, spec.kw), axis=(2, 3))
+    wins = wins[:, :, :: spec.stride, :: spec.stride]
+    if wins.shape[2] != actor.out_h or wins.shape[3] != actor.out_w:
+        raise CompilationError(
+            f"{actor.name!r}: window geometry mismatch "
+            f"({wins.shape[2]}x{wins.shape[3]} vs "
+            f"{actor.out_h}x{actor.out_w})"
+        )
+    # Emission order: coordinate-major, FM-minor (exactly the actor's).
+    out = np.ascontiguousarray(
+        wins.transpose(0, 2, 3, 1, 4, 5)
+    ).reshape(-1, spec.kh, spec.kw)
+    return {"out": out}
+
+
+# -- computation cores ---------------------------------------------------
+
+
+def _tree_reduce_leading(arr: np.ndarray) -> np.ndarray:
+    """:func:`~repro.hls.tree_adder.tree_reduce` over the *leading* axis.
+
+    Same association tree — pad to a power of two with zeros, then pair
+    adjacent elements level by level (``t_i = a_{2i} + a_{2i+1}``) — so
+    every output bit matches the trailing-axis reduction of the
+    transposed array. With the reduced axis leading, each level's views
+    carry a large contiguous inner block and the adds run at memory
+    bandwidth instead of as stride-2 element loops.
+    """
+    n = arr.shape[0]
+    if n & (n - 1):
+        m = 1 << n.bit_length()
+        padded = np.zeros((m,) + arr.shape[1:], dtype=arr.dtype)
+        padded[:n] = arr
+        arr, n = padded, m
+    while n > 1:
+        arr = arr[0::2] + arr[1::2]
+        n >>= 1
+    return arr[0]
+
+
+def k_conv(actor: ConvCoreActor, ins: Streams) -> Streams:
+    n_lanes = actor.images * actor.n_coords
+    groups = actor.in_groups
+    kk = actor.kh * actor.kw
+    per_port = []
+    for p in range(actor.in_ports):
+        arr = np.asarray(ins[f"in{p}"], dtype=DTYPE)
+        _expect(actor.name, f"in{p}", len(arr), n_lanes * groups)
+        per_port.append(arr.reshape(n_lanes, groups, kk))
+    # Per coordinate and group: the raveled windows of every port,
+    # concatenated in port order — the actor's `wins[g, 0]` row.
+    if actor.in_ports == 1:
+        wins = per_port[0]
+    else:
+        wins = np.concatenate(per_port, axis=-1)
+    w_all = actor._w_all  # (G, OUT_FM, P*kh*kw)
+    w_t = np.ascontiguousarray(w_all.transpose(2, 0, 1))  # (K, G, OUT_FM)
+    wins_t = np.ascontiguousarray(wins.transpose(2, 0, 1))  # (K, N, G)
+    bias = actor.bias
+    kk_all = w_all.shape[2]
+    m = 1 << max(0, kk_all - 1).bit_length()  # tree width (power of two)
+    out = np.empty((n_lanes, actor.out_fm), dtype=DTYPE)
+    # Block coordinates so one product slab stays cache-resident; the
+    # chunking is bit-neutral (per-coordinate ops are independent).
+    per_coord = m * groups * actor.out_fm * DTYPE(0).nbytes
+    chunk = min(n_lanes, max(1, _CONV_BLOCK_BYTES // max(1, per_coord)))
+    # One scratch slab per call; rows kk_all..m are the tree's zero pad
+    # and are never written again.
+    prod = np.zeros((m, chunk, groups, actor.out_fm), dtype=DTYPE)
+    for s in range(0, n_lanes, chunk):
+        c = min(chunk, n_lanes - s)
+        p = prod[:, :c]
+        # Same product tree + accumulation chain as the actor, with the
+        # coordinate axis batched and the tree axis leading.
+        np.multiply(
+            wins_t[:, s : s + c, :, None], w_t[:, None, :, :], out=p[:kk_all]
+        )
+        trees = _tree_reduce_leading(p)  # (c, G, OUT_FM)
+        acc = bias[None, :] + trees[:, 0]
+        for g in range(1, groups):
+            acc = acc + trees[:, g]
+        out[s : s + c] = acc
+    out = actor._act(out)
+    if actor.out_ports == 1:
+        return {"out0": out.reshape(-1)}
+    return {
+        f"out{p}": np.ascontiguousarray(out[:, p :: actor.out_ports]).reshape(-1)
+        for p in range(actor.out_ports)
+    }
+
+
+def k_pool(actor: PoolCoreActor, ins: Streams) -> Streams:
+    arr = np.asarray(ins["in"], dtype=DTYPE)
+    _expect(actor.name, "window stream", len(arr), actor.count)
+    if actor.mode == "max":
+        out = arr.max(axis=(1, 2))
+    else:
+        out = arr.mean(axis=(1, 2), dtype=np.float64).astype(DTYPE)
+    return {"out": out}
+
+
+def _fc_partial_numpy(x: np.ndarray, weight: np.ndarray, lanes: int) -> np.ndarray:
+    """The interleaved-lane MAC recurrence, batched over images.
+
+    The actor feeds input ``i`` into accumulator lane ``i % lanes``:
+    ``partial[:, lane] = (partial[:, lane] + weight[:, i] * x).astype(f32)``.
+    Lane ``l`` therefore performs a *sequential* float32 addition chain
+    over the terms ``w[:, l], w[:, l+L], w[:, l+2L], ...`` — an order
+    this kernel must not reassociate. It does, however, batch *across*
+    lanes (and images): all lanes take their ``j``-th chain step in one
+    vectorized add, which is legal because lanes never interact. The
+    per-step float32 rounding of each lane's chain is preserved bit for
+    bit; only the ``in_fm``-long Python loop collapses to
+    ``in_fm / lanes`` array ops.
+    """
+    batch, in_fm = x.shape
+    out_fm = weight.shape[0]
+    steps, rem = divmod(in_fm, lanes)
+    if steps == 0:
+        partial = np.zeros((batch, out_fm, lanes), dtype=DTYPE)
+        np.add(
+            partial[:, :, :rem],
+            weight[None, :, :rem] * x[:, None, :rem],
+            out=partial[:, :, :rem],
+        )
+        return partial
+    # terms[b, o, j, l] = w[o, j*L + l] * x[b, j*L + l], float32-rounded
+    # exactly like the actor's per-input product.
+    w_main = weight[:, : steps * lanes].reshape(out_fm, steps, lanes)
+    x_main = x[:, : steps * lanes].reshape(batch, steps, lanes)
+    terms = w_main[None] * x_main[:, None]  # (B, O, steps, L)
+    # Chain step 0 starts from the actor's zero-initialized accumulator
+    # (0 + t, which canonicalizes a -0.0 term like the actor does).
+    partial = terms[:, :, 0] + DTYPE(0.0)
+    for j in range(1, steps):
+        np.add(partial, terms[:, :, j], out=partial)
+    if rem:
+        tail = weight[None, :, steps * lanes :] * x[:, None, steps * lanes :]
+        np.add(partial[:, :, :rem], tail, out=partial[:, :, :rem])
+    return partial
+
+
+def _fc_partial_jit_impl(x, weight, lanes):  # pragma: no cover - numba only
+    batch, in_fm = x.shape
+    out_fm = weight.shape[0]
+    partial = np.zeros((batch, out_fm, lanes), dtype=np.float32)
+    for b in range(batch):
+        for i in range(in_fm):
+            lane = i % lanes
+            xv = x[b, i]
+            for o in range(out_fm):
+                partial[b, o, lane] = partial[b, o, lane] + weight[o, i] * xv
+    return partial
+
+
+_fc_partial_jit = maybe_njit(_fc_partial_jit_impl)
+
+
+def fc_partial_sums(x: np.ndarray, weight: np.ndarray, lanes: int) -> np.ndarray:
+    """Dispatch the FC lane recurrence to the active backend."""
+    if HAVE_NUMBA:  # pragma: no cover - exercised on the numba CI leg
+        return _fc_partial_jit(
+            np.ascontiguousarray(x), np.ascontiguousarray(weight), lanes
+        )
+    return _fc_partial_numpy(x, weight, lanes)
+
+
+def k_fc(actor: FCCoreActor, ins: Streams) -> Streams:
+    arr = np.asarray(ins["in"], dtype=DTYPE)
+    _expect(actor.name, "in", len(arr), actor.images * actor.in_fm)
+    x = arr.reshape(actor.images, actor.in_fm)
+    partial = fc_partial_sums(x, actor.weight, actor.acc_lanes)
+    out = (tree_reduce(partial) + actor.bias).astype(DTYPE)
+    out = actor._act(out)
+    return {"out": out.reshape(-1)}
+
+
+def k_norm(actor: NormalizationActor, ins: Streams) -> Streams:
+    arr = np.asarray(ins["in"], dtype=DTYPE)
+    _expect(actor.name, "in", len(arr), actor.images * actor.n_classes)
+    logits = arr.reshape(actor.images, actor.n_classes)
+    # Same stable-softmax association order as the actor (per row).
+    shifted = logits - np.max(logits, axis=1, keepdims=True)
+    exps = np.exp(shifted).astype(DTYPE)
+    probs = (exps / exps.sum(axis=1, dtype=DTYPE, keepdims=True)).astype(DTYPE)
+    return {"out": probs.reshape(-1)}
+
+
+#: Exact-type kernel dispatch. Subclasses deliberately do NOT inherit a
+#: kernel: an overridden behavior would silently diverge from the fused
+#: implementation, so unknown (sub)types refuse to compile instead.
+KERNELS: Dict[type, Callable] = {
+    ArraySource: k_source,
+    ListSink: k_sink,
+    FifoStage: k_fifo,
+    MapActor: k_map,
+    Fork: k_fork,
+    ScheduleDemux: k_demux,
+    Interleaver: k_interleave,
+    SlidingWindowActor: k_window,
+    ConvCoreActor: k_conv,
+    PoolCoreActor: k_pool,
+    FCCoreActor: k_fc,
+    NormalizationActor: k_norm,
+}
+
+
+def run_kernels(actors, in_ports_of, out_ports_of, order) -> Streams:
+    """Execute every actor's kernel in topological order.
+
+    Returns the full channel-name -> stream mapping (the sink's input
+    stream included, so the engine can synthesize timestamps).
+    """
+    by_name = {a.name: a for a in actors}
+    streams: Streams = {}
+    for name in order:
+        actor = by_name[name]
+        kernel = KERNELS.get(type(actor))
+        if kernel is None:
+            raise CompilationError(
+                f"actor {name!r} of type {type(actor).__name__} has no "
+                f"compiled kernel"
+            )
+        ins = {
+            port: streams[cname] for port, cname in in_ports_of[name].items()
+        }
+        outs = kernel(actor, ins)
+        for port, arr in outs.items():
+            cname = out_ports_of[name].get(port)
+            if cname is None:
+                raise CompilationError(
+                    f"{name!r}: kernel produced unbound port {port!r}"
+                )
+            streams[cname] = arr
+    return streams

@@ -1,0 +1,45 @@
+"""Optional numba specialization for the compiled engine's hot kernels.
+
+The compiled engine is pure numpy by default; when numba is importable
+(and not disabled via ``REPRO_NO_NUMBA=1``) the few kernels that keep a
+Python-level loop — the FC interleaved-accumulator recurrence — are
+``@njit``-specialized. The jitted variants spell out the exact same
+float32 operation sequence (no fastmath, no reassociation), so the
+bit-exactness contract is independent of whether numba is present.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+try:  # pragma: no cover - exercised only where numba is installed
+    if os.environ.get("REPRO_NO_NUMBA"):
+        raise ImportError("numba disabled via REPRO_NO_NUMBA")
+    import numba as _numba
+
+    HAVE_NUMBA = True
+except ImportError:
+    _numba = None
+    HAVE_NUMBA = False
+
+
+def numba_version() -> Optional[str]:
+    """Installed numba version string, or None on the pure-numpy path."""
+    return _numba.__version__ if HAVE_NUMBA else None
+
+
+def maybe_njit(fn):
+    """``numba.njit`` when available, identity otherwise.
+
+    ``fastmath`` stays off: the jitted code must round exactly like the
+    straight-line numpy formulation it replaces.
+    """
+    if not HAVE_NUMBA:
+        return fn
+    return _numba.njit(cache=False, fastmath=False)(fn)  # pragma: no cover
+
+
+def backend_name() -> str:
+    """Reported in scheduler_stats: which specialization path is active."""
+    return "numba" if HAVE_NUMBA else "numpy"

@@ -243,6 +243,7 @@ def build_network(
         )
     images = batch.shape[0]
     g = DataflowGraph(design.name, default_capacity=channel_capacity)
+    g.design = design
 
     source = g.add_actor(
         ArraySource("dma_in", interleave_images(batch), interval=dma.beat_interval(32))

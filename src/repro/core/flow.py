@@ -90,6 +90,7 @@ def run_flow(
     output_dir: Optional[str] = None,
     epochs: Optional[int] = None,
     verify_images: int = 2,
+    scheduler: Optional[str] = None,
 ) -> FlowResult:
     """Run the end-to-end flow for one preset network.
 
@@ -101,6 +102,9 @@ def run_flow(
         ``hls_report.txt`` and ``verify.txt`` there.
     epochs: override the preset's training length.
     verify_images: batch size of the layer-wise verification run.
+    scheduler: run the layer-wise verification cycle-timed on this
+        engine (``"event"``, ``"lockstep"`` or ``"compiled"``) instead
+        of the default untimed functional execution.
     """
     try:
         design_fn, model_fn, data_fn, preset_epochs, lr = FLOW_PRESETS[preset]
@@ -125,7 +129,7 @@ def run_flow(
 
     weights = extract_weights(design, model)
     batch = x[-verify_images:].astype(np.float32)
-    verification = verify_layerwise(design, weights, batch)
+    verification = verify_layerwise(design, weights, batch, scheduler=scheduler)
     perf = network_perf(design)
     res = design_resources(design)
 

@@ -82,12 +82,15 @@ def verify_layerwise(
     batch: np.ndarray,
     tolerance: float = 1e-4,
     timed: bool = False,
+    scheduler: Optional[str] = None,
 ) -> VerifyReport:
     """Simulate every chain prefix and compare against the reference.
 
     ``timed=False`` (default) uses the fast functional executor — the
     values are identical to the timed run by construction (and that
-    equivalence has its own tests).
+    equivalence has its own tests). Passing ``scheduler`` implies a
+    timed run on that engine (``"event"``, ``"lockstep"`` or
+    ``"compiled"``).
     """
     if tolerance <= 0:
         raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
@@ -96,8 +99,8 @@ def verify_layerwise(
     for i, placement in enumerate(design.placements):
         sub = _prefix_design(design, i)
         built = build_network(sub, weights, batch)
-        if timed:
-            built.run()
+        if timed or scheduler is not None:
+            built.run(scheduler=scheduler or "event")
         else:
             built.run_functional()
         got = built.outputs()

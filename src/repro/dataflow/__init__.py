@@ -19,6 +19,7 @@ from repro.dataflow.actors import (
     ScheduleDemux,
 )
 from repro.dataflow.channel import Channel, ChannelStats
+from repro.dataflow.digest import stable_digest
 from repro.dataflow.events import ChannelWait, Gate, WaitCycles
 from repro.dataflow.functional import FunctionalExecutor
 from repro.dataflow.graph import DataflowGraph
@@ -44,4 +45,5 @@ __all__ = [
     "Simulator",
     "Tracer",
     "WaitCycles",
+    "stable_digest",
 ]

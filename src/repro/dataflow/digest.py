@@ -1,0 +1,35 @@
+"""Stable output digests for cross-engine equivalence checks.
+
+The benchmark and equivalence tooling used to summarize a run's outputs
+as ``float(outputs.sum())`` — a digest that collides trivially (any
+permutation of the outputs sums identically) and whose printed decimal
+form depends on formatting. :func:`stable_digest` replaces it: a CRC-32
+over the array's shape and its exact float32 bit pattern. Two digests
+are equal iff shape and every output bit agree, which is precisely the
+bit-exactness contract the three engines are held to.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.config import DTYPE
+
+
+def stable_digest(values) -> str:
+    """CRC-32 digest of an array's shape + exact float32 bit pattern.
+
+    ``values`` is anything ``np.asarray`` accepts (the sink's received
+    list, a reshaped output tensor, ...). The array is cast to the
+    project dtype (float32) first — a bit-preserving no-op for data that
+    is already float32 — and hashed in C order, so logically identical
+    outputs digest identically regardless of memory layout.
+
+    Returns ``"crc32:xxxxxxxx"`` (8 lowercase hex digits).
+    """
+    arr = np.ascontiguousarray(np.asarray(values, dtype=DTYPE))
+    crc = zlib.crc32(repr(arr.shape).encode())
+    crc = zlib.crc32(arr.tobytes(), crc)
+    return f"crc32:{crc & 0xFFFFFFFF:08x}"

@@ -37,6 +37,10 @@ class DataflowGraph:
         self.default_capacity = int(default_capacity)
         self.actors: Dict[str, Actor] = {}
         self.channels: Dict[str, Channel] = {}
+        #: The :class:`~repro.core.network_design.NetworkDesign` this graph
+        #: was elaborated from (set by ``repro.core.builder``); ``None`` for
+        #: hand-built graphs. The compiled engine requires it.
+        self.design = None
 
     # -- construction ------------------------------------------------------
 
@@ -145,8 +149,11 @@ class DataflowGraph:
     ) -> Simulator:
         """Validate and return a cycle-level :class:`Simulator`.
 
-        ``scheduler`` selects the engine (``"event"`` or ``"lockstep"``,
-        see :mod:`repro.dataflow.scheduler`); both are bit-equivalent.
+        ``scheduler`` selects the engine (``"event"``, ``"lockstep"``, or
+        ``"compiled"``; see :mod:`repro.dataflow.scheduler` and
+        :mod:`repro.compiled`). The two interpreted engines are
+        bit-equivalent; the compiled engine matches them on outputs and
+        fires and needs :attr:`design` to be set.
         """
         self.validate()
         return Simulator(
@@ -155,6 +162,7 @@ class DataflowGraph:
             stall_limit,
             tracer=tracer,
             scheduler=scheduler,
+            design=self.design,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

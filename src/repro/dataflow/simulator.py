@@ -24,17 +24,54 @@ no channel activity) instead of after ``stall_limit`` idle cycles.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import ClassVar, Dict, Sequence
 
 from repro.dataflow.actor import Actor
 from repro.dataflow.channel import Channel
 from repro.dataflow.scheduler import EventEngine, LockstepEngine
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import CompilationError, ConfigurationError, SimulationError
 from repro.report.base import Report
 
-#: Engine name -> engine class (see :mod:`repro.dataflow.scheduler`).
-SCHEDULERS = {"event": EventEngine, "lockstep": LockstepEngine}
+
+def _compiled_engine(sim):
+    """Factory for the ``"compiled"`` engine with event-engine fallback.
+
+    Imported lazily: :mod:`repro.compiled` depends on the builder and
+    analyzer stacks, which in turn import this module. Armed faults are
+    rejected outright (faults perturb interpreted execution, which a
+    compiled run never performs); every other reason the graph cannot be
+    lowered surfaces as :class:`~repro.errors.CompilationError` and
+    degrades to the interpreted event engine with a
+    :class:`~repro.compiled.CompiledFallbackWarning`.
+    """
+    from repro.compiled import CompiledEngine, CompiledFallbackWarning
+
+    if sim.faults is not None:
+        raise ConfigurationError(
+            "faults require an interpreted engine ('event' or 'lockstep'); "
+            "the compiled engine executes fused kernels and cannot apply "
+            "fault plans"
+        )
+    try:
+        return CompiledEngine(sim)
+    except CompilationError as exc:
+        warnings.warn(
+            f"scheduler='compiled' falling back to the event engine: {exc}",
+            CompiledFallbackWarning,
+            stacklevel=3,
+        )
+        return EventEngine(sim)
+
+
+#: Engine name -> engine factory (see :mod:`repro.dataflow.scheduler` for
+#: the interpreted engines, :mod:`repro.compiled` for the compiled one).
+SCHEDULERS = {
+    "event": EventEngine,
+    "lockstep": LockstepEngine,
+    "compiled": _compiled_engine,
+}
 
 
 @dataclass
@@ -92,6 +129,16 @@ class Simulator:
     scheduler:
         ``"event"`` (default) or ``"lockstep"``; both give bit-identical
         results (cycles, outputs, channel stats) on well-formed graphs.
+        ``"compiled"`` lowers verified design graphs to fused vectorized
+        kernels (see :mod:`repro.compiled`) — bit-identical outputs and
+        fires, modeled timing — and falls back to ``"event"`` with a
+        :class:`~repro.compiled.CompiledFallbackWarning` when the graph
+        cannot be lowered.
+    design:
+        The :class:`~repro.core.network_design.NetworkDesign` this graph
+        was elaborated from, when built via :mod:`repro.core.builder`;
+        ``None`` for hand-built graphs. Required by the compiled engine's
+        strict-only gate.
     """
 
     def __init__(
@@ -101,6 +148,7 @@ class Simulator:
         stall_limit: int = 10_000,
         tracer=None,
         scheduler: str = "event",
+        design=None,
     ):
         self.actors = list(actors)
         self.channels = list(channels)
@@ -113,6 +161,8 @@ class Simulator:
                 f"expected one of {sorted(SCHEDULERS)}"
             )
         self.scheduler = scheduler
+        #: Design provenance for the compiled engine (None if hand-built).
+        self.design = design
         #: Optional :class:`repro.faults.ArmedFaults`. Set (by
         #: ``repro.faults.arm_faults``) *before* the first ``run`` /
         #: ``run_cycles`` call; engines read it once at creation. None on

@@ -90,6 +90,18 @@ class AnalysisError(ReproError):
         )
 
 
+class CompilationError(ReproError):
+    """A graph cannot be lowered to the compiled steady-state engine.
+
+    Raised by :mod:`repro.compiled` when the strict-only gate fails (no
+    design attached, static verification errors, a tracer attached) or
+    when the lowering meets an actor type / stream-rate pattern it cannot
+    express as a fused kernel. The simulator catches it and falls back to
+    the interpreted event engine with a
+    :class:`repro.compiled.CompiledFallbackWarning`.
+    """
+
+
 class ResourceError(ReproError):
     """A design does not fit the targeted device."""
 

@@ -408,6 +408,20 @@ def _shrink_verdict(faulty: RunOutcome, design: NetworkDesign) -> dict:
     return info
 
 
+def _require_interpreted(scheduler: str) -> None:
+    """Fault experiments perturb interpreted execution; reject "compiled".
+
+    Raised up front (not mid-campaign) so the CLI can report the
+    configuration problem before any simulation work happens.
+    """
+    if scheduler == "compiled":
+        raise ConfigurationError(
+            "faults require an interpreted engine ('event' or 'lockstep'); "
+            "the compiled engine executes fused kernels and cannot apply "
+            "fault plans"
+        )
+
+
 def faultsim(
     design: NetworkDesign,
     scenario: FaultScenario,
@@ -426,6 +440,7 @@ def faultsim(
     default decides by parameter count. ``_clean_cache`` lets the
     campaign runner share clean runs across scenarios.
     """
+    _require_interpreted(scheduler)
     if pilot or (pilot is None and design.weight_count() > PILOT_WEIGHT_LIMIT):
         sim_design, piloted = pilot_design(design), True
     else:
@@ -515,6 +530,7 @@ def run_campaign(
     read-only mapping) with the full report list, a per-scenario stall
     aggregate, and an overall ``ok``.
     """
+    _require_interpreted(scheduler)
     cache: Dict = {}
     runs: List[FaultRunReport] = []
     for name, design in designs:

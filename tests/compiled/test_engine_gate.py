@@ -1,0 +1,125 @@
+"""The compiled engine's strict gate, fallback path and refusal modes.
+
+The compiled engine only accepts graphs that carry a NetworkDesign which
+passes the static analyzer cleanly. Everything else must fall back to the
+event engine with a :class:`CompiledFallbackWarning` — never a wrong
+answer, never a crash. Faults, tracers, ``until`` predicates and
+``run_cycles`` are interpreter-only features and are rejected explicitly.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.compiled import CompiledFallbackWarning, backend_name
+from repro.core import random_weights, tiny_design
+from repro.core.builder import build_network
+from repro.dataflow import ArraySource, DataflowGraph, ListSink
+from repro.errors import ConfigurationError
+
+
+def tiny_built(rng, memory_system="behavioral"):
+    design = tiny_design()
+    weights = random_weights(design, seed=7)
+    batch = rng.uniform(-1, 1, (2, 1, 8, 8)).astype(np.float32)
+    return build_network(design, weights, batch, memory_system=memory_system)
+
+
+class TestStrictGate:
+    def test_strict_design_compiles(self, rng):
+        built = tiny_built(rng)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CompiledFallbackWarning)
+            res = built.run(scheduler="compiled")
+        assert res.finished
+        assert res.scheduler_stats["scheduler"] == "compiled"
+        assert res.scheduler_stats["backend"] == backend_name()
+
+    def test_graph_without_design_falls_back(self):
+        g = DataflowGraph("bare", default_capacity=2)
+        src = g.add_actor(ArraySource("src", list(range(8))))
+        snk = g.add_actor(ListSink("snk", count=8))
+        g.connect(src, "out", snk, "in")
+        with pytest.warns(CompiledFallbackWarning, match="NetworkDesign"):
+            res = g.build_simulator(scheduler="compiled").run()
+        assert res.finished
+        assert res.scheduler_stats["scheduler"] == "event"
+        assert list(snk.received) == list(range(8))
+
+    def test_tracer_falls_back(self, rng):
+        from repro.dataflow.trace import Tracer
+
+        built = tiny_built(rng)
+        with pytest.warns(CompiledFallbackWarning):
+            res = built.run(tracer=Tracer(1), scheduler="compiled")
+        assert res.finished
+        assert res.scheduler_stats["scheduler"] == "event"
+
+    def test_unknown_actor_subclass_falls_back(self, rng):
+        # Literal memory systems elaborate subclassed actors; the
+        # compiled engine's exact-type dispatch refuses them.
+        built = tiny_built(rng, memory_system="literal")
+        with pytest.warns(CompiledFallbackWarning):
+            res = built.run(scheduler="compiled")
+        assert res.finished
+        assert res.scheduler_stats["scheduler"] == "event"
+
+    def test_fallback_matches_event_outputs(self, rng):
+        design = tiny_design()
+        weights = random_weights(design, seed=7)
+        batch = rng.uniform(-1, 1, (2, 1, 8, 8)).astype(np.float32)
+        a = build_network(design, weights, batch, memory_system="literal")
+        with pytest.warns(CompiledFallbackWarning):
+            a.run(scheduler="compiled")
+        b = build_network(design, weights, batch, memory_system="literal")
+        b.run(scheduler="event")
+        np.testing.assert_array_equal(a.outputs(), b.outputs())
+
+
+class TestRefusals:
+    def test_faults_rejected_with_clear_error(self, rng):
+        from repro.faults import ChannelJitter, FaultScenario, arm_faults
+
+        built = tiny_built(rng)
+        sc = FaultScenario(
+            "jitter", (ChannelJitter(probability=0.5, max_delay=2),)
+        )
+        sim = built.graph.build_simulator(scheduler="compiled")
+        sim.faults = arm_faults(built.graph, sc, seed=1)
+        with pytest.raises(ConfigurationError, match="interpreted engine"):
+            sim.run()
+
+    def test_until_predicate_rejected(self, rng):
+        built = tiny_built(rng)
+        sim = built.graph.build_simulator(scheduler="compiled")
+        with pytest.raises(ConfigurationError, match="until"):
+            sim.run(until=lambda: True)
+
+    def test_run_cycles_rejected(self, rng):
+        built = tiny_built(rng)
+        sim = built.graph.build_simulator(scheduler="compiled")
+        with pytest.raises(ConfigurationError):
+            sim.run_cycles(10)
+
+    def test_faultsim_harness_rejects_compiled(self):
+        from repro.faults import ChannelJitter, FaultScenario
+        from repro.faults.harness import faultsim
+
+        sc = FaultScenario(
+            "jitter", (ChannelJitter(probability=0.5, max_delay=2),)
+        )
+        with pytest.raises(ConfigurationError, match="interpreted engine"):
+            faultsim(tiny_design(), sc, images=1, scheduler="compiled")
+
+    def test_run_campaign_rejects_compiled(self):
+        from repro.faults import ChannelJitter, FaultScenario
+        from repro.faults.harness import run_campaign
+
+        sc = FaultScenario(
+            "jitter", (ChannelJitter(probability=0.5, max_delay=2),)
+        )
+        with pytest.raises(ConfigurationError, match="interpreted engine"):
+            run_campaign(
+                [("tiny", tiny_design())], [sc], [0], scheduler="compiled"
+            )

@@ -172,6 +172,42 @@ class TestNetworks:
         assert got[2] == ref[2]
 
 
+class TestCompiledNetworks:
+    """Three-way equivalence on the design-built network.
+
+    The compiled engine's contract is value identity (stable digests)
+    and fire-count identity; its cycle accounting is the analytic model,
+    so cycles / channel stats / timestamps are deliberately excluded.
+    """
+
+    def test_tiny_network_three_way(self, rng):
+        import warnings
+
+        from repro.compiled import CompiledFallbackWarning
+        from repro.core import random_weights, tiny_design
+        from repro.core.builder import build_network
+        from repro.dataflow import stable_digest
+
+        design = tiny_design()
+        weights = random_weights(design, seed=7)
+        batch = rng.uniform(-1, 1, (2, 1, 8, 8)).astype(np.float32)
+
+        outcomes = {}
+        for sched in SCHEDULERS + ("compiled",):
+            built = build_network(design, weights, batch, loop_overhead=2)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", CompiledFallbackWarning)
+                res = built.run(scheduler=sched)
+            fires = {
+                actor: [p["fires"] for p in procs]
+                for actor, procs in res.actor_stats.items()
+            }
+            outcomes[sched] = (stable_digest(built.outputs()), fires)
+        ref = outcomes["lockstep"]
+        assert outcomes["event"] == ref
+        assert outcomes["compiled"] == ref
+
+
 class TestDeadlock:
     def deadlocked_graph(self):
         g = DataflowGraph("dl", default_capacity=2)
@@ -330,3 +366,38 @@ class TestFaultedEquivalence:
         assert got[0] == ref[0]
         np.testing.assert_array_equal(got[1], ref[1])
         assert got[2] == ref[2]
+
+    def test_unfaulted_network_matches_compiled(self, rng):
+        # The unfaulted path of the faulted-equivalence setup must agree
+        # with the compiled engine on values — same build recipe, no
+        # fault plan armed.
+        from repro.core import random_weights, tiny_design
+        from repro.core.builder import build_network
+        from repro.dataflow import stable_digest
+
+        design = tiny_design()
+        weights = random_weights(design, seed=7)
+        batch = rng.uniform(-1, 1, (2, 1, 8, 8)).astype(np.float32)
+        digests = {}
+        for sched in SCHEDULERS + ("compiled",):
+            built = build_network(design, weights, batch)
+            built.run(scheduler=sched)
+            digests[sched] = stable_digest(built.outputs())
+        assert len(set(digests.values())) == 1
+
+    def test_compiled_rejects_fault_plans(self, rng):
+        from repro.core import random_weights, tiny_design
+        from repro.core.builder import build_network
+        from repro.faults import ChannelJitter, FaultScenario, arm_faults
+
+        design = tiny_design()
+        weights = random_weights(design, seed=7)
+        batch = rng.uniform(-1, 1, (2, 1, 8, 8)).astype(np.float32)
+        built = build_network(design, weights, batch)
+        sc = FaultScenario(
+            "jitter", (ChannelJitter(probability=0.3, max_delay=2),)
+        )
+        sim = built.graph.build_simulator(scheduler="compiled")
+        sim.faults = arm_faults(built.graph, sc, seed=3)
+        with pytest.raises(ConfigurationError, match="interpreted engine"):
+            sim.run()

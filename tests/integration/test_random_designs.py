@@ -49,3 +49,38 @@ class TestRandomDesigns:
         b = build_network(design, weights, batch)
         b.run_functional()
         assert np.array_equal(a.outputs(), b.outputs())
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(design=small_designs(), seed=st.integers(0, 2**16))
+    def test_three_way_engine_equivalence(self, design, seed):
+        """event == lockstep == compiled on ANY valid strict design.
+
+        Compared on the cross-engine contract: stable output digests and
+        per-process fire counts. Random designs exercise every fused
+        kernel variant (mean/max pooling, multi-port cores, partial FC
+        accumulator lanes, padding/stride geometry). The compiled run
+        must actually compile — a fallback warning fails the test.
+        """
+        import warnings
+
+        from repro.compiled import CompiledFallbackWarning
+        from repro.dataflow import stable_digest
+
+        weights = random_weights(design, seed=seed)
+        rng = np.random.default_rng(seed)
+        batch = rng.uniform(0, 1, (2,) + design.input_shape).astype(np.float32)
+        outcomes = {}
+        for sched in ("event", "lockstep", "compiled"):
+            built = build_network(design, weights, batch)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", CompiledFallbackWarning)
+                res = built.run(scheduler=sched)
+            fires = {
+                actor: [p["fires"] for p in procs]
+                for actor, procs in res.actor_stats.items()
+            }
+            outcomes[sched] = (stable_digest(built.outputs()), fires)
+        ref = outcomes["event"]
+        assert outcomes["lockstep"] == ref, design.block_design()
+        assert outcomes["compiled"] == ref, design.block_design()

@@ -81,3 +81,36 @@ class TestProfileCommand:
         )
         assert code == 0
         assert "lockstep" in out
+
+
+class TestCompiledScheduler:
+    """`--scheduler compiled` is accepted uniformly across subcommands."""
+
+    def test_profile_compiled_scheduler(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "profile", "--design", "tiny", "--scheduler", "compiled",
+            "--images", "2",
+        )
+        assert code == 0
+        assert "compiled" in out
+        assert "bottleneck" in out
+
+    def test_flow_compiled_scheduler(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "flow", "--design", "tiny", "--epochs", "1",
+            "--scheduler", "compiled",
+        )
+        assert code == 0
+        assert "verification" in out
+
+    def test_faultsim_rejects_compiled_cleanly(self, capsys):
+        # A clear one-line error, not a traceback: fault injection needs
+        # an interpreted engine.
+        code, _, err = run_cli(
+            capsys, "faultsim", "--design", "tiny", "--images", "1",
+            "--scheduler", "compiled",
+        )
+        assert code == 1
+        assert "error:" in err
+        assert "interpreted engine" in err
+        assert "Traceback" not in err
