@@ -1,0 +1,96 @@
+"""Serving benchmark: the end-to-end images/s + tail-latency number.
+
+The single throughput axis every perf PR can be judged on: an open-loop
+seeded loadtest over the TC2 (CIFAR-10) design on a 2-replica process
+fleet, reporting virtual (board-clock) images/s, p50/p95/p99 latency,
+host wall cost, and a chaos run cross-checked against the analytical
+throttled-DMA model. Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick] [--out JSON]
+
+``--quick`` swaps in the USPS design and fewer requests (the CI smoke
+configuration). The JSON is a list of ServeReport envelopes plus the
+environment block shared with ``bench_sim_engine.py``.
+"""
+
+from repro.core import cifar10_design, usps_design
+from repro.serve import run_loadtest
+
+
+def _serve_environment() -> dict:
+    from bench_sim_engine import _engine_environment
+
+    return _engine_environment()
+
+
+#: (label, design factory, loadtest kwargs) per benchmark row.
+CONFIGS = {
+    "full": [
+        ("tc2-clean", cifar10_design,
+         dict(requests=32, rate=15000.0, replicas=2)),
+        ("tc2-chaos", cifar10_design,
+         dict(requests=24, rate=15000.0, replicas=2,
+              fault="dma-throttle", probe=False)),
+    ],
+    "quick": [
+        ("usps-clean", usps_design,
+         dict(requests=24, rate=300000.0, replicas=2)),
+        ("usps-chaos", usps_design,
+         dict(requests=24, rate=300000.0, replicas=2,
+              fault="dma-throttle", probe=False)),
+    ],
+}
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="USPS workload instead of CIFAR-10 (CI smoke)",
+    )
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output JSON path")
+    parser.add_argument("--mode", choices=["process", "inline"],
+                        default="process")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    env = _serve_environment()
+    print(
+        f"environment: {env['cpu_count']} cpu(s), numpy {env['numpy']}, "
+        f"compiled backend {env['compiled_backend']}"
+    )
+    rows = []
+    all_ok = True
+    for label, design_fn, kwargs in CONFIGS["quick" if args.quick else "full"]:
+        report = run_loadtest(
+            design_fn(), seed=args.seed, mode=args.mode, **kwargs
+        )
+        rows.append({"label": label, **report.envelope()})
+        all_ok &= report.ok
+        print(f"  {label:12s} {report.summary()}")
+        if not report.ok:
+            print(f"    FAILURES: {report.failures}")
+
+    with open(args.out, "w") as fh:
+        json.dump(
+            {
+                "benchmark": "serve",
+                "environment": env,
+                "runs": rows,
+            },
+            fh, indent=2,
+        )
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -171,7 +171,13 @@ def _time_faulted_scheduler(
 
 
 def _engine_environment() -> dict:
-    """Library versions the compiled-engine numbers depend on."""
+    """Library versions and host shape the numbers depend on.
+
+    ``cpu_count`` and ``platform`` matter once serving benchmarks run
+    multi-process replica fleets: the same cycles/s means something very
+    different on 1 core than on 16.
+    """
+    import os
     import platform
 
     from repro.compiled import HAVE_NUMBA, backend_name, numba_version
@@ -182,6 +188,9 @@ def _engine_environment() -> dict:
         "numba_available": HAVE_NUMBA,
         "numba": numba_version(),
         "compiled_backend": backend_name(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
     }
 
 

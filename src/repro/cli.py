@@ -44,6 +44,11 @@ _PRESETS = {
     "usps": usps_design,
     "cifar10": cifar10_design,
     "tiny": tiny_design,
+    # Canonical design names (design.name) double as preset spellings so
+    # reports and CLI invocations round-trip: `repro loadtest --design
+    # cifar10-tc2` works on the name a ServeReport printed.
+    "usps-tc1": usps_design,
+    "cifar10-tc2": cifar10_design,
 }
 
 
@@ -417,6 +422,68 @@ def _cmd_profile(args):
     return report.format_text(), 0 if report.ok else 1
 
 
+def _cmd_loadtest(args):
+    """Open-loop serving loadtest; returns ``(text, exit_code)``."""
+    from repro.serve import run_loadtest
+
+    design = _load_design(_resolve_design(args))
+    report = run_loadtest(
+        design,
+        requests=args.requests,
+        rate=args.rate,
+        dist=args.dist,
+        seed=args.seed,
+        replicas=args.replicas,
+        mode=args.mode,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        fault=args.fault,
+        probe=not args.no_probe,
+        verify_digests=not args.no_verify,
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json() + "\n")
+    return report.format_text(), 0 if report.ok else 1
+
+
+def _cmd_serve(args):
+    """Run the live asyncio JSON-lines TCP server until interrupted."""
+    import asyncio
+
+    from repro.serve import InferenceServer, serve_tcp
+
+    design = _load_design(_resolve_design(args))
+
+    async def _run() -> None:
+        server = InferenceServer(
+            design,
+            replicas=args.replicas,
+            seed=args.seed,
+            mode=args.mode,
+            target_batch=args.target_batch,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+        )
+        async with server:
+            tcp = await serve_tcp(server, host=args.host, port=args.port)
+            addr = tcp.sockets[0].getsockname()
+            print(
+                f"serving {design.name} on {addr[0]}:{addr[1]} "
+                f"({args.replicas} replica(s), target batch "
+                f"{server.target_batch}); one JSON request per line: "
+                f'{{"index": <int>}}; Ctrl-C to stop'
+            )
+            async with tcp:
+                await tcp.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return f"{design.name}: server stopped"
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     p = argparse.ArgumentParser(
@@ -540,6 +607,58 @@ def build_parser() -> argparse.ArgumentParser:
                          help="relative II error treated as a mismatch "
                               "(default 0.05)")
     profile.set_defaults(fn=_cmd_profile)
+    loadtest = sub.add_parser(
+        "loadtest", parents=[common],
+        help="open-loop serving loadtest: seeded arrivals, batch-aware "
+             "admission, replica fleet, digest verification (see "
+             "repro.serve)",
+    )
+    loadtest.add_argument("--requests", type=int, default=32,
+                          help="number of requests in the run")
+    loadtest.add_argument("--rate", type=float, default=10000.0,
+                          help="offered load in requests per *virtual* "
+                               "second (board clock)")
+    loadtest.add_argument("--dist", choices=["poisson", "uniform"],
+                          default="poisson",
+                          help="inter-arrival distribution")
+    loadtest.add_argument("--replicas", type=int, default=2)
+    loadtest.add_argument("--mode", choices=["process", "inline"],
+                          default="process",
+                          help="replica isolation: one process per "
+                               "replica, or in-process (tests/1-core "
+                               "hosts)")
+    loadtest.add_argument("--max-batch", type=int, default=None,
+                          help="admission batch cap (default 2x knee)")
+    loadtest.add_argument("--max-wait-us", type=float, default=None,
+                          help="oldest-request wait cap in virtual us "
+                               "(default: one knee-batch service time)")
+    loadtest.add_argument("--fault", default=None,
+                          help="chaos mode: arm this scenario (preset, "
+                               "e.g. dma-throttle, or JSON path) on "
+                               "replica 0 mid-run and cross-check the "
+                               "analytical throttled II")
+    loadtest.add_argument("--no-probe", action="store_true",
+                          help="skip the event-engine Fig. 6 convergence "
+                               "probe")
+    loadtest.add_argument("--no-verify", action="store_true",
+                          help="skip per-request digest verification vs "
+                               "single-shot simulation")
+    loadtest.set_defaults(fn=_cmd_loadtest)
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="live asyncio inference server (JSON-lines over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8707)
+    serve.add_argument("--replicas", type=int, default=2)
+    serve.add_argument("--mode", choices=["process", "inline"],
+                       default="process")
+    serve.add_argument("--target-batch", type=int, default=None,
+                       help="admission target (default: convergence knee)")
+    serve.add_argument("--max-batch", type=int, default=None)
+    serve.add_argument("--max-wait-ms", type=float, default=50.0,
+                       help="wall-clock cap on the oldest queued request")
+    serve.set_defaults(fn=_cmd_serve)
     return p
 
 

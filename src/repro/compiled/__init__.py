@@ -13,13 +13,25 @@ from repro.compiled.numba_support import (
     backend_name,
     numba_version,
 )
+from repro.compiled.plan_cache import (
+    CompiledPlan,
+    PlanCache,
+    clear_plan_cache,
+    design_digest,
+    plan_cache_stats,
+)
 from repro.errors import CompilationError
 
 __all__ = [
     "CompiledEngine",
     "CompiledFallbackWarning",
     "CompilationError",
+    "CompiledPlan",
     "HAVE_NUMBA",
+    "PlanCache",
     "backend_name",
+    "clear_plan_cache",
+    "design_digest",
     "numba_version",
+    "plan_cache_stats",
 ]

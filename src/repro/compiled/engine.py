@@ -41,6 +41,14 @@ from repro.analysis.steady_state import (
 )
 from repro.compiled.kernels import run_kernels
 from repro.compiled.numba_support import backend_name
+from repro.compiled.plan_cache import (
+    GLOBAL_PLAN_CACHE,
+    CompiledPlan,
+    _structure_crc,
+    design_digest,
+    plan_key,
+)
+from repro.core.compute_core import ConvCoreActor
 from repro.dataflow.actors import ArraySource, ListSink
 from repro.errors import CompilationError, ConfigurationError, SimulationError
 from repro.profiling.synthesis import (
@@ -83,22 +91,56 @@ class CompiledEngine:
                 "the graph carries no NetworkDesign (hand-built graphs "
                 "cannot be compiled; build via repro.core.builder)"
             )
-        report = analyze_design(design)
-        if not report.ok:
-            rules = ", ".join(report.error_rules())
-            raise CompilationError(
-                f"design {design.name!r} fails static verification "
-                f"({len(report.errors)} error(s) [{rules}]); only designs "
-                f"that pass `repro check` compile"
-            )
         self.design = design
-        self.schedule: SteadySchedule = extract_schedule(
-            sim.actors, sim.channels, design
-        )
-        self._in_ports, self._out_ports = port_maps(sim.actors, sim.channels)
+        plan = self._lower(sim, design)
+        self.schedule: SteadySchedule = plan.schedule
+        self._in_ports, self._out_ports = plan.in_ports, plan.out_ports
         sources = [a for a in sim.actors if type(a) is ArraySource]
         sinks = [a for a in sim.actors if type(a) is ListSink]
         self._source, self._sink = sources[0], sinks[0]
+
+    @staticmethod
+    def _lower(sim, design) -> CompiledPlan:
+        """Verify and lower ``design``, through the per-process plan cache.
+
+        The verification verdict is cached per design digest; the solved
+        plan per (digest, stream geometry, graph structure) — see
+        :mod:`repro.compiled.plan_cache`. Cached failures re-raise the
+        same :class:`CompilationError` without re-running the analyzer.
+        """
+        cache = GLOBAL_PLAN_CACHE
+        digest = design_digest(design)
+        verdict = cache.get_verdict(digest)
+        if verdict is None:
+            report = analyze_design(design)
+            verdict = tuple(report.error_rules()) if not report.ok else ()
+            cache.put_verdict(digest, verdict)
+        if verdict:
+            raise CompilationError(
+                f"design {design.name!r} fails static verification "
+                f"(error rule(s) [{', '.join(verdict)}]); only designs "
+                f"that pass `repro check` compile"
+            )
+        sources = [a for a in sim.actors if type(a) is ArraySource]
+        overhead = max(
+            (a.coord_overhead for a in sim.actors
+             if type(a) is ConvCoreActor),
+            default=0,
+        )
+        key = plan_key(
+            digest,
+            len(sources[0].values) if sources else -1,
+            sources[0].interval if sources else -1,
+            int(overhead),
+            _structure_crc(sim.actors, sim.channels),
+        )
+        plan = cache.get_plan(key)
+        if plan is None:
+            schedule = extract_schedule(sim.actors, sim.channels, design)
+            in_ports, out_ports = port_maps(sim.actors, sim.channels)
+            plan = CompiledPlan(schedule, in_ports, out_ports)
+            cache.put_plan(key, plan)
+        return plan
 
     # -- engine protocol ---------------------------------------------------
 

@@ -14,6 +14,11 @@ this package machine-checks (latency insensitivity; analyzer/simulator
 deadlock agreement).
 """
 
+from repro.faults.analytical import (
+    ThrottledPerf,
+    throttled_link_rate,
+    throttled_perf,
+)
 from repro.faults.harness import (
     PILOT_WEIGHT_LIMIT,
     RunOutcome,
@@ -64,6 +69,7 @@ __all__ = [
     "JitterFault",
     "RunOutcome",
     "ThrottleFault",
+    "ThrottledPerf",
     "arm_faults",
     "disarm_faults",
     "faultsim",
@@ -76,4 +82,6 @@ __all__ = [
     "run_design",
     "simulable_design",
     "target_rng",
+    "throttled_link_rate",
+    "throttled_perf",
 ]

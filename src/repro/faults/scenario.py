@@ -231,6 +231,14 @@ def preset_scenarios() -> Dict[str, FaultScenario]:
     return {
         "jitter": FaultScenario("jitter", (ChannelJitter(),)),
         "dma": FaultScenario("dma", (DmaThrottle(),)),
+        # Chaos-mode preset for `repro loadtest --fault dma-throttle`:
+        # period=1 pins the throttle phase (seed-independent timing) and
+        # burst=16 overwhelms the capacity-4 batch-commit absorption, so
+        # the degradation is visible on every design and exactly
+        # predictable by repro.faults.analytical.
+        "dma-throttle": FaultScenario(
+            "dma-throttle", (DmaThrottle(period=1, burst=16),)
+        ),
         "slowdown": FaultScenario("slowdown", (ActorSlowdown(),)),
         "storm": FaultScenario(
             "storm", (ChannelJitter(), DmaThrottle(), ActorSlowdown())

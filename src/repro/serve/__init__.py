@@ -1,0 +1,50 @@
+"""Async inference serving over the simulated accelerator.
+
+The serving stack turns the repo's engines into a measurable service:
+seeded open-loop arrivals (:mod:`repro.serve.arrivals`), a batch-aware
+admission controller sized by the Eq. 4 convergence knee
+(:mod:`repro.serve.admission`), a warm fleet of per-process
+compiled-engine replicas (:mod:`repro.serve.replicas`), a deterministic
+loadtest with digest verification and chaos cross-checks
+(:mod:`repro.serve.loadtest`), the live asyncio front-end
+(:mod:`repro.serve.server`), and the :class:`ServeReport` envelope
+(:mod:`repro.serve.report`). See DESIGN.md section 13.
+"""
+
+from repro.serve.admission import (
+    AdmissionConfig,
+    PlannedBatch,
+    admission_config,
+    convergence_knee,
+    cycles_to_us,
+    plan_batches,
+    replay_batches,
+)
+from repro.serve.arrivals import DISTRIBUTIONS, arrival_schedule
+from repro.serve.loadtest import knee_probe, run_loadtest, single_shot_digests
+from repro.serve.replicas import ReplicaFleet, request_image, run_replica_batch
+from repro.serve.report import ServeReport, latency_stats, percentile
+from repro.serve.server import InferenceServer, serve_tcp
+
+__all__ = [
+    "AdmissionConfig",
+    "DISTRIBUTIONS",
+    "InferenceServer",
+    "PlannedBatch",
+    "ReplicaFleet",
+    "ServeReport",
+    "admission_config",
+    "arrival_schedule",
+    "convergence_knee",
+    "cycles_to_us",
+    "knee_probe",
+    "latency_stats",
+    "percentile",
+    "plan_batches",
+    "replay_batches",
+    "request_image",
+    "run_loadtest",
+    "run_replica_batch",
+    "serve_tcp",
+    "single_shot_digests",
+]

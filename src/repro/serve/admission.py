@@ -1,0 +1,229 @@
+"""Batch-aware admission: size batches past the convergence knee.
+
+The paper's throughput argument (Eq. 4, Fig. 6) is that per-image cost
+``(fill + (B-1)·II) / B`` converges to the bottleneck initiation
+interval II once the batch ``B`` grows past the pipeline depth. The
+admission controller turns that into policy: coalesce queued requests
+into batches of at least :func:`convergence_knee` images (the point
+where the amortized fill overhead drops below a tolerance), capped by
+``max_batch`` (bounded queue memory) and ``max_wait_us`` (bounded
+latency for the oldest request).
+
+:func:`plan_batches` is the controller run to completion in *virtual
+time*: given the full arrival schedule and a modeled per-batch service
+time, it produces the exact batch composition, replica assignment, and
+timeline. The live asyncio server (:mod:`repro.serve.server`) applies
+the same triggers reactively; the loadtest uses the planner so that the
+batch composition is a pure function of ``(arrivals, config, model)`` —
+deterministic replay — and then re-times the fixed composition with
+*measured* service times (:func:`replay_batches`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.network_design import NetworkDesign
+from repro.core.perf_model import NetworkPerf, network_perf
+from repro.errors import ConfigurationError
+
+#: Fill-overhead tolerance defining "past the knee" (matches the
+#: profiler's default II tolerance).
+KNEE_TOLERANCE = 0.05
+
+
+def convergence_knee(
+    design: NetworkDesign,
+    tolerance: float = KNEE_TOLERANCE,
+    perf: Optional[NetworkPerf] = None,
+) -> int:
+    """Smallest batch whose per-image cost is within ``tolerance`` of II.
+
+    From Eq. 4, ``mean(B) = II + (fill - II) / B``, so
+    ``B >= (fill - II) / (tolerance · II)`` puts the amortized fill
+    within ``tolerance``. The pipeline depth (layer count) is a floor:
+    below it the pipeline never even fills once.
+    """
+    if tolerance <= 0:
+        raise ConfigurationError(
+            f"knee tolerance must be positive, got {tolerance}"
+        )
+    if perf is None:
+        perf = network_perf(design)
+    interval = max(perf.interval, 1)
+    amortize = math.ceil((perf.fill_latency - interval) / (tolerance * interval))
+    return max(design.n_layers, amortize, 1)
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """The three knobs of the admission policy (times in virtual µs)."""
+
+    #: Close a batch as soon as this many requests are queued.
+    target_batch: int
+    #: Hard cap on batch size (queue overflow while a replica was busy).
+    max_batch: int
+    #: Close a batch when its oldest request has waited this long.
+    max_wait_us: float
+
+    def __post_init__(self) -> None:
+        if self.target_batch < 1:
+            raise ConfigurationError(
+                f"target_batch must be >= 1, got {self.target_batch}"
+            )
+        if self.max_batch < self.target_batch:
+            raise ConfigurationError(
+                f"max_batch ({self.max_batch}) must be >= target_batch "
+                f"({self.target_batch})"
+            )
+        if self.max_wait_us <= 0:
+            raise ConfigurationError(
+                f"max_wait_us must be positive, got {self.max_wait_us}"
+            )
+
+
+def admission_config(
+    design: NetworkDesign,
+    max_batch: Optional[int] = None,
+    max_wait_us: Optional[float] = None,
+    tolerance: float = KNEE_TOLERANCE,
+    perf: Optional[NetworkPerf] = None,
+) -> AdmissionConfig:
+    """Derive the default policy from the design's analytic model.
+
+    The target batch is the convergence knee; the default wait cap is
+    the modeled service time of one knee-sized batch (waiting longer
+    than one batch turnaround can never improve amortization).
+    """
+    if perf is None:
+        perf = network_perf(design)
+    knee = convergence_knee(design, tolerance=tolerance, perf=perf)
+    if max_batch is None:
+        max_batch = max(2 * knee, 8)
+    target = min(knee, max_batch)
+    if max_wait_us is None:
+        max_wait_us = cycles_to_us(perf.batch_cycles(target))
+    return AdmissionConfig(
+        target_batch=target, max_batch=max_batch, max_wait_us=max_wait_us
+    )
+
+
+#: VC707 board clock: 100 MHz == 100 cycles per microsecond.
+CYCLES_PER_US = 100.0
+
+
+def cycles_to_us(cycles: float) -> float:
+    """Board cycles -> virtual microseconds (100 MHz paper clock)."""
+    return cycles / CYCLES_PER_US
+
+
+@dataclass(frozen=True)
+class PlannedBatch:
+    """One admitted batch: composition, placement, and timeline."""
+
+    #: Request indices, in arrival order.
+    indices: Tuple[int, ...]
+    #: Replica the batch was dispatched to.
+    replica: int
+    #: Virtual µs at which the batch was sealed and dispatched.
+    dispatch_us: float
+    #: Modeled (or replayed-measured) service time of the batch.
+    service_us: float
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+    @property
+    def done_us(self) -> float:
+        return self.dispatch_us + self.service_us
+
+
+def plan_batches(
+    arrivals_us: Sequence[float],
+    config: AdmissionConfig,
+    service_us: Callable[[int], float],
+    n_replicas: int,
+) -> List[PlannedBatch]:
+    """Run the admission policy to completion in virtual time.
+
+    A batch forms on the earliest-free replica: it waits for the first
+    queued request, then seals at the earliest moment one of the
+    triggers fires — ``target_batch`` requests have arrived, the oldest
+    request has waited ``max_wait_us``, or every remaining request has
+    arrived (waiting longer cannot grow the batch). Sealing takes the
+    oldest ``min(max_batch, arrived)`` requests. Deterministic: a pure
+    function of the arguments.
+    """
+    if n_replicas < 1:
+        raise ConfigurationError(f"need >= 1 replica, got {n_replicas}")
+    if any(b < a for a, b in zip(arrivals_us, arrivals_us[1:])):
+        raise ConfigurationError("arrival times must be ascending")
+    n = len(arrivals_us)
+    free = [0.0] * n_replicas
+    batches: List[PlannedBatch] = []
+    first = 0  # next unserved request index
+    while first < n:
+        replica = min(range(n_replicas), key=lambda r: (free[r], r))
+        oldest = arrivals_us[first]
+        fill_at = first + config.target_batch - 1
+        # The sealing trigger: target reached, deadline hit, or no more
+        # arrivals to wait for.
+        trigger = min(
+            arrivals_us[fill_at] if fill_at < n else arrivals_us[-1],
+            oldest + config.max_wait_us,
+        )
+        dispatch = max(free[replica], oldest, trigger)
+        arrived = first
+        while arrived < n and arrivals_us[arrived] <= dispatch:
+            arrived += 1
+        take = min(config.max_batch, max(arrived - first, 1))
+        indices = tuple(range(first, first + take))
+        batch = PlannedBatch(
+            indices=indices,
+            replica=replica,
+            dispatch_us=dispatch,
+            service_us=service_us(take),
+        )
+        batches.append(batch)
+        free[replica] = batch.done_us
+        first += take
+    return batches
+
+
+def replay_batches(
+    batches: Sequence[PlannedBatch],
+    arrivals_us: Sequence[float],
+    measured_service_us: Sequence[float],
+    n_replicas: int,
+) -> List[PlannedBatch]:
+    """Re-time a fixed batch composition with measured service times.
+
+    Composition and replica assignment are kept exactly as planned; only
+    the clock changes: each batch becomes ready when its last member has
+    arrived and dispatches when its replica frees up. This is how the
+    loadtest converts measured per-batch cycles into latencies without
+    letting measurement noise perturb what was batched with what.
+    """
+    if len(measured_service_us) != len(batches):
+        raise ConfigurationError(
+            f"{len(batches)} batches but {len(measured_service_us)} "
+            f"measured service times"
+        )
+    free = [0.0] * n_replicas
+    replayed: List[PlannedBatch] = []
+    for batch, service in zip(batches, measured_service_us):
+        ready = max(arrivals_us[i] for i in batch.indices)
+        dispatch = max(ready, free[batch.replica])
+        replayed.append(
+            PlannedBatch(
+                indices=batch.indices,
+                replica=batch.replica,
+                dispatch_us=dispatch,
+                service_us=service,
+            )
+        )
+        free[batch.replica] = dispatch + service
+    return replayed

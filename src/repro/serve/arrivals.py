@@ -1,0 +1,53 @@
+"""Seeded open-loop arrival schedules for the loadtest.
+
+An *open-loop* load generator decides every request's arrival time up
+front, independent of how fast the service answers — the standard way to
+measure tail latency without coordinated omission. Times are **virtual
+microseconds on the board clock** (the VC707's 100 MHz: 100 cycles/µs),
+the same unit the admission planner and the report use, so a loadtest is
+a pure function of ``(n, rate, dist, seed)`` and replays bit-identically
+(satisfying the deterministic-replay contract tested in
+``tests/serve/test_arrivals.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import ConfigurationError
+
+#: Supported inter-arrival distributions.
+DISTRIBUTIONS = ("poisson", "uniform")
+
+
+def arrival_schedule(
+    n: int, rate: float, dist: str = "poisson", seed: int = 0
+) -> List[float]:
+    """Arrival times (virtual µs, ascending, starting at 0) of ``n`` requests.
+
+    ``rate`` is the offered load in requests per virtual second.
+    ``"poisson"`` draws exponential inter-arrival gaps from a
+    ``random.Random(seed)`` stream; ``"uniform"`` spaces requests exactly
+    ``1e6 / rate`` µs apart (seed-independent by construction — the
+    degenerate deterministic baseline).
+    """
+    if n < 1:
+        raise ConfigurationError(f"need at least 1 request, got {n}")
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be positive req/s, got {rate}")
+    if dist not in DISTRIBUTIONS:
+        raise ConfigurationError(
+            f"unknown arrival distribution {dist!r} "
+            f"(choose from {DISTRIBUTIONS})"
+        )
+    mean_gap_us = 1e6 / rate
+    if dist == "uniform":
+        return [i * mean_gap_us for i in range(n)]
+    rng = random.Random(seed)
+    t = 0.0
+    out = []
+    for _ in range(n):
+        out.append(t)
+        t += rng.expovariate(1.0 / mean_gap_us)
+    return out

@@ -1,0 +1,347 @@
+"""The open-loop loadtest: arrivals -> admission -> fleet -> report.
+
+The loadtest is the serving stack run as an experiment. Four phases:
+
+1. **Plan** (virtual time, deterministic): a seeded arrival schedule
+   (:mod:`repro.serve.arrivals`) is run through the admission planner
+   (:func:`repro.serve.admission.plan_batches`) with the Eq. 4 *modeled*
+   service time, fixing the batch composition and replica assignment as
+   a pure function of ``(design, n, rate, dist, seed, policy)``.
+2. **Execute** (real processes): every planned batch runs on its
+   assigned replica in the warm fleet; chaos mode arms the fault
+   scenario on one replica for the second half of the planned timeline.
+3. **Verify**: each request's output digest is compared against an
+   independent single-shot compiled-engine simulation of the same
+   request; a knee-sized probe batch on the *event* engine checks that
+   genuinely measured per-image cycles converge to the bottleneck II
+   (the Fig. 6 claim — the compiled engine's timing is modeled, so the
+   probe must not use it); a chaos run cross-checks the faulted
+   replica's measured interval against the analytical throttled-DMA
+   model (:func:`repro.faults.throttled_perf`).
+4. **Replay** (virtual time): the fixed batch composition is re-timed
+   with the *measured* per-batch cycles, yielding the latency
+   percentiles and throughput the report quotes.
+
+Determinism contract: with the same arguments, phases 1 and 4 are
+bit-identical across runs (asserted in ``tests/serve/test_loadtest.py``)
+— clean-run measured cycles equal the model by the compiled engine's
+timing contract, and faulted cycles are seed-deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.builder import build_network, random_weights
+from repro.core.network_design import NetworkDesign
+from repro.core.perf_model import network_perf
+from repro.dataflow.digest import stable_digest
+from repro.errors import ConfigurationError
+from repro.faults import load_scenario, throttled_perf
+from repro.serve.admission import (
+    KNEE_TOLERANCE,
+    admission_config,
+    convergence_knee,
+    cycles_to_us,
+    plan_batches,
+    replay_batches,
+)
+from repro.serve.arrivals import arrival_schedule
+from repro.serve.replicas import ReplicaFleet, request_image
+from repro.serve.report import ServeReport, latency_stats
+
+#: Relative error allowed on the knee-probe per-image cycles (Eq. 4)
+#: and on the chaos measured-vs-analytical interval.
+DEFAULT_TOLERANCE = 0.05
+CHAOS_TOLERANCE = 0.10
+
+
+def single_shot_digests(
+    design: NetworkDesign, seed: int, indices: List[int]
+) -> Dict[int, str]:
+    """Reference digest of each request, from independent 1-image runs.
+
+    This is the ground truth the fleet must reproduce: same weights
+    (seeded), same per-request input recipe, batch of one, compiled
+    engine. Any divergence means batching or IPC corrupted a result.
+    """
+    weights = random_weights(design, seed=seed)
+    refs: Dict[int, str] = {}
+    for idx in indices:
+        built = build_network(
+            design, weights, np.stack([request_image(design, seed, idx)])
+        )
+        built.run(scheduler="compiled")
+        refs[idx] = stable_digest(built.outputs()[0])
+    return refs
+
+
+def knee_probe(
+    design: NetworkDesign, seed: int, batch: int
+) -> Dict[str, object]:
+    """Measured per-image cycles at ``batch`` images, on the event engine.
+
+    The compiled engine's cycle timing is modeled (it would match Eq. 4
+    by construction), so the Fig. 6 convergence claim is only honestly
+    testable on an interpreted engine: run the batch, take
+    ``total_cycles / batch``.
+    """
+    weights = random_weights(design, seed=seed)
+    images = np.stack(
+        [request_image(design, seed, i) for i in range(batch)]
+    )
+    built = build_network(design, weights, images)
+    result = built.run(scheduler="event")
+    return {
+        "probe_batch": batch,
+        "measured_per_image": result.cycles / batch,
+        "measured_cycles": result.cycles,
+    }
+
+
+def run_loadtest(
+    design: NetworkDesign,
+    requests: int = 32,
+    rate: float = 200.0,
+    dist: str = "poisson",
+    seed: int = 0,
+    replicas: int = 2,
+    mode: str = "process",
+    max_batch: Optional[int] = None,
+    max_wait_us: Optional[float] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    fault: Optional[str] = None,
+    probe: bool = True,
+    verify_digests: bool = True,
+) -> ServeReport:
+    """Run one open-loop loadtest and report (see module docstring).
+
+    ``fault`` names a preset scenario (e.g. ``"dma-throttle"``) or a
+    scenario JSON path; it is armed on replica 0 for every batch
+    dispatched in the second half of the planned virtual timeline —
+    chaos arrives mid-run, while the rest of the fleet stays clean.
+    """
+    if requests < 1:
+        raise ConfigurationError(f"need >= 1 request, got {requests}")
+    t_start = time.perf_counter()
+    perf = network_perf(design)
+    knee = convergence_knee(design, tolerance=tolerance, perf=perf)
+    config = admission_config(
+        design, max_batch=max_batch, max_wait_us=max_wait_us,
+        tolerance=tolerance, perf=perf,
+    )
+
+    # Phase 1: deterministic virtual-time plan.
+    arrivals = arrival_schedule(requests, rate, dist=dist, seed=seed)
+    planned = plan_batches(
+        arrivals, config,
+        lambda b: cycles_to_us(perf.batch_cycles(b)),
+        replicas,
+    )
+
+    scenario = load_scenario(fault) if fault is not None else None
+    chaos_from_us = None
+    arm_batch = None
+    if scenario is not None:
+        # Arm mid-run: the second half of replica 0's batch sequence runs
+        # faulted (at least one organic traffic batch, even if replica 0
+        # only ever gets a single batch).
+        on_zero = sorted(
+            (i for i, b in enumerate(planned) if b.replica == 0),
+            key=lambda i: (planned[i].dispatch_us, i),
+        )
+        if on_zero:
+            arm_batch = on_zero[len(on_zero) // 2]
+            chaos_from_us = planned[arm_batch].dispatch_us
+
+    # Phase 2: execute on the warm fleet, in planned dispatch order.
+    failures: List[str] = []
+    order = sorted(
+        range(len(planned)), key=lambda i: (planned[i].dispatch_us, i)
+    )
+    results: List[Optional[dict]] = [None] * len(planned)
+    with ReplicaFleet(design, replicas, seed=seed, mode=mode) as fleet:
+        fleet.warm()
+        pending = []
+        for i in order:
+            if i == arm_batch:
+                fleet.arm(0, scenario)
+            batch = planned[i]
+            pending.append(
+                (i, fleet.submit(batch.replica, batch.indices))
+            )
+        for i, fut in pending:
+            results[i] = fut.result()
+        faulted_batches = [
+            i for i in range(len(planned)) if results[i]["faulted"]
+        ]
+        chaos_probe = None
+        if scenario is not None:
+            # The faulted interval needs a multi-image faulted batch;
+            # traffic may not have produced one on replica 0 (e.g. the
+            # only batch past the arming point was a straggler of 1).
+            # Guarantee the measurement with one probe batch on the
+            # armed replica, using fresh request indices.
+            organic = max(
+                (len(results[i]["indices"]) for i in faulted_batches),
+                default=0,
+            )
+            if organic < 4:
+                fleet.arm(0, scenario)
+                probe_n = min(config.max_batch,
+                              max(4, config.target_batch))
+                chaos_probe = fleet.submit(
+                    0, list(range(requests, requests + probe_n))
+                ).result()
+    exec_wall = time.perf_counter() - t_start
+
+    # Phase 3a: digest verification vs single-shot simulation.
+    digest_info: Dict[str, object] = {"checked": 0, "matched": 0,
+                                      "mismatched": []}
+    if verify_digests:
+        refs = single_shot_digests(design, seed, list(range(requests)))
+        mismatched = []
+        for batch, res in zip(planned, results):
+            for idx, digest in zip(res["indices"], res["digests"]):
+                if digest != refs[idx]:
+                    mismatched.append(
+                        {"request": idx, "got": digest,
+                         "expected": refs[idx]}
+                    )
+        digest_info = {
+            "checked": requests,
+            "matched": requests - len(mismatched),
+            "mismatched": mismatched,
+        }
+        if mismatched:
+            failures.append(
+                f"{len(mismatched)} digest(s) diverge from single-shot"
+            )
+
+    # Phase 3b: the Fig. 6 convergence probe (event engine, past knee).
+    knee_info: Dict[str, object] = {
+        "predicted": knee,
+        "tolerance": tolerance,
+        "bottleneck_ii": perf.interval,
+        "bottleneck": perf.bottleneck,
+        "fill_latency": perf.fill_latency,
+    }
+    if probe:
+        # Twice the knee: comfortably past convergence (the expected
+        # amortized-fill error is tolerance/2), still O(knee) cycles.
+        probe_res = knee_probe(design, seed, batch=max(2 * knee, 2))
+        measured = probe_res["measured_per_image"]
+        rel = (measured - perf.interval) / perf.interval
+        knee_info.update(probe_res)
+        knee_info["rel_err"] = rel
+        # One-sided in spirit (measured >= II always) but keep abs().
+        if abs(rel) > tolerance:
+            failures.append(
+                f"knee probe per-image cycles {measured:.1f} off II "
+                f"{perf.interval} by {100 * rel:+.1f}%"
+            )
+
+    # Phase 3c: chaos cross-check vs the analytical throttled model.
+    chaos_info = None
+    if scenario is not None:
+        predicted = throttled_perf(design, scenario, perf=perf)
+        measured_iis = [
+            results[i]["measured_interval"]
+            for i in faulted_batches
+            if results[i]["measured_interval"] is not None
+        ]
+        if chaos_probe is not None:
+            measured_iis.append(chaos_probe["measured_interval"])
+        measured_ii = max(measured_iis) if measured_iis else None
+        if measured_ii is None:  # pragma: no cover - probe guarantees one
+            chaos_rel = None
+            failures.append("chaos interval could not be measured")
+        else:
+            chaos_rel = (measured_ii - predicted.interval) / predicted.interval
+            if abs(chaos_rel) > CHAOS_TOLERANCE:
+                failures.append(
+                    f"throttled interval {measured_ii} off analytical "
+                    f"{predicted.interval} by {100 * chaos_rel:+.1f}%"
+                )
+        chaos_info = {
+            "scenario": scenario.name,
+            "replica": 0,
+            "armed_from_us": (
+                round(chaos_from_us, 3) if chaos_from_us is not None
+                else None
+            ),
+            "faulted_batches": len(faulted_batches),
+            "probe_batch": (
+                len(chaos_probe["indices"]) if chaos_probe else None
+            ),
+            "predicted_interval": predicted.interval,
+            "predicted_degradation": round(predicted.degradation, 4),
+            "measured_interval": measured_ii,
+            "rel_err": chaos_rel,
+        }
+
+    # Phase 4: measured replay -> latencies.
+    measured_service = [
+        cycles_to_us(res["cycles"]) for res in results
+    ]
+    replayed = replay_batches(planned, arrivals, measured_service, replicas)
+    latencies = [0.0] * requests
+    for batch in replayed:
+        for idx in batch.indices:
+            latencies[idx] = batch.done_us - arrivals[idx]
+    makespan = max(b.done_us for b in replayed) - arrivals[0]
+    stats = latency_stats(latencies)
+
+    if chaos_info is not None:
+        # Tail degradation: the replay's p99 against a clean-model p99
+        # (every batch at its modeled service time).
+        clean = replay_batches(
+            planned, arrivals,
+            [cycles_to_us(perf.batch_cycles(b.size)) for b in planned],
+            replicas,
+        )
+        clean_lat = sorted(
+            b.done_us - arrivals[i] for b in clean for i in b.indices
+        )
+        chaos_info["clean_p99_us"] = round(
+            latency_stats(clean_lat)["p99_us"], 3
+        )
+        chaos_info["p99_ratio"] = round(
+            stats["p99_us"] / max(chaos_info["clean_p99_us"], 1e-9), 4
+        )
+
+    total_wall = time.perf_counter() - t_start
+    return ServeReport(
+        design=design.name,
+        requests=requests,
+        rate=rate,
+        dist=dist,
+        seed=seed,
+        replicas=replicas,
+        mode=mode,
+        scheduler="compiled" if scenario is None else "compiled+event",
+        admission={
+            "target_batch": config.target_batch,
+            "max_batch": config.max_batch,
+            "max_wait_us": round(config.max_wait_us, 3),
+        },
+        knee=knee_info,
+        latency=stats,
+        images_per_sec=requests / (makespan / 1e6),
+        makespan_us=round(makespan, 3),
+        batch_histogram=dict(Counter(b.size for b in planned)),
+        digests=digest_info,
+        chaos=chaos_info,
+        wall={
+            "exec_s": round(exec_wall, 3),
+            "total_s": round(total_wall, 3),
+            "images_per_sec": round(requests / max(exec_wall, 1e-9), 1),
+        },
+        plan_cache=dict(results[0]["plan_cache"]) if results else {},
+        ok=not failures,
+        failures=failures,
+    )

@@ -1,0 +1,109 @@
+"""The analytical throttled-DMA model vs full faulted simulation.
+
+The component model replays exact channel-commit semantics, so on
+phase-free scenarios (period=1, the chaos preset) its predicted faulted
+interval must match the measured one *exactly*; phase-dependent
+scenarios must land within a few percent.
+"""
+
+import pytest
+
+from repro.core import network_perf, tiny_design, usps_design
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ChannelJitter,
+    DmaThrottle,
+    FaultScenario,
+    load_scenario,
+    run_design,
+    throttled_link_rate,
+    throttled_perf,
+)
+
+
+def measured_steady_interval(design, scenario, images=10, seed=3):
+    outcome = run_design(design, seed=seed, images=images, scenario=scenario)
+    assert outcome.finished
+    cc = outcome.built.image_completion_cycles()
+    tail = [b - a for a, b in zip(cc[-5:-1], cc[-4:])]
+    return sum(tail) / len(tail)
+
+
+def throttle(period, burst):
+    return FaultScenario(
+        "t", (DmaThrottle(channels="dma_in.*", period=period, burst=burst),)
+    )
+
+
+class TestLinkRate:
+    def test_clean_link_is_one_cycle_per_word(self):
+        # burst must be >= 1 by spec; a period so long it never fires
+        # within the measured window is the clean baseline.
+        assert throttled_link_rate(10**9, 1, beat=1) == pytest.approx(1.0)
+
+    def test_capacity_absorbs_small_bursts(self):
+        # period=1, burst<=2 on a capacity-4 FIFO: the batch commit
+        # catches up completely; the link still streams 1 word/cycle.
+        assert throttled_link_rate(1, 2, beat=1, capacity=4) == pytest.approx(
+            1.0
+        )
+
+    def test_period1_closed_form(self):
+        # Past the absorption point the recurrence settles at
+        # (burst + 2) / capacity cycles per word.
+        for burst in (8, 16, 24):
+            assert throttled_link_rate(1, burst, beat=1, capacity=4) == (
+                pytest.approx((burst + 2) / 4, rel=0.01)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            throttled_link_rate(1, 4, capacity=0)
+        with pytest.raises(ConfigurationError):
+            throttled_link_rate(1, 4, beat=0)
+
+
+class TestThrottledPerfExact:
+    @pytest.mark.parametrize("design_fn", [tiny_design, usps_design])
+    def test_chaos_preset_prediction_is_exact(self, design_fn):
+        design = design_fn()
+        scenario = load_scenario("dma-throttle")
+        pred = throttled_perf(design, scenario)
+        meas = measured_steady_interval(design, scenario)
+        assert pred.interval == meas
+
+    @pytest.mark.parametrize("period,burst", [(1, 24), (2, 10), (7, 5)])
+    def test_predictions_track_simulation(self, period, burst):
+        design = usps_design()
+        scenario = throttle(period, burst)
+        pred = throttled_perf(design, scenario)
+        meas = measured_steady_interval(design, scenario)
+        assert pred.interval == pytest.approx(meas, rel=0.03)
+
+    def test_degradation_factor(self):
+        design = usps_design()
+        pred = throttled_perf(design, load_scenario("dma-throttle"))
+        perf = network_perf(design)
+        assert pred.clean_interval == perf.interval
+        assert pred.degradation == pred.interval / perf.interval
+        assert pred.degradation > 1.0
+
+
+class TestScenarioValidation:
+    def test_rejects_scenario_without_throttle(self):
+        scenario = FaultScenario("j", (ChannelJitter(),))
+        with pytest.raises(ConfigurationError, match="DmaThrottle"):
+            throttled_perf(usps_design(), scenario)
+
+    def test_rejects_non_dma_in_target(self):
+        scenario = FaultScenario(
+            "x", (DmaThrottle(channels="conv*", period=1, burst=4),)
+        )
+        with pytest.raises(ConfigurationError, match="DMA input"):
+            throttled_perf(usps_design(), scenario)
+
+    def test_preset_exists_and_is_timing_only(self):
+        scenario = load_scenario("dma-throttle")
+        assert scenario.timing_only()
+        (spec,) = scenario.faults
+        assert spec.period == 1  # phase-free: model is seed-exact

@@ -1,0 +1,168 @@
+"""Admission policy: knee math, planner invariants, measured replay."""
+
+import pytest
+
+from repro.core import network_perf, tiny_design, usps_design
+from repro.errors import ConfigurationError
+from repro.serve import (
+    AdmissionConfig,
+    admission_config,
+    convergence_knee,
+    cycles_to_us,
+    plan_batches,
+    replay_batches,
+)
+
+
+class TestConvergenceKnee:
+    def test_knee_satisfies_eq4_tolerance(self):
+        # Eq. 4: mean(B) = II + (fill - II)/B; at B = knee the amortized
+        # fill must be within tolerance of II.
+        for design in (tiny_design(), usps_design()):
+            perf = network_perf(design)
+            knee = convergence_knee(design, tolerance=0.05, perf=perf)
+            mean = perf.mean_cycles_per_image(knee)
+            assert mean <= perf.interval * 1.05 + 1e-9
+
+    def test_knee_floors_at_layer_count(self):
+        design = tiny_design()
+        # With a huge tolerance the amortization bound collapses to 1;
+        # the pipeline depth must still floor the knee.
+        knee = convergence_knee(design, tolerance=100.0)
+        assert knee == design.n_layers
+
+    def test_tighter_tolerance_grows_knee(self):
+        design = usps_design()
+        assert convergence_knee(design, 0.01) > convergence_knee(design, 0.1)
+
+    def test_rejects_nonpositive_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            convergence_knee(tiny_design(), tolerance=0.0)
+
+
+class TestAdmissionConfig:
+    def test_defaults_derived_from_model(self):
+        design = usps_design()
+        perf = network_perf(design)
+        cfg = admission_config(design, perf=perf)
+        knee = convergence_knee(design, perf=perf)
+        assert cfg.target_batch == knee
+        assert cfg.max_batch == max(2 * knee, 8)
+        assert cfg.max_wait_us == pytest.approx(
+            cycles_to_us(perf.batch_cycles(cfg.target_batch))
+        )
+
+    def test_max_batch_caps_target(self):
+        cfg = admission_config(usps_design(), max_batch=4)
+        assert cfg.target_batch == 4 and cfg.max_batch == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(target_batch=0, max_batch=4, max_wait_us=10)
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(target_batch=4, max_batch=2, max_wait_us=10)
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(target_batch=2, max_batch=4, max_wait_us=0)
+
+
+def flat_service(_batch: int) -> float:
+    return 100.0
+
+
+class TestPlanner:
+    def test_every_request_served_exactly_once(self):
+        arrivals = [float(10 * i) for i in range(37)]
+        cfg = AdmissionConfig(target_batch=5, max_batch=8, max_wait_us=200)
+        batches = plan_batches(arrivals, cfg, flat_service, n_replicas=3)
+        served = [i for b in batches for i in b.indices]
+        assert sorted(served) == list(range(37))
+        assert len(served) == len(set(served))
+
+    def test_dispatch_never_precedes_members(self):
+        arrivals = [float(7 * i) for i in range(20)]
+        cfg = AdmissionConfig(target_batch=4, max_batch=6, max_wait_us=50)
+        for b in plan_batches(arrivals, cfg, flat_service, 2):
+            assert b.dispatch_us >= max(arrivals[i] for i in b.indices)
+
+    def test_replica_never_overlaps(self):
+        arrivals = [float(i) for i in range(50)]
+        cfg = AdmissionConfig(target_batch=4, max_batch=4, max_wait_us=10)
+        batches = plan_batches(arrivals, cfg, flat_service, 2)
+        for replica in (0, 1):
+            mine = sorted(
+                (b for b in batches if b.replica == replica),
+                key=lambda b: b.dispatch_us,
+            )
+            for prev, cur in zip(mine, mine[1:]):
+                assert cur.dispatch_us >= prev.done_us
+
+    def test_target_trigger_seals_at_fill(self):
+        # Requests arrive every 10 us, target 3, generous deadline: each
+        # batch seals exactly when its 3rd member arrives.
+        arrivals = [float(10 * i) for i in range(6)]
+        cfg = AdmissionConfig(target_batch=3, max_batch=3, max_wait_us=1e6)
+        batches = plan_batches(arrivals, cfg, flat_service, n_replicas=2)
+        assert [b.indices for b in batches] == [(0, 1, 2), (3, 4, 5)]
+        assert batches[0].dispatch_us == 20.0
+        assert batches[1].dispatch_us == 50.0
+
+    def test_deadline_trigger_seals_partial_batch(self):
+        # A lone request must not wait past max_wait for peers that
+        # never come.
+        arrivals = [0.0, 5000.0]
+        cfg = AdmissionConfig(target_batch=4, max_batch=4, max_wait_us=100)
+        batches = plan_batches(arrivals, cfg, flat_service, n_replicas=1)
+        assert batches[0].indices == (0,)
+        assert batches[0].dispatch_us == 100.0
+
+    def test_backlog_drained_up_to_max_batch(self):
+        # All requests arrive at once: sealing is greedy up to the cap
+        # (target is a trigger, not a size limit), remainder follows.
+        arrivals = [0.0] * 10
+        cfg = AdmissionConfig(target_batch=2, max_batch=8, max_wait_us=10)
+        batches = plan_batches(arrivals, cfg, flat_service, n_replicas=1)
+        assert [b.size for b in batches] == [8, 2]
+
+    def test_deterministic(self):
+        arrivals = [float(3 * i) for i in range(40)]
+        cfg = AdmissionConfig(target_batch=5, max_batch=10, max_wait_us=40)
+        a = plan_batches(arrivals, cfg, flat_service, 3)
+        b = plan_batches(arrivals, cfg, flat_service, 3)
+        assert a == b
+
+    def test_rejects_descending_arrivals(self):
+        cfg = AdmissionConfig(target_batch=1, max_batch=1, max_wait_us=1)
+        with pytest.raises(ConfigurationError, match="ascending"):
+            plan_batches([5.0, 1.0], cfg, flat_service, 1)
+
+
+class TestReplay:
+    def test_composition_preserved_times_rescaled(self):
+        arrivals = [float(10 * i) for i in range(12)]
+        cfg = AdmissionConfig(target_batch=4, max_batch=4, max_wait_us=100)
+        planned = plan_batches(arrivals, cfg, flat_service, 2)
+        measured = [1000.0] * len(planned)  # 10x slower than modeled
+        replayed = replay_batches(planned, arrivals, measured, 2)
+        assert [b.indices for b in replayed] == [b.indices for b in planned]
+        assert [b.replica for b in replayed] == [b.replica for b in planned]
+        assert all(b.service_us == 1000.0 for b in replayed)
+        for b in replayed:
+            assert b.dispatch_us >= max(arrivals[i] for i in b.indices)
+
+    def test_replay_with_modeled_times_matches_plan(self):
+        # Replaying the plan's own service times must reproduce its
+        # timeline (same fixed point).
+        arrivals = [float(25 * i) for i in range(9)]
+        cfg = AdmissionConfig(target_batch=3, max_batch=3, max_wait_us=30)
+        planned = plan_batches(arrivals, cfg, flat_service, 2)
+        replayed = replay_batches(
+            planned, arrivals, [b.service_us for b in planned], 2
+        )
+        assert [b.done_us for b in replayed] <= [b.done_us for b in planned]
+
+    def test_length_mismatch_rejected(self):
+        arrivals = [0.0, 1.0]
+        cfg = AdmissionConfig(target_batch=1, max_batch=1, max_wait_us=1)
+        planned = plan_batches(arrivals, cfg, flat_service, 1)
+        with pytest.raises(ConfigurationError, match="measured"):
+            replay_batches(planned, arrivals, [1.0], 1)

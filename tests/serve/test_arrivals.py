@@ -1,0 +1,54 @@
+"""Arrival schedules: determinism, distribution shape, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import arrival_schedule
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        a = arrival_schedule(64, 1000.0, dist="poisson", seed=42)
+        b = arrival_schedule(64, 1000.0, dist="poisson", seed=42)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = arrival_schedule(64, 1000.0, dist="poisson", seed=1)
+        b = arrival_schedule(64, 1000.0, dist="poisson", seed=2)
+        assert a != b
+
+    def test_uniform_is_seed_independent(self):
+        a = arrival_schedule(16, 500.0, dist="uniform", seed=1)
+        b = arrival_schedule(16, 500.0, dist="uniform", seed=99)
+        assert a == b
+
+
+class TestShape:
+    def test_ascending_from_zero(self):
+        sched = arrival_schedule(100, 2000.0, dist="poisson", seed=0)
+        assert sched[0] == 0.0
+        assert all(b >= a for a, b in zip(sched, sched[1:]))
+
+    def test_uniform_spacing(self):
+        sched = arrival_schedule(5, 1000.0, dist="uniform")
+        assert sched == [0.0, 1000.0, 2000.0, 3000.0, 4000.0]
+
+    def test_poisson_mean_gap_approximates_rate(self):
+        n, rate = 4000, 1000.0
+        sched = arrival_schedule(n, rate, dist="poisson", seed=7)
+        mean_gap = sched[-1] / (n - 1)
+        assert mean_gap == pytest.approx(1e6 / rate, rel=0.1)
+
+
+class TestValidation:
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ConfigurationError, match="request"):
+            arrival_schedule(0, 100.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            arrival_schedule(4, 0.0)
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(ConfigurationError, match="distribution"):
+            arrival_schedule(4, 100.0, dist="bursty")
