@@ -1,0 +1,204 @@
+"""Depth-prover benchmark: full buffering vs certified vs bisected floors.
+
+Two modes, mirroring ``bench_sim_engine.py``:
+
+* ``pytest benchmarks/bench_depths.py`` — pytest-benchmark micro
+  benchmarks of the prover itself (``infer_depth_plan`` is pure static
+  analysis and must stay effectively free next to a simulation run).
+* ``PYTHONPATH=src python benchmarks/bench_depths.py [--quick]`` —
+  sweep the model zoo with ``repro.analysis.depths.run_shrink`` and
+  write ``BENCH_depths.json``: per design, the full-buffering channel
+  words, the certified words, the empirically bisected floor words
+  (tiny only — bisection simulates O(channels x log depth) runs), the
+  prover runtime, and the throughput price of the word-minimal plan
+  (``cycles_ratio``: certified-plan cycles / full-buffering cycles).
+
+``--quick`` restricts the sweep to the small designs (tiny, usps-tc1);
+the full sweep adds cifar10-tc2 plus the AlexNet and VGG-16 pilot
+sub-networks and takes tens of minutes (the AlexNet pilot's lockstep
+validation run alone is ~7 minutes on one core).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.depths import bisect_plan, infer_depth_plan, run_shrink
+from repro.core import random_weights, tiny_design
+from repro.core.builder import build_network
+
+
+def _tiny_graph():
+    design = tiny_design()
+    weights = random_weights(design, seed=0)
+    batch = (
+        np.random.default_rng(0)
+        .uniform(0, 1, (1,) + design.input_shape)
+        .astype(np.float32)
+    )
+    return design, build_network(
+        design, weights, batch, memory_system="literal"
+    ).graph
+
+
+def test_bench_infer_depth_plan(benchmark):
+    """Prover runtime on the tiny literal graph (pure static analysis)."""
+    design, graph = _tiny_graph()
+    plan = benchmark.pedantic(
+        lambda: infer_depth_plan(graph, design_name=design.name),
+        rounds=3,
+        iterations=1,
+    )
+    bounded = sum(
+        1 for ch in graph.channels.values() if ch.capacity is not None
+    )
+    assert len(plan.certificates) == bounded
+    assert not plan.heuristic_channels()
+    assert plan.certified_words < plan.full_words
+
+
+def test_bench_prover_vs_simulation(benchmark):
+    """The pitch in one assert: proving floors must be far cheaper than
+    simulating even a single image through the network."""
+    import time
+
+    design, graph = _tiny_graph()
+    t0 = time.perf_counter()
+    built = build_network(
+        design,
+        random_weights(design, seed=0),
+        np.random.default_rng(0)
+        .uniform(0, 1, (1,) + design.input_shape)
+        .astype(np.float32),
+        memory_system="literal",
+    )
+    assert built.run().finished
+    sim_wall = time.perf_counter() - t0
+    prove_wall = benchmark.pedantic(
+        lambda: _walled(infer_depth_plan, graph), rounds=3, iterations=1
+    )
+    assert prove_wall < sim_wall, (
+        f"prover ({prove_wall:.3f}s) slower than simulation ({sim_wall:.3f}s)"
+    )
+
+
+def _walled(fn, *args):
+    import time
+
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
+# -- zoo sweep script --------------------------------------------------------
+
+#: (CLI design name, bisect floors empirically?) — bisection binary-searches
+#: every depth>1 channel with a fresh simulation per trial, so it is
+#: restricted to the design small enough to finish in seconds.
+QUICK_DESIGNS = [("tiny", True), ("usps-tc1", False)]
+FULL_DESIGNS = QUICK_DESIGNS + [
+    ("cifar10-tc2", False),
+    ("alexnet", False),
+    ("vgg16", False),
+]
+
+
+def _sweep_design(name: str, bisect: bool) -> dict:
+    from repro.cli import _load_design
+
+    design = _load_design(name)
+    report = run_shrink(design, seed=0, images=1, bisect=False)
+    row = {
+        "design": name,
+        "simulated_design": report["simulated_design"],
+        "pilot": report["pilot"],
+        "ok": report["ok"],
+        "channels": report["prover"]["channels"],
+        "methods": report["prover"]["methods"],
+        "tight": report["prover"]["tight"],
+        "heuristic": report["prover"]["heuristic"],
+        "prover_runtime_s": report["prover"]["runtime_s"],
+        "full_words": report["words"]["full"],
+        "certified_words": report["words"]["certified"],
+        "saved_words": report["words"]["saved"],
+        "saved_pct": report["words"]["saved_pct"],
+        "cycles_ratio": report["cycles_ratio"],
+        "violations": report["violations"],
+    }
+    if bisect:
+        from repro.analysis.depths import DepthPlan
+
+        plan = DepthPlan.from_dict(report["plan"])
+        rows = bisect_plan(design, plan)
+        floor_words = sum(
+            int(r["floor"]) for r in rows.values()
+        ) + sum(
+            cert.depth
+            for ch, cert in plan.certificates.items()
+            if ch not in rows
+        )
+        row["bisect"] = {
+            "channels": len(rows),
+            "floor_words": floor_words,
+            "agrees": all(bool(r["agrees"]) for r in rows.values()),
+        }
+    return row
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import time
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small designs only (tiny, usps-tc1); skip the pilots",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_depths.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    designs = QUICK_DESIGNS if args.quick else FULL_DESIGNS
+    rows = []
+    for name, bisect in designs:
+        t0 = time.perf_counter()
+        row = _sweep_design(name, bisect)
+        wall = time.perf_counter() - t0
+        row["wall_seconds"] = round(wall, 1)
+        rows.append(row)
+        bis = ""
+        if "bisect" in row:
+            b = row["bisect"]
+            bis = (
+                f", bisected floor {b['floor_words']} words "
+                f"({'agrees' if b['agrees'] else 'DISAGREES'})"
+            )
+        print(
+            f"  {name:12s} {row['full_words']:>6} -> "
+            f"{row['certified_words']:>6} words "
+            f"(-{row['saved_pct']:.1f}%), prover "
+            f"{row['prover_runtime_s']:.3f}s, cycles x"
+            f"{row['cycles_ratio']:.1f}, "
+            f"{'ok' if row['ok'] else 'VIOLATIONS'}{bis} "
+            f"[{wall:.1f}s]"
+        )
+
+    out = {
+        "benchmark": "depth_prover_zoo_sweep",
+        "quick": args.quick,
+        "designs": rows,
+        "total_full_words": sum(r["full_words"] for r in rows),
+        "total_certified_words": sum(r["certified_words"] for r in rows),
+    }
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    bad = [r["design"] for r in rows if not r["ok"]]
+    if bad:
+        raise SystemExit(f"shrink violations on: {', '.join(bad)}")
+
+
+if __name__ == "__main__":
+    main()

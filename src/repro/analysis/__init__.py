@@ -17,6 +17,20 @@ from repro.analysis.checker import (
     check_network,
     placeholder_weights,
 )
+from repro.analysis.depths import (
+    DepthCertificate,
+    DepthPlan,
+    ShrinkReport,
+    apply_depth_plan,
+    bisect_channel_floor,
+    bisect_plan,
+    chain_run_ahead,
+    infer_depth_plan,
+    load_depth_plan,
+    probe_tight_certificate,
+    run_shrink,
+    validate_plan,
+)
 from repro.analysis.design_rules import SpecChain
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity, make
 from repro.analysis.graph_rules import actor_skew_latency
@@ -25,8 +39,11 @@ from repro.analysis.rules import DESIGN_RULES, GRAPH_RULES, RULES, RuleInfo, ren
 __all__ = [
     "ELABORATE_WEIGHT_LIMIT",
     "AnalysisReport",
+    "DepthCertificate",
+    "DepthPlan",
     "Diagnostic",
     "Severity",
+    "ShrinkReport",
     "SpecChain",
     "RuleInfo",
     "RULES",
@@ -36,9 +53,18 @@ __all__ = [
     "analyze_chain",
     "analyze_design",
     "analyze_graph",
+    "apply_depth_plan",
+    "bisect_channel_floor",
+    "bisect_plan",
+    "chain_run_ahead",
     "check_design_dict",
     "check_network",
+    "infer_depth_plan",
+    "load_depth_plan",
     "make",
     "placeholder_weights",
+    "probe_tight_certificate",
     "render_catalog",
+    "run_shrink",
+    "validate_plan",
 ]

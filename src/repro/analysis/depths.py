@@ -1,0 +1,1214 @@
+"""Static FIFO depth inference and deadlock-freedom certification.
+
+The paper sizes every literal SST chain FIFO for worst-case *full
+buffering* (``sst/sizing.py``), which is exactly why large networks only
+run as pilot downscales.  Following *Memory-Efficient Dataflow Inference
+for Deep CNNs on FPGA* (arXiv:2011.07317), this module derives
+per-channel **lower-bound depths** from the closed-form steady-state
+structure of the elaborated graph and emits a :class:`DepthPlan` whose
+every entry carries a machine-checkable :class:`DepthCertificate`.
+
+Prover model
+------------
+Channels are classified into four certificate methods:
+
+``chain-recursion``
+    The FIFOs and tap channels of a literal SST filter chain
+    (``X.fifo{i}`` / ``X.tap{t}`` under a ``X.asm``
+    :class:`~repro.sst.filter_chain.WindowAssembler`).  For a chain of
+    ``n`` filters with full-buffering depths ``d_i`` (``fifo_depths``,
+    taps in stream-arrival order) and tap-channel capacities ``T_i``,
+    filter ``i`` can run ahead of the assembly step by the *run-ahead
+    budget* ``R_i`` given by the max-plus recursion::
+
+        R_{n-1} = T_{n-1}
+        R_i     = min(T_i, R_{i+1} + c_i - d_i)
+
+    where ``c_i`` is the capacity of the FIFO between filters ``i`` and
+    ``i+1``.  The chain is deadlock-free iff every ``R_i >= 1`` (filter
+    ``i`` can deliver the beat the assembler's lock-step tap pop
+    demands).  The backward greedy assignment ``T_i = 1``,
+    ``c_i = max(1, d_i)`` is the word-minimal solution; a chain FIFO is
+    **tight** when ``c_i - 1`` drives ``min_i R_i`` below 1, i.e. the
+    prover can show depth-1 deadlocks.
+
+``bridge``
+    A channel that is a bridge of the undirected channel multigraph.  A
+    deadlock is a cycle in the wait-for graph (writers blocked on full
+    channels, readers on empty ones); such a cycle projects onto an
+    undirected cycle of channels, and a bridge lies on no undirected
+    cycle — so no deadlock cycle can traverse it and capacity 1 is
+    provably sufficient.
+
+``reconvergent-skew``
+    A non-bridge channel on an enumerated fork/join path (the
+    BUFFER.SKEW model with literal chains contracted to their prime
+    latency): each branch must buffer the latency *deficit* against its
+    slowest peer, so the floor is ``max(1, skew - own latency)``.
+
+``heuristic-pin``
+    Anything the prover cannot classify keeps its built capacity and is
+    flagged with a ``BUFFER.DEPTH_CERT`` diagnostic — the plan is still
+    applicable, but that channel's bound is heuristic, not proven.
+
+Cross-validation
+----------------
+:func:`validate_plan` replays the proof empirically, reusing the
+FIFO-shrink fault machinery (:mod:`repro.faults`): a certified plan must
+simulate deadlock-free under both the event and lockstep engines with
+the full-buffering output digest, and depth-1 on every tight certificate
+must deadlock the event engine on exactly the certified channel while
+the plan-aware analyzer flags it ``BUFFER.DEPTH_UNDERSIZED`` (the PR 3
+invariant, now prover-driven).  :func:`bisect_plan` binary-searches each
+channel's empirical floor under the simulator for the bench trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.dataflow.graph import DataflowGraph
+from repro.errors import ConfigurationError, DeadlockError
+from repro.fpga.dma import PAPER_DMA, DmaModel
+from repro.report.base import Report
+from repro.sst.filter_chain import TapFilter, WindowAssembler
+
+#: Certificate methods, strongest structural claim first.
+METHOD_CHAIN = "chain-recursion"
+METHOD_BRIDGE = "bridge"
+METHOD_SKEW = "reconvergent-skew"
+METHOD_PIN = "heuristic-pin"
+
+_METHODS = (METHOD_CHAIN, METHOD_BRIDGE, METHOD_SKEW, METHOD_PIN)
+
+#: Reconvergence enumeration bounds (the stock ``analyze_reconvergence``
+#: cutoff of 12 misses the long core-to-core paths threading literal
+#: chains, hence the dedicated, chain-contracted enumeration here).
+_PATH_CUTOFF = 64
+_MAX_PATHS = 16
+
+
+@dataclass(frozen=True)
+class DepthCertificate:
+    """One channel's certified depth and the proof obligation behind it."""
+
+    channel: str
+    #: Certified capacity (>= 1): provably deadlock-free at this depth
+    #: when ``proven``; the pinned built capacity otherwise.
+    depth: int
+    #: Capacity of the same channel in the full-buffering build.
+    full_capacity: int
+    #: One of the METHOD_* constants.
+    method: str
+    #: True when the depth follows from a structural proof; False for
+    #: heuristic pins (surfaced as BUFFER.DEPTH_CERT diagnostics).
+    proven: bool
+    #: True when the prover shows ``depth - 1`` deadlocks (chain FIFOs
+    #: whose run-ahead budget hits exactly 1).  Tight certificates are
+    #: the bisector's probe targets.
+    tight: bool
+    #: Human-readable proof sketch.
+    detail: str
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ConfigurationError(
+                f"{self.channel!r}: certified depth must be >= 1, got "
+                f"{self.depth}"
+            )
+        if self.method not in _METHODS:
+            raise ConfigurationError(
+                f"{self.channel!r}: unknown certificate method "
+                f"{self.method!r}"
+            )
+        if self.tight and not self.proven:
+            raise ConfigurationError(
+                f"{self.channel!r}: a tight certificate must be proven"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "channel": self.channel,
+            "depth": self.depth,
+            "full_capacity": self.full_capacity,
+            "method": self.method,
+            "proven": self.proven,
+            "tight": self.tight,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "DepthCertificate":
+        return cls(
+            channel=str(d["channel"]),
+            depth=int(d["depth"]),
+            full_capacity=int(d["full_capacity"]),
+            method=str(d["method"]),
+            proven=bool(d["proven"]),
+            tight=bool(d["tight"]),
+            detail=str(d.get("detail", "")),
+        )
+
+
+@dataclass
+class DepthPlan:
+    """A certified per-channel FIFO depth assignment for one design."""
+
+    design_name: str
+    graph_name: str
+    #: DMA beat interval the bounds are denominated in (beats, not ns).
+    dma_beat: int
+    #: Memory system of the build the plan was inferred from.  Depth
+    #: plans only exist for ``"literal"`` graphs — chain FIFOs are the
+    #: whole point — but the field keeps apply-time misuse detectable.
+    memory_system: str
+    certificates: Dict[str, DepthCertificate] = field(default_factory=dict)
+
+    # -- aggregate views -----------------------------------------------------
+
+    @property
+    def full_words(self) -> int:
+        """Total bounded FIFO words of the full-buffering build."""
+        return sum(c.full_capacity for c in self.certificates.values())
+
+    @property
+    def certified_words(self) -> int:
+        """Total bounded FIFO words at the certified depths."""
+        return sum(c.depth for c in self.certificates.values())
+
+    @property
+    def saved_words(self) -> int:
+        return self.full_words - self.certified_words
+
+    @property
+    def saved_pct(self) -> float:
+        if self.full_words == 0:
+            return 0.0
+        return 100.0 * self.saved_words / self.full_words
+
+    def capacity(self, channel: str) -> int:
+        """Certified capacity of one channel."""
+        return self.certificates[channel].depth
+
+    def tight_channels(self) -> List[str]:
+        """Channels whose depth-1 provably deadlocks, sorted."""
+        return sorted(
+            name for name, c in self.certificates.items() if c.tight
+        )
+
+    def proven_channels(self) -> List[str]:
+        return sorted(
+            name for name, c in self.certificates.items() if c.proven
+        )
+
+    def heuristic_channels(self) -> List[str]:
+        """Channels pinned without a proof (BUFFER.DEPTH_CERT targets)."""
+        return sorted(
+            name for name, c in self.certificates.items() if not c.proven
+        )
+
+    def method_counts(self) -> Dict[str, int]:
+        out = {m: 0 for m in _METHODS}
+        for c in self.certificates.values():
+            out[c.method] += 1
+        return {m: n for m, n in out.items() if n}
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "design": self.design_name,
+            "graph": self.graph_name,
+            "dma_beat": self.dma_beat,
+            "memory_system": self.memory_system,
+            "words": {
+                "full": self.full_words,
+                "certified": self.certified_words,
+                "saved": self.saved_words,
+                "saved_pct": round(self.saved_pct, 2),
+            },
+            "methods": self.method_counts(),
+            "tight_channels": self.tight_channels(),
+            "certificates": {
+                name: cert.to_dict()
+                for name, cert in sorted(self.certificates.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "DepthPlan":
+        certs = {
+            name: DepthCertificate.from_dict(cd)
+            for name, cd in d["certificates"].items()
+        }
+        return cls(
+            design_name=str(d["design"]),
+            graph_name=str(d["graph"]),
+            dma_beat=int(d["dma_beat"]),
+            memory_system=str(d["memory_system"]),
+            certificates=certs,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"depth plan {self.design_name}: {len(self.certificates)} "
+            f"channels, {self.certified_words}/{self.full_words} words "
+            f"({self.saved_pct:.1f}% saved), "
+            f"{len(self.tight_channels())} tight"
+        )
+
+
+def load_depth_plan(path: str) -> DepthPlan:
+    """Load a plan written by ``repro shrink --apply``."""
+    with open(path) as fh:
+        d = json.load(fh)
+    return DepthPlan.from_dict(d)
+
+
+# -- graph structure helpers --------------------------------------------------
+
+
+def _endpoint_actor(endpoint: str) -> str:
+    """Actor name of a channel endpoint (ports never contain dots)."""
+    return endpoint.rsplit(".", 1)[0]
+
+
+def _chain_bases(graph: DataflowGraph) -> List[str]:
+    """Base names of every literal SST chain (``X`` for actor ``X.asm``)."""
+    return sorted(
+        name[: -len(".asm")]
+        for name, actor in graph.actors.items()
+        if isinstance(actor, WindowAssembler) and name.endswith(".asm")
+    )
+
+
+def _chain_prime_latency(asm: WindowAssembler) -> int:
+    """Stream beats a literal chain delays before the first window.
+
+    Mirrors ``actor_skew_latency`` for the behavioral
+    :class:`~repro.sst.line_buffer.SlidingWindowActor`: the full-buffer
+    footprint times the interleave group.
+    """
+    return asm.spec.footprint(asm.wp) * asm.group
+
+
+def _bridge_channels(graph: DataflowGraph) -> Set[str]:
+    """Channels that are bridges of the undirected channel multigraph.
+
+    A channel with a parallel sibling between the same actor pair is
+    never a bridge (the sibling closes an undirected cycle), so only
+    multiplicity-1 edges that :func:`networkx.bridges` reports qualify.
+    """
+    parallel: Dict[Tuple[str, str], List[str]] = {}
+    g: "nx.Graph[str]" = nx.Graph()
+    for name in graph.actors:
+        g.add_node(name)
+    for name, ch in graph.channels.items():
+        if ch.writer is None or ch.reader is None:
+            continue
+        u = _endpoint_actor(ch.writer)
+        v = _endpoint_actor(ch.reader)
+        key = (u, v) if u <= v else (v, u)
+        parallel.setdefault(key, []).append(name)
+        g.add_edge(*key)
+    out: Set[str] = set()
+    for u, v in nx.bridges(g):
+        key = (u, v) if u <= v else (v, u)
+        names = parallel[key]
+        if len(names) == 1:
+            out.add(names[0])
+    return out
+
+
+def _chain_members(
+    graph: DataflowGraph, base: str
+) -> Tuple[List[str], List[str], List[int]]:
+    """``(fifo names, tap channel names, full depths)`` of one chain.
+
+    Both lists follow chain position (stream-arrival order): tap channel
+    ``i`` is the one written by filter ``X.f{i}``'s ``tap`` port — the
+    graph itself resolves the sorted-offset-to-tap-index mapping that
+    ``build_filter_chain`` applied.
+    """
+    writers = {
+        ch.writer: name
+        for name, ch in graph.channels.items()
+        if ch.writer is not None
+    }
+    n = 0
+    while f"{base}.f{n}" in graph.actors:
+        n += 1
+    if n == 0:
+        raise ConfigurationError(f"no filters under chain base {base!r}")
+    fifos: List[str] = []
+    depths: List[int] = []
+    for i in range(n - 1):
+        name = f"{base}.fifo{i}"
+        ch = graph.channels.get(name)
+        if ch is None or ch.capacity is None:
+            raise ConfigurationError(
+                f"literal chain {base!r} is missing bounded FIFO {name!r}"
+            )
+        fifos.append(name)
+        depths.append(ch.capacity - 1)
+    taps: List[str] = []
+    for i in range(n):
+        tap = writers.get(f"{base}.f{i}.tap")
+        if tap is None:
+            raise ConfigurationError(
+                f"literal chain {base!r}: filter {i} has no tap channel"
+            )
+        taps.append(tap)
+    return fifos, taps, depths
+
+
+def chain_run_ahead(
+    depths: Sequence[int],
+    fifo_caps: Sequence[int],
+    tap_caps: Sequence[int],
+) -> List[int]:
+    """The max-plus run-ahead budgets ``R_i`` of a literal chain.
+
+    ``depths`` are the full-buffering depths ``d_i`` between consecutive
+    taps, ``fifo_caps`` the proposed chain FIFO capacities ``c_i``, and
+    ``tap_caps`` the tap-channel capacities ``T_i`` (one per filter).
+    The chain is deadlock-free iff every returned budget is >= 1.
+    """
+    n = len(tap_caps)
+    if len(depths) != n - 1 or len(fifo_caps) != n - 1:
+        raise ConfigurationError(
+            f"chain shape mismatch: {n} taps need {n - 1} FIFOs, got "
+            f"{len(depths)} depths / {len(fifo_caps)} capacities"
+        )
+    budgets = [0] * n
+    budgets[n - 1] = tap_caps[n - 1]
+    for i in range(n - 2, -1, -1):
+        budgets[i] = min(
+            tap_caps[i], budgets[i + 1] + fifo_caps[i] - depths[i]
+        )
+    return budgets
+
+
+def _certify_chain(
+    graph: DataflowGraph,
+    base: str,
+    certs: Dict[str, DepthCertificate],
+) -> None:
+    """Prove and record the word-minimal depths of one literal chain."""
+    fifos, taps, depths = _chain_members(graph, base)
+    tap_caps = [1] * len(taps)
+    fifo_caps = [max(1, d) for d in depths]
+    budgets = chain_run_ahead(depths, fifo_caps, tap_caps)
+    if min(budgets) < 1:  # pragma: no cover - the assignment is feasible
+        raise ConfigurationError(
+            f"chain {base!r}: minimal assignment violates its own "
+            f"recursion (budgets {budgets})"
+        )
+    for i, name in enumerate(fifos):
+        ch = graph.channels[name]
+        cap = fifo_caps[i]
+        tight = cap >= 2
+        if tight:
+            shrunk = list(fifo_caps)
+            shrunk[i] = cap - 1
+            worst = min(chain_run_ahead(depths, shrunk, tap_caps))
+            detail = (
+                f"max-plus recursion over chain {base!r}: R>=1 at depth "
+                f"{cap} (full depth {depths[i]}, unit tap slack); depth "
+                f"{cap - 1} drives min R to {worst}"
+            )
+        else:
+            detail = (
+                f"max-plus recursion over chain {base!r}: inter-tap "
+                f"depth {depths[i]} is within the unit tap slack"
+            )
+        certs[name] = DepthCertificate(
+            channel=name,
+            depth=cap,
+            full_capacity=int(ch.capacity or 0),
+            method=METHOD_CHAIN,
+            proven=True,
+            tight=tight,
+            detail=detail,
+        )
+    for i, name in enumerate(taps):
+        ch = graph.channels[name]
+        certs[name] = DepthCertificate(
+            channel=name,
+            depth=1,
+            full_capacity=int(ch.capacity or 0),
+            method=METHOD_CHAIN,
+            proven=True,
+            tight=False,
+            detail=(
+                f"tap channel of chain {base!r}: the run-ahead budget "
+                f"T={1} is folded into the chain FIFO floors"
+            ),
+        )
+
+
+def _reduced_topology(
+    graph: DataflowGraph, chain_bases: Sequence[str]
+) -> Tuple["nx.DiGraph[str]", Dict[Tuple[str, str], List[str]], Dict[str, int]]:
+    """Digraph with literal chains contracted to one node each.
+
+    Returns ``(digraph, hop channels, node skew latency)``.  Contracting
+    a chain to its prime latency reproduces the behavioral BUFFER.SKEW
+    view: tap shortcuts inside a chain are synchronized by the assembler
+    and must not leak phantom deficits onto upstream channels.
+    """
+    from repro.analysis.graph_rules import actor_skew_latency
+
+    def node_of(actor_name: str) -> str:
+        for base in chain_bases:
+            if actor_name == base or actor_name.startswith(base + "."):
+                return base
+        return actor_name
+
+    latency: Dict[str, int] = {}
+    for name, actor in graph.actors.items():
+        node = node_of(name)
+        if node != name:
+            if isinstance(actor, WindowAssembler):
+                latency[node] = _chain_prime_latency(actor)
+            continue
+        latency[name] = actor_skew_latency(actor)
+    g: "nx.DiGraph[str]" = nx.DiGraph()
+    g.add_nodes_from(latency)
+    hops: Dict[Tuple[str, str], List[str]] = {}
+    for name, ch in graph.channels.items():
+        if ch.writer is None or ch.reader is None:
+            continue
+        u = node_of(_endpoint_actor(ch.writer))
+        v = node_of(_endpoint_actor(ch.reader))
+        if u == v:
+            continue  # intra-chain channel, certified by the recursion
+        g.add_edge(u, v)
+        hops.setdefault((u, v), []).append(name)
+    return g, hops, latency
+
+
+def _certify_reconvergent(
+    graph: DataflowGraph,
+    chain_bases: Sequence[str],
+    certs: Dict[str, DepthCertificate],
+) -> None:
+    """Floor the channels on fork/join branches by their latency deficit."""
+    g, hops, latency = _reduced_topology(graph, chain_bases)
+    forks = [n for n in g if g.out_degree(n) >= 2]
+    joins = [n for n in g if g.in_degree(n) >= 2]
+    needed: Dict[str, int] = {}
+    origin: Dict[str, str] = {}
+    for f in forks:
+        for j in joins:
+            if f == j or not nx.has_path(g, f, j):
+                continue
+            paths: List[Tuple[str, ...]] = []
+            for path in nx.all_simple_paths(g, f, j, cutoff=_PATH_CUTOFF):
+                paths.append(tuple(path))
+                if len(paths) >= _MAX_PATHS:
+                    break
+            if len(paths) < 2:
+                continue
+            inner = [set(p[1:-1]) for p in paths]
+            if not any(
+                not (inner[a] & inner[b])
+                for a in range(len(paths))
+                for b in range(a + 1, len(paths))
+            ):
+                continue
+            lats = [
+                sum(latency[n] for n in path[1:-1]) for path in paths
+            ]
+            skew = max(lats)
+            for path, lat in zip(paths, lats):
+                deficit = max(1, skew - lat)
+                for a, b in zip(path, path[1:]):
+                    for name in hops.get((a, b), []):
+                        if name in certs:
+                            continue
+                        if deficit > needed.get(name, 0):
+                            needed[name] = deficit
+                            origin[name] = f"{f} -> {j}"
+    for name, floor in needed.items():
+        ch = graph.channels[name]
+        if ch.capacity is None:
+            continue
+        certs[name] = DepthCertificate(
+            channel=name,
+            depth=floor,
+            full_capacity=int(ch.capacity),
+            method=METHOD_SKEW,
+            proven=True,
+            tight=False,
+            detail=(
+                f"reconvergent branch of {origin[name]}: must absorb a "
+                f"latency deficit of {floor - 1} beats against the "
+                f"slowest peer (BUFFER.SKEW bound, chains contracted)"
+            ),
+        )
+
+
+def infer_depth_plan(
+    graph: DataflowGraph,
+    design_name: Optional[str] = None,
+    dma: DmaModel = PAPER_DMA,
+) -> DepthPlan:
+    """Derive a certified :class:`DepthPlan` for an elaborated graph.
+
+    The graph must be a ``repro check``-clean *literal* elaboration
+    (chain FIFOs only exist there); every bounded channel receives a
+    certificate.  The plan does not mutate ``graph`` — apply it with
+    :func:`apply_depth_plan` or ``build_network(depth_plan=...)``.
+    """
+    bases = _chain_bases(graph)
+    certs: Dict[str, DepthCertificate] = {}
+    for base in bases:
+        _certify_chain(graph, base, certs)
+    bridges = _bridge_channels(graph)
+    for name in sorted(graph.channels):
+        ch = graph.channels[name]
+        if name in certs or ch.capacity is None or name not in bridges:
+            continue
+        certs[name] = DepthCertificate(
+            channel=name,
+            depth=1,
+            full_capacity=int(ch.capacity),
+            method=METHOD_BRIDGE,
+            proven=True,
+            tight=False,
+            detail=(
+                "bridge of the undirected channel multigraph: no "
+                "deadlock wait-cycle can traverse it, so capacity 1 "
+                "suffices"
+            ),
+        )
+    _certify_reconvergent(graph, bases, certs)
+    for name in sorted(graph.channels):
+        ch = graph.channels[name]
+        if name in certs or ch.capacity is None:
+            continue
+        certs[name] = DepthCertificate(
+            channel=name,
+            depth=int(ch.capacity),
+            full_capacity=int(ch.capacity),
+            method=METHOD_PIN,
+            proven=False,
+            tight=False,
+            detail=(
+                "no structural proof (not a chain FIFO, bridge, or "
+                "enumerated reconvergent branch): pinned at the built "
+                "capacity"
+            ),
+        )
+    design = getattr(graph, "design", None)
+    return DepthPlan(
+        design_name=design_name
+        or (design.name if design is not None else graph.name),
+        graph_name=graph.name,
+        dma_beat=dma.beat_interval(32),
+        memory_system="literal" if bases else "behavioral",
+        certificates=certs,
+    )
+
+
+def apply_depth_plan(
+    graph: DataflowGraph, plan: DepthPlan, strict: bool = True
+) -> None:
+    """Re-provision a built graph's channels to the certified depths.
+
+    With ``strict`` (the default) the plan must cover every bounded
+    channel of the graph and name no unknown ones — a mismatch means
+    the plan was inferred from a different elaboration (wrong design or
+    memory system).  The plan is attached as ``graph.depth_plan`` so the
+    static verifier's BUFFER.DEPTH_* rules can see it.
+    """
+    unknown = [
+        name for name in plan.certificates if name not in graph.channels
+    ]
+    missing = [
+        name
+        for name, ch in graph.channels.items()
+        if ch.capacity is not None and name not in plan.certificates
+    ]
+    if strict and (unknown or missing):
+        raise ConfigurationError(
+            f"depth plan for {plan.design_name!r} does not match graph "
+            f"{graph.name!r}: {len(unknown)} plan channels missing from "
+            f"the graph, {len(missing)} graph channels uncovered "
+            f"(examples: {sorted(unknown)[:3]} / {sorted(missing)[:3]}); "
+            f"was the plan inferred with memory_system="
+            f"{plan.memory_system!r}?"
+        )
+    for name, cert in plan.certificates.items():
+        ch = graph.channels.get(name)
+        if ch is None or ch.capacity is None:
+            continue
+        ch.capacity = cert.depth
+    graph.depth_plan = plan
+
+
+# -- empirical cross-validation ----------------------------------------------
+
+
+@dataclass
+class ProbeOutcome:
+    """One depth-1 probe of a tight certificate."""
+
+    channel: str
+    probe_depth: int
+    deadlocked: bool
+    #: Channels the event engine reported blocked at the deadlock.
+    blocked: List[str]
+    #: The certified channel is in the blocked set.
+    blamed: bool
+    #: The plan-aware analyzer emitted BUFFER.DEPTH_UNDERSIZED for it.
+    flagged: bool
+    #: match_deadlock_diagnostics paired the deadlock with that finding.
+    matched: bool
+    cycles: int
+
+    @property
+    def ok(self) -> bool:
+        return self.deadlocked and self.blamed and self.flagged and self.matched
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "channel": self.channel,
+            "probe_depth": self.probe_depth,
+            "deadlocked": self.deadlocked,
+            "blocked": self.blocked,
+            "blamed": self.blamed,
+            "flagged": self.flagged,
+            "matched": self.matched,
+            "cycles": self.cycles,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class PlanValidation:
+    """Dual-engine no-deadlock check plus tight-certificate probes."""
+
+    design: str
+    seed: int
+    images: int
+    baseline_cycles: int
+    baseline_digest: str
+    #: scheduler -> {"cycles", "digest", "finished", "ok"}.
+    runs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    probes: List[ProbeOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r["ok"] for r in self.runs.values()) and all(
+            p.ok for p in self.probes
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "design": self.design,
+            "seed": self.seed,
+            "images": self.images,
+            "baseline_cycles": self.baseline_cycles,
+            "baseline_digest": self.baseline_digest,
+            "runs": self.runs,
+            "probes": [p.to_dict() for p in self.probes],
+            "ok": self.ok,
+        }
+
+
+def _seeded_build(
+    design: Any,
+    plan: Optional[DepthPlan],
+    seed: int,
+    images: int,
+    memory_system: str,
+) -> Any:
+    """Fresh seeded literal build, optionally with the plan applied."""
+    from repro.core.builder import build_network, random_weights
+
+    weights = random_weights(design, seed=seed)
+    rng = np.random.default_rng(seed)
+    batch = rng.uniform(0, 1, (images,) + design.input_shape).astype(
+        np.float32
+    )
+    return build_network(
+        design, weights, batch, memory_system=memory_system,
+        depth_plan=plan,
+    )
+
+
+def probe_tight_certificate(
+    design: Any,
+    plan: DepthPlan,
+    channel: str,
+    seed: int = 0,
+    images: int = 1,
+    stall_limit: int = 50_000,
+    max_cycles: int = 50_000_000,
+) -> ProbeOutcome:
+    """Shrink one tight certificate to depth-1 and expect the deadlock.
+
+    Reuses the FIFO-shrink fault machinery: the probe arms a
+    ``FifoShrink`` on a fresh plan-applied build, runs the event engine,
+    and cross-references the deadlock against the plan-aware analyzer
+    exactly like the PR 3 agreement suite.
+    """
+    from repro.analysis.checker import analyze_graph
+    from repro.dataflow.deadlock import match_deadlock_diagnostics
+    from repro.faults import FaultScenario, FifoShrink, arm_faults
+
+    cert = plan.certificates[channel]
+    if not cert.tight:
+        raise ConfigurationError(
+            f"{channel!r} is not a tight certificate (depth {cert.depth}, "
+            f"method {cert.method})"
+        )
+    built = _seeded_build(design, plan, seed, images, plan.memory_system)
+    scenario = FaultScenario(
+        "depth-probe",
+        (FifoShrink(channels=channel, capacity=cert.depth - 1),),
+    )
+    armed = arm_faults(built.graph, scenario, seed)
+    sim = built.graph.build_simulator(
+        stall_limit=stall_limit, scheduler="event"
+    )
+    sim.faults = armed
+    try:
+        result = sim.run(max_cycles=max_cycles)
+    except DeadlockError as err:
+        report = analyze_graph(built.graph, design)
+        blocked = err.blocked_channel_names()
+        flagged = any(
+            d.rule == "BUFFER.DEPTH_UNDERSIZED"
+            and channel in (d.message + d.location)
+            for d in report.errors
+        )
+        matches = match_deadlock_diagnostics(err, report)
+        matched = channel in {name for name, _ in matches}
+        return ProbeOutcome(
+            channel=channel,
+            probe_depth=cert.depth - 1,
+            deadlocked=True,
+            blocked=blocked,
+            blamed=channel in blocked,
+            flagged=flagged,
+            matched=matched,
+            cycles=err.cycle,
+        )
+    return ProbeOutcome(
+        channel=channel,
+        probe_depth=cert.depth - 1,
+        deadlocked=False,
+        blocked=[],
+        blamed=False,
+        flagged=False,
+        matched=False,
+        cycles=result.cycles,
+    )
+
+
+def validate_plan(
+    design: Any,
+    plan: DepthPlan,
+    seed: int = 0,
+    images: int = 1,
+    schedulers: Sequence[str] = ("event", "lockstep"),
+    probe_channels: Optional[Sequence[str]] = None,
+    stall_limit: int = 50_000,
+    max_cycles: int = 50_000_000,
+) -> PlanValidation:
+    """Empirically certify a plan: clean dual-engine runs + tight probes.
+
+    The plan-applied build must finish under every scheduler with the
+    same output digest as the full-buffering baseline (Kahn determinism
+    makes digest equality a free correctness check), and every tight
+    certificate's depth-1 probe must deadlock on exactly the certified
+    channel.  ``probe_channels`` restricts the probe set (default: all
+    tight certificates).
+    """
+    from repro.faults import output_digest
+
+    baseline = _seeded_build(design, None, seed, images, plan.memory_system)
+    base_res = baseline.run(
+        max_cycles=max_cycles, stall_limit=stall_limit, scheduler="event"
+    )
+    base_digest = output_digest(baseline.outputs())
+    val = PlanValidation(
+        design=design.name,
+        seed=seed,
+        images=images,
+        baseline_cycles=base_res.cycles,
+        baseline_digest=base_digest,
+    )
+    for scheduler in schedulers:
+        built = _seeded_build(design, plan, seed, images, plan.memory_system)
+        entry: Dict[str, Any] = {
+            "cycles": 0, "digest": None, "finished": False, "ok": False,
+        }
+        try:
+            res = built.run(
+                max_cycles=max_cycles, stall_limit=stall_limit,
+                scheduler=scheduler,
+            )
+        except DeadlockError as err:
+            entry["cycles"] = err.cycle
+            entry["deadlock"] = err.blocked_channel_names()
+        else:
+            digest = output_digest(built.outputs())
+            entry.update(
+                cycles=res.cycles,
+                digest=digest,
+                finished=res.finished,
+                ok=bool(res.finished and digest == base_digest),
+            )
+        val.runs[scheduler] = entry
+    targets = (
+        list(probe_channels)
+        if probe_channels is not None
+        else plan.tight_channels()
+    )
+    for channel in targets:
+        val.probes.append(
+            probe_tight_certificate(
+                design, plan, channel, seed=seed, images=images,
+                stall_limit=stall_limit, max_cycles=max_cycles,
+            )
+        )
+    return val
+
+
+# -- empirical bisect shrinker ------------------------------------------------
+
+
+def _shrink_trial(
+    design: Any,
+    plan: DepthPlan,
+    channel: str,
+    capacity: int,
+    seed: int,
+    images: int,
+    stall_limit: int,
+    max_cycles: int,
+) -> bool:
+    """True when the plan with one channel shrunk to ``capacity`` finishes."""
+    from repro.faults import FaultScenario, FifoShrink, arm_faults
+
+    built = _seeded_build(design, plan, seed, images, plan.memory_system)
+    armed = arm_faults(
+        built.graph,
+        FaultScenario(
+            "depth-bisect",
+            (FifoShrink(channels=channel, capacity=capacity),),
+        ),
+        seed,
+    )
+    sim = built.graph.build_simulator(
+        stall_limit=stall_limit, scheduler="event"
+    )
+    sim.faults = armed
+    try:
+        result = sim.run(max_cycles=max_cycles)
+    except DeadlockError:
+        return False
+    return bool(result.finished)
+
+
+def bisect_channel_floor(
+    design: Any,
+    plan: DepthPlan,
+    channel: str,
+    seed: int = 0,
+    images: int = 1,
+    stall_limit: int = 50_000,
+    max_cycles: int = 50_000_000,
+) -> int:
+    """Binary-search one channel's empirical deadlock-freedom floor.
+
+    All other channels sit at their certified depths; by Kahn
+    monotonicity (more capacity never hurts) feasibility is monotone in
+    the probed capacity, so binary search is exact.  Returns the
+    smallest capacity that simulates clean.
+    """
+    cert = plan.certificates[channel]
+    if cert.depth == 1:
+        return 1
+    lo, hi = 1, cert.depth
+    if not _shrink_trial(
+        design, plan, channel, hi, seed, images, stall_limit, max_cycles
+    ):  # pragma: no cover - the certified depth is feasible by validation
+        raise ConfigurationError(
+            f"{channel!r} deadlocks at its certified depth {hi}: the "
+            f"certificate is violated"
+        )
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _shrink_trial(
+            design, plan, channel, mid, seed, images, stall_limit,
+            max_cycles,
+        ):
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi
+
+
+def bisect_plan(
+    design: Any,
+    plan: DepthPlan,
+    channels: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    images: int = 1,
+    stall_limit: int = 50_000,
+    max_cycles: int = 50_000_000,
+) -> Dict[str, Dict[str, Any]]:
+    """Empirical floors for ``channels`` (default: every depth > 1).
+
+    Each row reports the certified depth, the bisected floor, and
+    whether they agree: a floor above the certificate would be a
+    soundness violation (impossible if validation passed), a floor
+    below a *tight* certificate means the prover over-constrained.
+    """
+    if channels is None:
+        channels = sorted(
+            name
+            for name, c in plan.certificates.items()
+            if c.depth > 1
+        )
+    out: Dict[str, Dict[str, Any]] = {}
+    for name in channels:
+        cert = plan.certificates[name]
+        floor = bisect_channel_floor(
+            design, plan, name, seed=seed, images=images,
+            stall_limit=stall_limit, max_cycles=max_cycles,
+        )
+        agrees = floor <= cert.depth and (
+            not cert.tight or floor == cert.depth
+        )
+        out[name] = {
+            "certified": cert.depth,
+            "floor": floor,
+            "tight": cert.tight,
+            "agrees": agrees,
+        }
+    return out
+
+
+# -- the `repro shrink` experiment --------------------------------------------
+
+
+class ShrinkReport(Report):
+    """One ``repro shrink`` run behind the unified Report envelope."""
+
+    kind = "shrink"
+
+    def __init__(self, data: Dict[str, Any]):
+        self._data = data
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self._data)
+
+    def summary(self) -> str:
+        d = self._data
+        return (
+            f"shrink {d['design']}: {d['words']['saved_pct']}% words "
+            f"saved, {'ok' if d['ok'] else 'CERTIFICATE VIOLATION'}"
+        )
+
+    def format_text(self) -> str:
+        from repro.report import format_kv, format_table
+
+        d = self._data
+        pairs: List[Tuple[str, Any]] = [
+            ("simulated design",
+             d["simulated_design"] + (" (pilot)" if d["pilot"] else "")),
+            ("channels certified", d["prover"]["channels"]),
+            ("methods", ", ".join(
+                f"{m}={n}" for m, n in d["prover"]["methods"].items()
+            )),
+            ("tight certificates", d["prover"]["tight"]),
+            ("heuristic pins", d["prover"]["heuristic"]),
+            ("prover runtime", f"{d['prover']['runtime_s']:.3f} s"),
+            ("FIFO words (full buffering)", d["words"]["full"]),
+            ("FIFO words (certified)", d["words"]["certified"]),
+            ("words saved",
+             f"{d['words']['saved']} ({d['words']['saved_pct']}%)"),
+        ]
+        if d.get("validation"):
+            v = d["validation"]
+            for scheduler, run in v["runs"].items():
+                state = (
+                    f"{run['cycles']} cycles, digest "
+                    f"{'match' if run['ok'] else 'MISMATCH/deadlock'}"
+                )
+                pairs.append((f"certified run [{scheduler}]", state))
+            pairs.append(
+                ("cycles vs full buffering",
+                 f"{v['runs']['event']['cycles']} vs "
+                 f"{v['baseline_cycles']} "
+                 f"(x{d['cycles_ratio']})")
+            )
+            probed = (
+                f"{sum(1 for p in v['probes'] if p['ok'])}/"
+                f"{len(v['probes'])} agree"
+            )
+            if v.get("unprobed_tight"):
+                probed += f" ({v['unprobed_tight']} unprobed, --probe-limit)"
+            pairs.append(("tight probes (depth-1 deadlocks)", probed))
+        pairs.append(("verdict", "ok" if d["ok"] else "CERTIFICATE VIOLATION"))
+        text = format_kv(f"depth shrink: {d['design']}", pairs)
+        if d.get("bisect"):
+            rows = [
+                [name, row["certified"], row["floor"],
+                 "tight" if row["tight"] else "",
+                 "ok" if row["agrees"] else "DISAGREES"]
+                for name, row in sorted(d["bisect"].items())
+            ]
+            text += "\n\n" + format_table(
+                ["channel", "certified", "bisected floor", "", ""],
+                rows, title="empirical bisect",
+            )
+        if d.get("violations"):
+            text += "\n\nviolations:\n" + "\n".join(
+                f"  - {v}" for v in d["violations"]
+            )
+        return text
+
+
+def run_shrink(
+    design: Any,
+    seed: int = 0,
+    images: int = 1,
+    pilot: Optional[bool] = None,
+    validate: bool = True,
+    bisect: bool = False,
+    probe_channels: Optional[Sequence[str]] = None,
+    probe_limit: Optional[int] = None,
+    stall_limit: int = 50_000,
+    max_cycles: int = 50_000_000,
+    dma: DmaModel = PAPER_DMA,
+) -> ShrinkReport:
+    """The full ``repro shrink`` experiment for one design.
+
+    Infers the certified plan from a literal elaboration (huge designs
+    are swapped for their deterministic pilot downscale, like
+    ``faultsim``), computes the closed-form BRAM savings over the
+    original design, and — unless ``validate=False`` — replays the
+    certificates empirically.  ``probe_limit`` caps the depth-1 probe
+    count (the report records how many tight certificates went
+    unprobed — no silent truncation).  ``ok`` is False on any
+    certificate violation (the CLI exits nonzero on it).
+    """
+    from repro.core.resource_model import buffering_savings
+    from repro.faults import PILOT_WEIGHT_LIMIT, pilot_design
+
+    if pilot or (
+        pilot is None and design.weight_count() > PILOT_WEIGHT_LIMIT
+    ):
+        sim_design, piloted = pilot_design(design), True
+    else:
+        sim_design, piloted = design, False
+    built = _seeded_build(sim_design, None, seed, 1, "literal")
+    t0 = time.perf_counter()
+    plan = infer_depth_plan(built.graph, design_name=sim_design.name, dma=dma)
+    runtime = time.perf_counter() - t0
+    violations: List[str] = []
+    data: Dict[str, Any] = {
+        "design": design.name,
+        "simulated_design": sim_design.name,
+        "pilot": piloted,
+        "seed": seed,
+        "images": images,
+        "dma_beat": plan.dma_beat,
+        "memory_system": plan.memory_system,
+        "prover": {
+            "channels": len(plan.certificates),
+            "methods": plan.method_counts(),
+            "proven": len(plan.proven_channels()),
+            "heuristic": len(plan.heuristic_channels()),
+            "tight": len(plan.tight_channels()),
+            "runtime_s": round(runtime, 4),
+        },
+        "words": {
+            "full": plan.full_words,
+            "certified": plan.certified_words,
+            "saved": plan.saved_words,
+            "saved_pct": round(plan.saved_pct, 2),
+        },
+        "resources": buffering_savings(design),
+        "plan": plan.to_dict(),
+    }
+    if validate:
+        targets = (
+            list(probe_channels)
+            if probe_channels is not None
+            else plan.tight_channels()
+        )
+        unprobed = 0
+        if probe_limit is not None and len(targets) > probe_limit:
+            unprobed = len(targets) - probe_limit
+            targets = targets[:probe_limit]
+        val = validate_plan(
+            sim_design, plan, seed=seed, images=images,
+            probe_channels=targets, stall_limit=stall_limit,
+            max_cycles=max_cycles,
+        )
+        data["validation"] = val.to_dict()
+        data["validation"]["unprobed_tight"] = unprobed
+        event_cycles = val.runs.get("event", {}).get("cycles", 0)
+        data["cycles_ratio"] = (
+            round(event_cycles / val.baseline_cycles, 2)
+            if val.baseline_cycles
+            else math.nan
+        )
+        for scheduler, run in val.runs.items():
+            if not run["ok"]:
+                violations.append(
+                    f"certified plan failed under {scheduler}: "
+                    f"{run.get('deadlock', 'digest mismatch')}"
+                )
+        for probe in val.probes:
+            if not probe.ok:
+                violations.append(
+                    f"tight certificate {probe.channel} at depth "
+                    f"{probe.probe_depth}: expected a deadlock on that "
+                    f"channel, got deadlocked={probe.deadlocked} "
+                    f"blamed={probe.blamed} flagged={probe.flagged} "
+                    f"matched={probe.matched}"
+                )
+    if bisect:
+        rows = bisect_plan(
+            sim_design, plan, seed=seed, images=images,
+            stall_limit=stall_limit, max_cycles=max_cycles,
+        )
+        data["bisect"] = rows
+        for name, row in rows.items():
+            if not row["agrees"]:
+                violations.append(
+                    f"bisected floor of {name} is {row['floor']} but the "
+                    f"certificate says {row['certified']} "
+                    f"(tight={row['tight']})"
+                )
+    data["violations"] = violations
+    data["ok"] = not violations
+    return ShrinkReport(data)

@@ -46,6 +46,7 @@ def run_graph_rules(
     if design is not None:
         _rule_adapter_wiring(graph, report, design)
     _rule_buffer_skew(graph, report)
+    _rule_depth_plan(graph, report)
 
 
 def _actor_of(graph: DataflowGraph, endpoint: str) -> Tuple[str, object]:
@@ -199,6 +200,8 @@ def _check_literal_chain(
             hint="literal chains rely on injected padding beats to keep "
                  "the tap offsets aligned",
         ))
+    plan = getattr(graph, "depth_plan", None)
+    certified = plan.certificates if plan is not None else {}
     expected = chain_fifo_capacities(spec.window, w, group)
     for i, cap in enumerate(expected):
         ch = graph.channels.get(f"{name}.fifo{i}")
@@ -207,6 +210,10 @@ def _check_literal_chain(
                 "BUFFER.FULL", Severity.ERROR, loc,
                 f"literal chain is missing FIFO {name}.fifo{i}",
             ))
+        elif f"{name}.fifo{i}" in certified:
+            # A certified depth plan replaces full buffering for this
+            # FIFO; sufficiency is BUFFER.DEPTH_UNDERSIZED's job.
+            continue
         elif ch.capacity != cap:
             report.add(make(
                 "BUFFER.FULL", Severity.ERROR, loc,
@@ -372,3 +379,44 @@ def _rule_buffer_skew(graph: DataflowGraph, report: AnalysisReport) -> None:
                          f"{deficit} beats or rebalance the branch "
                          f"latencies",
                 ))
+
+
+# -- BUFFER.DEPTH_CERT / BUFFER.DEPTH_UNDERSIZED -----------------------------
+
+
+def _rule_depth_plan(graph: DataflowGraph, report: AnalysisReport) -> None:
+    """Certificate checks of an attached DepthPlan (repro.analysis.depths).
+
+    Runs only when :func:`repro.analysis.depths.apply_depth_plan` left a
+    plan on the graph. Heuristic pins are warnings (BUFFER.DEPTH_CERT);
+    a bounded channel sitting *below* a proven certificate is a hard
+    error (BUFFER.DEPTH_UNDERSIZED) — the prover can exhibit the
+    deadlock, so the old heuristic imbalance warning becomes a proof.
+    """
+    plan = getattr(graph, "depth_plan", None)
+    if plan is None:
+        return
+    report.note_rule("BUFFER.DEPTH_CERT")
+    report.note_rule("BUFFER.DEPTH_UNDERSIZED")
+    for name, cert in sorted(plan.certificates.items()):
+        ch = graph.channels.get(name)
+        if ch is None or ch.capacity is None:
+            continue
+        loc = f"channel:{name}"
+        if not cert.proven:
+            report.add(make(
+                "BUFFER.DEPTH_CERT", Severity.WARNING, loc,
+                f"{name} is pinned at capacity {cert.depth} without a "
+                f"structural proof ({cert.detail})",
+                hint="the depth is a heuristic bound; extend the prover "
+                     "or validate empirically with `repro shrink --bisect`",
+            ))
+        elif ch.capacity < cert.depth:
+            report.add(make(
+                "BUFFER.DEPTH_UNDERSIZED", Severity.ERROR, loc,
+                f"{name} has capacity {ch.capacity} but its "
+                f"{cert.method} certificate proves depth {cert.depth} is "
+                f"required ({cert.detail})",
+                hint=f"raise {name} to at least {cert.depth} beats; the "
+                     f"prover exhibits a deadlock below that",
+            ))

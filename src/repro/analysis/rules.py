@@ -141,6 +141,42 @@ _RULES = [
         ),
     ),
     RuleInfo(
+        id="BUFFER.DEPTH_CERT",
+        title="every certified FIFO depth rests on a structural proof",
+        level="graph",
+        paper_ref=(
+            "arXiv:2011.07317 (Memory-Efficient Dataflow Inference) / "
+            "Section II-B"
+        ),
+        description=(
+            "Runs when a DepthPlan (repro.analysis.depths) is attached to "
+            "the graph. Channels the prover could certify structurally "
+            "(chain max-plus recursion, undirected bridge, reconvergent "
+            "skew bound) are silent; a channel pinned at its built "
+            "capacity without a proof is flagged as a warning — the plan "
+            "is still applicable, but that depth is a heuristic bound, "
+            "not a deadlock-freedom certificate."
+        ),
+    ),
+    RuleInfo(
+        id="BUFFER.DEPTH_UNDERSIZED",
+        title="no channel sits below its certified depth",
+        level="graph",
+        paper_ref=(
+            "arXiv:2011.07317 (Memory-Efficient Dataflow Inference) / "
+            "arXiv:2105.08937 (Block Convolution)"
+        ),
+        description=(
+            "Runs when a DepthPlan is attached to the graph. A bounded "
+            "channel whose capacity is below its proven certificate depth "
+            "is a hard error: the prover can exhibit the deadlock (chain "
+            "run-ahead budget < 1 or unabsorbed reconvergent skew), so "
+            "this promotes the old heuristic imbalance warning to a "
+            "machine-checked insufficiency proof. Depths above the "
+            "certificate are always safe (Kahn monotonicity)."
+        ),
+    ),
+    RuleInfo(
         id="PROFILE.II_MISMATCH",
         title="measured initiation interval agrees with Eq. 4",
         level="profile",

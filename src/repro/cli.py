@@ -422,6 +422,33 @@ def _cmd_profile(args):
     return report.format_text(), 0 if report.ok else 1
 
 
+def _cmd_shrink(args):
+    """Certified FIFO depth shrink; returns ``(text, exit_code)``."""
+    from repro.analysis import run_shrink
+
+    design = _load_design(_resolve_design(args))
+    pilot = None
+    if args.pilot:
+        pilot = True
+    elif args.no_pilot:
+        pilot = False
+    report = run_shrink(
+        design, seed=args.seed, images=args.images, pilot=pilot,
+        validate=not args.no_validate, bisect=args.bisect,
+        probe_limit=args.probe_limit,
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json() + "\n")
+    if args.apply:
+        import json
+
+        with open(args.apply, "w") as fh:
+            json.dump(report["plan"], fh, indent=2)
+            fh.write("\n")
+    return report.format_text(), 0 if report["ok"] else 1
+
+
 def _cmd_loadtest(args):
     """Open-loop serving loadtest; returns ``(text, exit_code)``."""
     from repro.serve import run_loadtest
@@ -607,6 +634,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="relative II error treated as a mismatch "
                               "(default 0.05)")
     profile.set_defaults(fn=_cmd_profile)
+    shrink = sub.add_parser(
+        "shrink", parents=[common],
+        help="static FIFO depth inference: certify minimal depths, "
+             "validate them under both engines, report BRAM savings "
+             "(see repro.analysis.depths)",
+    )
+    shrink.add_argument("--images", type=int, default=1,
+                        help="images per validation run")
+    shrink.add_argument("--bisect", action="store_true",
+                        help="also binary-search each channel's empirical "
+                             "floor under the event engine")
+    shrink.add_argument("--apply", metavar="PATH", default=None,
+                        help="write the certified DepthPlan JSON to PATH "
+                             "(load with repro.analysis.load_depth_plan / "
+                             "build_network(depth_plan=...))")
+    shrink.add_argument("--probe-limit", type=int, default=None,
+                        metavar="N",
+                        help="probe at most N tight certificates (the "
+                             "report counts the unprobed remainder)")
+    shrink.add_argument("--no-validate", action="store_true",
+                        help="skip the dual-engine runs and depth-1 probes "
+                             "(prover + savings only)")
+    shrink.add_argument("--pilot", action="store_true",
+                        help="force the pilot downscale even for small "
+                             "designs")
+    shrink.add_argument("--no-pilot", action="store_true",
+                        help="forbid the pilot downscale (huge designs "
+                             "will simulate at full size)")
+    shrink.set_defaults(fn=_cmd_shrink)
     loadtest = sub.add_parser(
         "loadtest", parents=[common],
         help="open-loop serving loadtest: seeded arrivals, batch-aware "

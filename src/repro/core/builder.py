@@ -200,6 +200,7 @@ def build_network(
     loop_overhead: int = 0,
     normalize: bool = False,
     strict: bool = False,
+    depth_plan=None,
 ) -> BuiltNetwork:
     """Elaborate ``design`` into a dataflow graph processing ``batch``.
 
@@ -226,6 +227,11 @@ def build_network(
         :class:`~repro.errors.AnalysisError` (carrying the full report)
         if any rule finds an error — catch rate/adapter/buffering bugs
         here instead of as a mid-simulation deadlock.
+    depth_plan: a certified :class:`~repro.analysis.depths.DepthPlan`
+        to apply to the elaborated graph (shrinks every bounded channel
+        to its certificate depth; the plan must match this elaboration's
+        ``memory_system``). The plan stays attached as
+        ``graph.depth_plan`` so ``strict`` runs the BUFFER.DEPTH_* rules.
     """
     if loop_overhead < 0:
         raise ConfigurationError(
@@ -357,6 +363,11 @@ def build_network(
     )
     prod, oport = streams[0]
     g.connect(prod, oport, sink, "in", capacity=channel_capacity)
+    if depth_plan is not None:
+        # Imported lazily: repro.analysis drives this builder itself.
+        from repro.analysis.depths import apply_depth_plan
+
+        apply_depth_plan(g, depth_plan)
     if strict:
         # Imported lazily: repro.analysis drives this builder itself.
         from repro.analysis import analyze_design, analyze_graph

@@ -162,6 +162,25 @@ class NetworkDesign:
         """Total parameters hard-coded on chip."""
         return sum(p.spec.weight_count() for p in self.placements)
 
+    def full_buffering_words(self) -> int:
+        """Total full-buffering FIFO words across all memory structures.
+
+        The worst-case sizing the paper pays (Section II-B); the depth
+        prover (:mod:`repro.analysis.depths`) certifies how far below
+        this a design can actually run.
+        """
+        from repro.sst.sizing import layer_buffer_budget
+
+        total = 0
+        for p in self.placements:
+            spec = p.spec
+            if not isinstance(spec, (ConvLayerSpec, PoolLayerSpec)):
+                continue
+            total += layer_buffer_budget(
+                spec.window, p.in_shape[2], spec.in_fm, spec.in_ports
+            ).fifo_words
+        return total
+
     # -- rendering (Figures 4 / 5) -----------------------------------------------
 
     def block_design(self) -> str:

@@ -164,3 +164,57 @@ def design_resources(
     }
     base = BASE_DESIGN if include_base else ResourceVector()
     return DesignResources(design.name, per_layer, base)
+
+
+def buffering_savings(design: NetworkDesign) -> Dict[str, object]:
+    """FIFO storage at full buffering vs certified depths, per layer.
+
+    Closed-form companion to the depth prover
+    (:mod:`repro.analysis.depths`): for every conv/pool memory structure
+    it compares the channel words a full-buffering literal elaboration
+    provisions (``chain_channel_words``: full-depth FIFOs + deep taps)
+    with the word-minimal certified chain (``certified_chain_words``:
+    greedy floors + unit taps), and maps both through :func:`_storage`
+    to show where the shrink moves a buffer from BRAM back into LUTs.
+    """
+    from repro.sst.sizing import certified_chain_words, chain_channel_words
+
+    layers: List[Dict[str, object]] = []
+    full_total = 0
+    cert_total = 0
+    for p in design.placements:
+        spec = p.spec
+        if not isinstance(spec, (ConvLayerSpec, PoolLayerSpec)):
+            continue
+        w = p.in_shape[2]
+        full = chain_channel_words(
+            spec.window, w, spec.in_group
+        ) * spec.in_ports
+        certified = certified_chain_words(
+            spec.window, w, spec.in_group
+        ) * spec.in_ports
+        full_store = _storage(full)
+        cert_store = _storage(certified)
+        full_total += full
+        cert_total += certified
+        layers.append({
+            "layer": spec.name,
+            "chains": spec.in_ports,
+            "full_words": full,
+            "certified_words": certified,
+            "full_bram": full_store.bram,
+            "full_lut": full_store.lut,
+            "certified_bram": cert_store.bram,
+            "certified_lut": cert_store.lut,
+        })
+    saved = full_total - cert_total
+    return {
+        "design": design.name,
+        "layers": layers,
+        "full_words": full_total,
+        "certified_words": cert_total,
+        "saved_words": saved,
+        "saved_pct": round(100.0 * saved / full_total, 2) if full_total else 0.0,
+        "full_bram": sum(int(row["full_bram"]) for row in layers),
+        "certified_bram": sum(int(row["certified_bram"]) for row in layers),
+    }

@@ -45,9 +45,11 @@ class ReconvergentPair:
     """One fork/join pair with its parallel-path buffering.
 
     Path capacities are ``None`` when the path traverses an unbounded
-    channel (e.g. under the functional executor) — such a path can absorb
-    any schedule skew and is excluded from the imbalance heuristics rather
-    than flattened into a huge sentinel value.
+    channel (e.g. under the functional executor). Such a path absorbs any
+    schedule skew itself, but it can also run arbitrarily far ahead of a
+    bounded sibling — so it is carried through the bound computation as
+    ``None`` (never flattened into a huge sentinel) and drives the
+    imbalance to ``inf`` whenever a bounded sibling exists.
     """
 
     fork: str
@@ -80,12 +82,18 @@ class ReconvergentPair:
 
     @property
     def imbalance(self) -> float:
-        """max/min capacity over *bounded* paths (1.0 = balanced).
+        """max/min capacity ratio across the pair's paths (1.0 = balanced).
 
-        Unbounded paths never stall the join, so they carry no imbalance
-        signal; with fewer than two bounded paths the ratio is 1.0.
+        An unbounded path can run arbitrarily far ahead of a bounded
+        sibling, so mixing the two is the *worst* imbalance, not a
+        reason to stay silent: with at least one bounded and one
+        unbounded path the ratio is ``inf``. All-unbounded pairs (or
+        fewer than two bounded paths with no unbounded ones) carry no
+        imbalance signal and report 1.0.
         """
         caps = self.bounded_capacities
+        if caps and self.unbounded_paths:
+            return float("inf")
         if len(caps) < 2:
             return 1.0
         return max(caps) / max(min(caps), 1)
@@ -190,8 +198,13 @@ def buffering_report(
         lines.append(f"  {p.fork} -> {p.join}: {len(p.paths)} paths, "
                      f"capacity {span}")
         if p.imbalance >= warn_imbalance:
+            ratio = (
+                "unbounded"
+                if p.imbalance == float("inf")
+                else f"{p.imbalance:.1f}x"
+            )
             lines.append(
-                f"    WARNING: capacity imbalance {p.imbalance:.1f}x — the "
+                f"    WARNING: capacity imbalance {ratio} — the "
                 f"thin branch may stall the join under schedule skew"
             )
     return "\n".join(lines)

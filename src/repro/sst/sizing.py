@@ -94,6 +94,53 @@ def chain_fifo_capacities(spec: WindowSpec, w: int, group: int = 1) -> List[int]
     return [d + 1 for d in fifo_depths(spec, wp, group)]
 
 
+def chain_channel_words(spec: WindowSpec, w: int, group: int = 1) -> int:
+    """Total elaborated channel capacity of one full-buffering chain.
+
+    What the literal elaboration actually provisions: the
+    :func:`chain_fifo_capacities` inter-filter FIFOs plus one
+    ``max(4, group + 1)``-deep tap channel per filter (mirrors
+    ``build_filter_chain``). This is the like-for-like baseline for the
+    certified depths — :func:`chain_words` measures the *data footprint*
+    held, not the channel storage paid.
+    """
+    caps = chain_fifo_capacities(spec, w, group)
+    tap_cap = max(4, group + 1)
+    return sum(caps) + (len(caps) + 1) * tap_cap
+
+
+def certified_chain_floors(
+    spec: WindowSpec, w: int, group: int = 1
+) -> List[int]:
+    """Word-minimal chain FIFO capacities the depth prover certifies.
+
+    The max-plus run-ahead recursion of :mod:`repro.analysis.depths`
+    (``R_{n-1} = T_{n-1}``; ``R_i = min(T_i, R_{i+1} + c_i - d_i)``;
+    deadlock-free iff every ``R_i >= 1``) admits the backward greedy
+    assignment ``T_i = 1`` (unit tap channels), ``c_i = max(1, d_i)`` —
+    each chain FIFO drops the ``+1`` in-flight slot full buffering pays
+    for full-rate operation. Word-optimal for the recursion: spending a
+    tap word buys back at most one word per chain FIFO but costs one
+    per *tap*, and there are more taps than FIFOs.
+    """
+    from repro.sst.filter_chain import fifo_depths  # local: avoid heavy import
+
+    _, wp = spec.padded_shape(1, w)
+    return [max(1, d) for d in fifo_depths(spec, wp, group)]
+
+
+def certified_chain_words(spec: WindowSpec, w: int, group: int = 1) -> int:
+    """Total certified FIFO words of one chain (chain FIFOs + unit taps).
+
+    Compare against :func:`chain_fifo_capacities` summed with the
+    ``max(4, group+1)``-deep tap channels ``build_filter_chain`` uses:
+    the certified plan runs every tap at capacity 1.
+    """
+    floors = certified_chain_floors(spec, w, group)
+    n_taps = len(floors) + 1
+    return sum(floors) + n_taps
+
+
 def deadlock_shrink_targets(
     spec: WindowSpec, w: int, group: int = 1
 ) -> List[tuple]:

@@ -67,13 +67,14 @@ class TestAnalyze:
         assert p.unbounded_paths == 1
         assert p.min_capacity == 4 and p.max_capacity == 4
 
-    def test_imbalance_skips_unbounded_paths(self):
+    def test_mixed_unbounded_bounded_is_infinite_imbalance(self):
         g = diamond(cap_a=2, cap_b=8)
         g.channels["b.out->join.in1"].capacity = None
         p = next(p for p in analyze_reconvergence(g)
                  if p.fork == "fork" and p.join == "join")
-        # Only one bounded path left: no imbalance signal.
-        assert p.imbalance == pytest.approx(1.0)
+        # An unbounded branch can run arbitrarily far ahead of the
+        # bounded one — worst possible imbalance, not silence.
+        assert p.imbalance == float("inf")
 
     def test_all_unbounded_pair(self):
         g = diamond()
@@ -106,6 +107,19 @@ class TestReport:
     def test_imbalanced_warns(self):
         text = buffering_report(diamond(2, 16), warn_imbalance=4.0)
         assert "WARNING" in text
+
+    def test_mixed_unbounded_warns_for_bounded_sibling(self):
+        g = diamond(cap_a=2, cap_b=8)
+        g.channels["b.out->join.in1"].capacity = None
+        text = buffering_report(g, warn_imbalance=4.0)
+        assert "WARNING" in text and "unbounded" in text
+
+    def test_all_unbounded_no_warning(self):
+        g = diamond()
+        for ch in g.channels.values():
+            ch.capacity = None
+        text = buffering_report(g, warn_imbalance=4.0)
+        assert "WARNING" not in text
 
     def test_chain_report(self):
         g = DataflowGraph("c")

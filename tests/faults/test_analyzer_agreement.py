@@ -10,7 +10,7 @@ diagnostic means the verifier misses real bugs.
 
 import pytest
 
-from repro.analysis import analyze_graph
+from repro.analysis import analyze_graph, infer_depth_plan, probe_tight_certificate
 from repro.core import tiny_design
 from repro.core.builder import build_network, random_weights
 from repro.core.models import cifar10_design, usps_design
@@ -121,3 +121,53 @@ class TestAgreement:
         assert outcome.finished and outcome.deadlock is None
         report = analyze_graph(outcome.built.graph, design)
         assert not any(d.rule == "BUFFER.FULL" for d in report.errors)
+
+
+class TestProverAgreement:
+    """The PR 3 invariant, now driven by the depth prover.
+
+    ``deadlock_shrink_targets`` hand-picks channels where capacity 1
+    provably jams; the prover goes further and certifies the *minimal*
+    depth of every channel. Probing a tight certificate at depth-1 must
+    reproduce the same three-way agreement: simulator deadlock, static
+    BUFFER.DEPTH_UNDERSIZED error, and both naming the same channel.
+    """
+
+    @pytest.mark.parametrize("factory", DESIGNS)
+    def test_prover_probe_agreement(self, factory):
+        design = factory()
+        outcome = run_design(
+            design, seed=0, images=1, memory_system="literal",
+        )
+        plan = infer_depth_plan(outcome.built.graph)
+        tight = plan.tight_channels()
+        assert tight, f"{design.name}: prover found no tight certificates"
+        # A spread of targets per design; the CI shrink-suite probes all.
+        for channel in tight[:4]:
+            probe = probe_tight_certificate(design, plan, channel)
+            assert probe.ok, (
+                f"{design.name}/{channel}: deadlocked={probe.deadlocked} "
+                f"blamed={probe.blamed} (blocked {probe.blocked}) "
+                f"flagged={probe.flagged} matched={probe.matched}"
+            )
+
+    def test_prover_floors_cover_sizing_targets(self):
+        # Every hand-picked deadlock_shrink_targets channel must come out
+        # of the prover as a tight certificate: the prover supersedes the
+        # PR 3 target list, it does not shrink it.
+        design = tiny_design()
+        outcome = run_design(
+            design, seed=0, images=1, memory_system="literal",
+        )
+        plan = infer_depth_plan(outcome.built.graph)
+        tight = set(plan.tight_channels())
+        for p in design.placements:
+            spec = p.spec
+            if not hasattr(spec, "window"):
+                continue
+            targets = deadlock_shrink_targets(
+                spec.window, p.in_shape[2], spec.in_group
+            )
+            for port in range(spec.in_ports):
+                for i, _cap in targets:
+                    assert f"{spec.name}.win{port}.fifo{i}" in tight

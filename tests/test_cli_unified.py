@@ -114,3 +114,57 @@ class TestCompiledScheduler:
         assert "error:" in err
         assert "interpreted engine" in err
         assert "Traceback" not in err
+
+
+class TestShrinkCommand:
+    def test_shrink_text_and_exit(self, capsys):
+        code, out, _ = run_cli(capsys, "shrink", "--design", "tiny")
+        assert code == 0
+        assert "depth shrink: tiny" in out
+        assert "verdict" in out and "ok" in out
+        assert "tight probes" in out
+
+    def test_shrink_json_envelope_and_apply(self, capsys, tmp_path):
+        json_path = tmp_path / "shrink.json"
+        plan_path = tmp_path / "plan.json"
+        code, _, _ = run_cli(
+            capsys, "shrink", "--design", "tiny",
+            "--json", str(json_path), "--apply", str(plan_path),
+        )
+        assert code == 0
+        d = json.loads(json_path.read_text())
+        assert d["schema_version"] == 1 and d["kind"] == "shrink"
+        assert d["ok"] is True
+        assert d["words"]["saved_pct"] >= 30.0
+        from repro.analysis import load_depth_plan
+
+        plan = load_depth_plan(str(plan_path))
+        assert plan.design_name == "tiny"
+        assert plan.tight_channels()
+
+    def test_shrink_no_validate_skips_runs(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "shrink", "--design", "tiny", "--no-validate",
+        )
+        assert code == 0
+        assert "certified run" not in out
+
+    def test_shrink_probe_limit(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "shrink", "--design", "tiny", "--probe-limit", "1",
+        )
+        assert code == 0
+        assert "unprobed" in out
+
+    def test_shrink_bisect_table(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "shrink", "--design", "tiny", "--bisect",
+        )
+        assert code == 0
+        assert "empirical bisect" in out
+        assert "tight" in out
+
+    def test_shrink_requires_design(self, capsys):
+        code, _, err = run_cli(capsys, "shrink")
+        assert code == 1
+        assert "design is required" in err
