@@ -170,6 +170,33 @@ def _time_faulted_scheduler(
     }
 
 
+def _blocked_workload(quick: bool):
+    """The full-size blocked VGG-16 (a blocked CIFAR-10 under --quick).
+
+    Blocking is the transform that makes the full-size promoted networks
+    simulable at all, so the benchmark records what that costs: the
+    split/merge actors and per-tile halo re-reads add simulated beats
+    that the unblocked design would not execute.
+    """
+    from repro.core import cifar10_design, random_weights, vgg16_blocked_design
+
+    if quick:
+        design = cifar10_design(name="cifar10-blocked").with_blocking(
+            {"conv1": 14, "conv2": 5}
+        )
+        shape = (3, 32, 32)
+    else:
+        design = vgg16_blocked_design()
+        shape = design.input_shape
+    weights = random_weights(design)
+    batch = (
+        np.random.default_rng(0)
+        .uniform(0, 1, (1,) + shape)
+        .astype(np.float32)
+    )
+    return design, weights, batch
+
+
 def _engine_environment() -> dict:
     """Library versions and host shape the numbers depend on.
 
@@ -342,6 +369,32 @@ def main(argv=None):
     if args.check_baseline:
         print(" ", _check_baseline(rows, args.check_baseline))
 
+    # Blocked column: the transform behind the promoted full-size zoo
+    # members. At 224x224 only the compiled engine is affordable (the
+    # interpreted engines need ~20 min per run at VGG-16 scale), so the
+    # full run records a compiled-only row and says so; --quick runs a
+    # blocked CIFAR-10 through all three engines and cross-checks digests.
+    bdesign, bweights, bbatch = _blocked_workload(args.quick)
+    blocked_scheds = NETWORK_SCHEDULERS if args.quick else ("compiled",)
+    print(
+        f"workload: {bdesign.name} (blocked"
+        f"{'' if args.quick else '; compiled engine only at this scale'})"
+    )
+    blocked_rows = {}
+    for sched in blocked_scheds:
+        blocked_rows[sched] = _time_scheduler(
+            bdesign, bweights, bbatch, sched, repeats=1 if not args.quick else 3
+        )
+        r = blocked_rows[sched]
+        print(
+            f"  {sched:9s} {r['simulated_cycles']:>10,} cycles in "
+            f"{r['wall_seconds']:8.3f} s = {r['cycles_per_second']:>12,.0f} cyc/s"
+        )
+    blocked_digests = {s: blocked_rows[s]["outputs_digest"] for s in blocked_scheds}
+    assert len(set(blocked_digests.values())) == 1, (
+        f"engines disagree on blocked-design digests: {blocked_digests}"
+    )
+
     print("workload: dma_bound_chain (1 word / 64 cycles, 16 stages)")
     sparse = {}
     for sched in SCHEDULERS:
@@ -371,6 +424,18 @@ def main(argv=None):
         "null_fault_hooks": dict(
             null, hook_overhead_pct=round(100.0 * hook_overhead, 1)
         ),
+        "blocked_workload": {
+            "workload": bdesign.name,
+            "batch_shape": list(bbatch.shape),
+            "schedulers": list(blocked_scheds),
+            "note": (
+                "all engines cross-checked under --quick"
+                if args.quick
+                else "compiled engine only; interpreted engines need "
+                "~20 min per run at full VGG-16 scale"
+            ),
+            "results": blocked_rows,
+        },
         "sparse_workload": {
             "workload": "dma_bound_chain_interval64_16stages",
             "results": sparse,

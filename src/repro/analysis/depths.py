@@ -1119,11 +1119,14 @@ def run_shrink(
     unprobed — no silent truncation).  ``ok`` is False on any
     certificate violation (the CLI exits nonzero on it).
     """
+    from repro.core.block_transform import design_is_blocked
     from repro.core.resource_model import buffering_savings
     from repro.faults import PILOT_WEIGHT_LIMIT, pilot_design
 
     if pilot or (
-        pilot is None and design.weight_count() > PILOT_WEIGHT_LIMIT
+        pilot is None
+        and design.weight_count() > PILOT_WEIGHT_LIMIT
+        and not design_is_blocked(design)
     ):
         sim_design, piloted = pilot_design(design), True
     else:

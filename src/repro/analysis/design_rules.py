@@ -262,9 +262,22 @@ def _stage_intervals(design: NetworkDesign) -> List[Tuple[str, int]]:
         in_beats = h * w * spec.in_group
         out_beats = oh * ow * spec.out_group
         if isinstance(spec, ConvLayerSpec):
-            core = oh * ow * max(
-                spec.in_fm // spec.in_ports, spec.out_fm // spec.out_ports, 1
-            )
+            plan = spec.block_plan(h, w)
+            if plan is not None:
+                # Block convolution: the split re-reads halo rows/columns
+                # (in_beats amplified to n_tiles*ih*iw words per FM) and
+                # the core computes the uniform tile grid including
+                # overhang — the blocked Eq. 4 accounting, derived here
+                # independently of the perf model.
+                in_beats = plan.in_words * spec.in_group
+                out_beats = plan.coords * spec.out_group
+                core = plan.coords * max(
+                    spec.in_fm // spec.in_ports, spec.out_fm // spec.out_ports, 1
+                )
+            else:
+                core = oh * ow * max(
+                    spec.in_fm // spec.in_ports, spec.out_fm // spec.out_ports, 1
+                )
         elif isinstance(spec, PoolLayerSpec):
             core = out_beats
         elif isinstance(spec, FCLayerSpec):

@@ -24,6 +24,7 @@ from repro.dataflow.actors import ArraySource, Fork, Interleaver, ScheduleDemux
 from repro.dataflow.deadlock import analyze_reconvergence
 from repro.dataflow.graph import DataflowGraph
 from repro.errors import GraphError
+from repro.sst.block import BlockMergeActor, BlockSplitActor
 from repro.sst.filter_chain import TapFilter, WindowAssembler
 from repro.sst.line_buffer import SlidingWindowActor
 from repro.sst.sizing import chain_fifo_capacities, chain_words
@@ -136,32 +137,48 @@ def _rule_buffer_full(
 
     # Memory structures: each conv/pool port must hold exactly the
     # sst/sizing.py geometry (behavioral line buffer or literal chain).
+    # Blocked conv layers run their window stage over *tile* geometry,
+    # bracketed by split/merge stages whose plans must match the spec.
     for p in design.placements:
         spec = p.spec
         if not isinstance(spec, (ConvLayerSpec, PoolLayerSpec)):
             continue
         _, h, w = p.in_shape
         group = spec.in_group
-        need = chain_words(spec.window, w, group)
+        plan = (
+            spec.block_plan(h, w) if isinstance(spec, ConvLayerSpec) else None
+        )
+        if plan is not None:
+            win_window, win_h, win_w = plan.tile_window, plan.ih, plan.iw
+        else:
+            win_window, win_h, win_w = spec.window, h, w
+        need = chain_words(win_window, win_w, group)
+        loc = f"layer:{spec.name}"
         for port in range(spec.in_ports):
             name = f"{spec.name}.win{port}"
-            loc = f"layer:{spec.name}"
+            if plan is not None:
+                _check_block_split(
+                    graph, report, f"{spec.name}.split{port}", loc, plan, group
+                )
             actor = graph.actors.get(name)
             if isinstance(actor, SlidingWindowActor):
-                if (actor.spec != spec.window or (actor.h, actor.w) != (h, w)
+                if (actor.spec != win_window
+                        or (actor.h, actor.w) != (win_h, win_w)
                         or actor.group != group):
                     report.add(make(
                         "BUFFER.FULL", Severity.ERROR, loc,
                         f"line buffer {name!r} carries window {actor.spec} "
                         f"over {actor.h}x{actor.w} (group {actor.group}) but "
-                        f"the placement demands {spec.window} over {h}x{w} "
-                        f"(group {group})",
+                        f"the placement demands {win_window} over "
+                        f"{win_h}x{win_w} (group {group})",
                         hint=f"full buffering needs {need} words per chain "
                              f"(sst/sizing.py chain_words); rebuild the "
                              f"memory structure from the placement",
                     ))
             elif f"{name}.asm" in graph.actors:
-                _check_literal_chain(graph, report, name, spec, h, w, group)
+                _check_literal_chain(
+                    graph, report, name, win_window, win_h, win_w, group
+                )
             else:
                 report.add(make(
                     "BUFFER.FULL", Severity.ERROR, loc,
@@ -170,39 +187,115 @@ def _rule_buffer_full(
                     hint="every conv/pool input port needs its sliding-"
                          "window buffer (Section II-B)",
                 ))
+        if plan is not None:
+            for port in range(spec.out_ports):
+                _check_block_merge(
+                    graph, report, f"{spec.name}.merge{port}", loc, plan,
+                    spec.out_group,
+                )
+
+
+def _check_block_split(
+    graph: DataflowGraph,
+    report: AnalysisReport,
+    name: str,
+    loc: str,
+    plan,
+    group: int,
+) -> None:
+    """One blocked conv input port's tile-split stage."""
+    actor = graph.actors.get(name)
+    if not isinstance(actor, BlockSplitActor):
+        report.add(make(
+            "BUFFER.FULL", Severity.ERROR, loc,
+            f"blocked conv layer has no tile-split stage {name!r} "
+            f"({'missing' if actor is None else type(actor).__name__})",
+            hint="a blocked layer reads halo-overlapped tiles; without the "
+                 "split its window stage sees full-image geometry",
+        ))
+        return
+    if actor.plan != plan or actor.group != group:
+        report.add(make(
+            "BUFFER.FULL", Severity.ERROR, loc,
+            f"tile split {name!r} carries plan "
+            f"[{actor.plan.describe()}] (group {actor.group}) but the "
+            f"placement demands [{plan.describe()}] (group {group})",
+        ))
+    if actor.shave_h or actor.shave_w:
+        report.add(make(
+            "BUFFER.FULL", Severity.ERROR, loc,
+            f"tile split {name!r} shaves {actor.shave_h}x{actor.shave_w} "
+            f"halo pixels: tiles no longer carry the full "
+            f"{plan.halo_h}x{plan.halo_w} overlap",
+            hint="halo widths are minimal (kh - stride); any narrower "
+                 "halo changes boundary windows and corrupts the output",
+        ))
+
+
+def _check_block_merge(
+    graph: DataflowGraph,
+    report: AnalysisReport,
+    name: str,
+    loc: str,
+    plan,
+    group: int,
+) -> None:
+    """One blocked conv output port's tile-merge stage."""
+    actor = graph.actors.get(name)
+    if not isinstance(actor, BlockMergeActor):
+        report.add(make(
+            "BUFFER.FULL", Severity.ERROR, loc,
+            f"blocked conv layer has no tile-merge stage {name!r} "
+            f"({'missing' if actor is None else type(actor).__name__})",
+            hint="without the merge, downstream layers see tile-major "
+                 "coordinate order and overhang values",
+        ))
+        return
+    if actor.plan != plan or actor.group != group:
+        report.add(make(
+            "BUFFER.FULL", Severity.ERROR, loc,
+            f"tile merge {name!r} carries plan "
+            f"[{actor.plan.describe()}] (group {actor.group}) but the "
+            f"placement demands [{plan.describe()}] (group {group})",
+        ))
 
 
 def _check_literal_chain(
     graph: DataflowGraph,
     report: AnalysisReport,
     name: str,
-    spec,
+    window,
     h: int,
     w: int,
     group: int,
 ) -> None:
-    """Exact full-buffering check of one literal SST filter chain."""
+    """Exact full-buffering check of one literal SST filter chain.
+
+    ``window``/``h``/``w`` are the chain's own geometry: the layer window
+    over the feature map for plain layers, the pad-free tile window over
+    block geometry for blocked conv layers.
+    """
     loc = f"layer:{name.rsplit('.', 1)[0]}"
     asm = graph.actors[f"{name}.asm"]
-    if not isinstance(asm, WindowAssembler) or asm.spec != spec.window \
+    if not isinstance(asm, WindowAssembler) or asm.spec != window \
             or (asm.h, asm.w) != (h, w) or asm.group != group:
         report.add(make(
             "BUFFER.FULL", Severity.ERROR, loc,
             f"window assembler {name}.asm does not match the placement "
-            f"(want window {spec.window} over {h}x{w}, group {group})",
+            f"(want window {window} over {h}x{w}, group {group})",
         ))
         return
-    if spec.window.pad and f"{name}.padder" not in graph.actors:
+    if window.pad and f"{name}.padder" not in graph.actors:
         report.add(make(
             "BUFFER.FULL", Severity.ERROR, loc,
-            f"padded window ({spec.window.pad} px) but no {name}.padder "
+            f"padded window ({window.pad} px) but no {name}.padder "
             f"actor in the chain",
             hint="literal chains rely on injected padding beats to keep "
                  "the tap offsets aligned",
         ))
     plan = getattr(graph, "depth_plan", None)
     certified = plan.certificates if plan is not None else {}
-    expected = chain_fifo_capacities(spec.window, w, group)
+    expected = chain_fifo_capacities(window, w, group)
     for i, cap in enumerate(expected):
         ch = graph.channels.get(f"{name}.fifo{i}")
         if ch is None:
@@ -237,15 +330,22 @@ def _rule_adapter_wiring(
     writers = {
         ch.writer: ch for ch in graph.channels.values() if ch.writer is not None
     }
-    # (adapter prefix, have=upstream ports, want=downstream ports, kind)
-    boundaries: List[Tuple[str, int, int, str]] = []
+    # (adapter prefix, have=upstream ports, want=downstream ports, kind,
+    #  blocked: whether the downstream layer is a blocked conv — its port
+    #  streams enter the tile-split stage, not the window stage)
+    boundaries: List[Tuple[str, int, int, str, bool]] = []
     prev_out = 1
     for p in design.placements:
-        boundaries.append((p.spec.name, prev_out, p.spec.in_ports, p.spec.kind))
+        blocked = (
+            isinstance(p.spec, ConvLayerSpec) and p.spec.block is not None
+        )
+        boundaries.append(
+            (p.spec.name, prev_out, p.spec.in_ports, p.spec.kind, blocked)
+        )
         prev_out = p.spec.out_ports
-    boundaries.append(("dma_out", prev_out, 1, "dma"))
+    boundaries.append(("dma_out", prev_out, 1, "dma", False))
 
-    for name, have, want, kind in boundaries:
+    for name, have, want, kind, blocked in boundaries:
         loc = f"boundary:{name}"
         if have == want:
             for i in range(have):
@@ -293,7 +393,9 @@ def _rule_adapter_wiring(
                         continue
                     reader, _ = _actor_of(graph, ch.reader)
                     idx = i + m * have
-                    expect = f"{name}.win{idx}"
+                    expect = (
+                        f"{name}.split{idx}" if blocked else f"{name}.win{idx}"
+                    )
                     if reader != expect and not reader.startswith(expect + "."):
                         report.add(make(
                             "ADAPTER.WIRING", Severity.ERROR, loc,
@@ -343,6 +445,13 @@ def actor_skew_latency(actor: object) -> int:
     if isinstance(actor, SlidingWindowActor):
         _, wp = actor.spec.padded_shape(actor.h, actor.w)
         return actor.spec.footprint(wp) * actor.group
+    if isinstance(actor, BlockSplitActor):
+        # The split stages a full image before the first tile beat.
+        return actor.beats_in_per_image
+    if isinstance(actor, BlockMergeActor):
+        # The merge collects every computed tile coordinate before the
+        # first raster beat.
+        return actor.beats_in_per_image
     depth = getattr(actor, "pipeline_depth", None)
     if isinstance(depth, int) and depth > 0:
         return depth

@@ -41,6 +41,7 @@ from repro.dataflow.actors import (
     ScheduleDemux,
 )
 from repro.errors import CompilationError
+from repro.sst.block import BlockMergeActor, BlockSplitActor
 from repro.sst.line_buffer import SlidingWindowActor
 
 
@@ -171,6 +172,16 @@ def _actor_rates(actor, in_beats: Dict[str, int]):
         n_in = actor.images * actor.h * actor.w * actor.group
         need("in", n_in)
         n_out = actor.images * actor.windows_per_image
+        return {"out": n_out}, [n_in, n_out]
+    if type(actor) is BlockSplitActor:
+        n_in = actor.images * actor.beats_in_per_image
+        need("in", n_in)
+        n_out = actor.images * actor.beats_out_per_image
+        return {"out": n_out}, [n_in, n_out]
+    if type(actor) is BlockMergeActor:
+        n_in = actor.images * actor.beats_in_per_image
+        need("in", n_in)
+        n_out = actor.images * actor.beats_out_per_image
         return {"out": n_out}, [n_in, n_out]
     if type(actor) is ConvCoreActor:
         coords = actor.images * actor.n_coords

@@ -53,12 +53,21 @@ _PRESETS = {
 
 
 def _register_zoo() -> None:
-    # AlexNet/VGG-16 are analytical presets (perf/resources/report/dse);
-    # simulating them is possible but enormous — the CLI does not stop you.
-    from repro.core.zoo import alexnet_design, vgg16_design
+    # AlexNet/VGG-16 resolve to the promoted full-size designs
+    # (weight-streaming FC + block convolution), simulable on every
+    # engine; the '-pilot' spellings are their deterministic downscales
+    # for quick fault/profile loops.
+    from repro.core.zoo import (
+        alexnet_blocked_design,
+        alexnet_pilot_design,
+        vgg16_blocked_design,
+        vgg16_pilot_design,
+    )
 
-    _PRESETS.setdefault("alexnet", alexnet_design)
-    _PRESETS.setdefault("vgg16", vgg16_design)
+    _PRESETS.setdefault("alexnet", alexnet_blocked_design)
+    _PRESETS.setdefault("vgg16", vgg16_blocked_design)
+    _PRESETS.setdefault("alexnet-pilot", alexnet_pilot_design)
+    _PRESETS.setdefault("vgg16-pilot", vgg16_pilot_design)
 
 
 _register_zoo()
@@ -93,7 +102,8 @@ def _common_options() -> argparse.ArgumentParser:
     )
     parent.add_argument(
         "--design", dest="design_opt", default=None, metavar="DESIGN",
-        help="preset (usps|cifar10|tiny|alexnet|vgg16) or design JSON path",
+        help="preset (usps|cifar10|tiny|alexnet|vgg16|alexnet-pilot|"
+             "vgg16-pilot) or design JSON path",
     )
     parent.add_argument("--json", metavar="PATH", default=None,
                         help="also write the machine-readable report to PATH")
@@ -122,6 +132,29 @@ def _resolve_design(args, required: bool = True) -> Optional[str]:
         return args.design_opt
     if required:
         raise ReproError(f"{args.command}: a design is required (--design)")
+    return None
+
+
+def _pilot_override(args, design) -> Optional[bool]:
+    """Tri-state pilot override from ``--pilot``/``--no-pilot``.
+
+    Promoted (blocked) designs simulate full-size by default, so
+    ``--pilot`` on one is kept only as a deprecated alias for the
+    explicit ``<name>-pilot`` preset; it still forces the downscale but
+    notes the preferred spelling on stderr.
+    """
+    from repro.core.block_transform import design_is_blocked
+
+    if args.pilot:
+        if design_is_blocked(design):
+            print(
+                f"note: '--pilot' on promoted design {design.name!r} is "
+                f"deprecated; use the '{design.name}-pilot' preset",
+                file=sys.stderr,
+            )
+        return True
+    if args.no_pilot:
+        return False
     return None
 
 
@@ -170,11 +203,6 @@ def _cmd_faultsim(args):
     """Fault-injection run(s); returns ``(text, exit_code)``."""
     from repro.faults import faultsim, load_scenario, run_campaign
 
-    pilot = None
-    if args.pilot:
-        pilot = True
-    elif args.no_pilot:
-        pilot = False
     if args.campaign:
         names = args.designs or sorted(_PRESETS)
         designs = [(n, _load_design(n)) for n in names]
@@ -203,6 +231,7 @@ def _cmd_faultsim(args):
     if design_arg is None:
         raise ReproError("faultsim: a design (or --campaign) is required")
     design = _load_design(design_arg)
+    pilot = _pilot_override(args, design)
     scenario = load_scenario(args.scenario)
     report = faultsim(
         design, scenario, seed=args.seed, images=args.images,
@@ -401,11 +430,7 @@ def _cmd_profile(args):
     from repro.profiling import profile_design, write_chrome_trace
 
     design = _load_design(_resolve_design(args))
-    pilot = None
-    if args.pilot:
-        pilot = True
-    elif args.no_pilot:
-        pilot = False
+    pilot = _pilot_override(args, design)
     kwargs = {}
     if args.tolerance is not None:
         kwargs["tolerance"] = args.tolerance
@@ -427,11 +452,7 @@ def _cmd_shrink(args):
     from repro.analysis import run_shrink
 
     design = _load_design(_resolve_design(args))
-    pilot = None
-    if args.pilot:
-        pilot = True
-    elif args.no_pilot:
-        pilot = False
+    pilot = _pilot_override(args, design)
     report = run_shrink(
         design, seed=args.seed, images=args.images, pilot=pilot,
         validate=not args.no_validate, bisect=args.bisect,

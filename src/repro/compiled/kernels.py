@@ -48,6 +48,7 @@ from repro.dataflow.actors import (
 )
 from repro.errors import CompilationError
 from repro.hls.tree_adder import tree_reduce
+from repro.sst.block import BlockMergeActor, BlockSplitActor
 from repro.sst.line_buffer import SlidingWindowActor
 
 from repro.compiled.numba_support import HAVE_NUMBA, maybe_njit
@@ -155,6 +156,63 @@ def k_window(actor: SlidingWindowActor, ins: Streams) -> Streams:
         wins.transpose(0, 2, 3, 1, 4, 5)
     ).reshape(-1, spec.kh, spec.kw)
     return {"out": out}
+
+
+def k_block_split(actor: BlockSplitActor, ins: Streams) -> Streams:
+    plan = actor.plan
+    group = actor.group
+    arr = np.asarray(ins["in"], dtype=DTYPE)
+    _expect(
+        actor.name, "pixel stream", len(arr),
+        actor.images * actor.beats_in_per_image,
+    )
+    # Raster-ordered FM-minor stream -> (images, group, h, w) planes.
+    px = np.ascontiguousarray(
+        arr.reshape(actor.images, plan.h, plan.w, group).transpose(0, 3, 1, 2)
+    )
+    # Pad enough to cover the layer padding plus the bottom/right overhang
+    # extent of the uniform tile grid (zero-filled, like the actor).
+    pad = plan.window.pad
+    s = plan.window.stride
+    ext_h = (plan.gh - 1) * plan.th * s + plan.ih
+    ext_w = (plan.gw - 1) * plan.tw * s + plan.iw
+    px = np.pad(px, (
+        (0, 0), (0, 0),
+        (pad, max(0, ext_h - plan.h - pad)),
+        (pad, max(0, ext_w - plan.w - pad)),
+    ))
+    # Gather each tile's ih x iw block: rows (gh, 1, ih, 1) x cols
+    # (1, gw, 1, iw) broadcast into (images, group, gh, gw, ih, iw).
+    rows = (np.arange(plan.gh) * plan.th * s)[:, None] + np.arange(plan.ih)
+    cols = (np.arange(plan.gw) * plan.tw * s)[:, None] + np.arange(plan.iw)
+    tiles = px[:, :, rows[:, None, :, None], cols[None, :, None, :]]
+    if actor.shave_h or actor.shave_w:
+        # Test hook parity with the actor: zero the shaved halo pixels.
+        tiles = tiles.copy()
+        if actor.shave_h:
+            tiles[..., plan.ih - actor.shave_h :, :] = 0
+        if actor.shave_w:
+            tiles[..., plan.iw - actor.shave_w :] = 0
+    # Emission order: tile-major, raster within the tile, FM-minor.
+    out = np.ascontiguousarray(tiles.transpose(0, 2, 3, 4, 5, 1)).reshape(-1)
+    return {"out": out}
+
+
+def k_block_merge(actor: BlockMergeActor, ins: Streams) -> Streams:
+    plan = actor.plan
+    group = actor.group
+    arr = np.asarray(ins["in"], dtype=DTYPE)
+    _expect(
+        actor.name, "tile stream", len(arr),
+        actor.images * actor.beats_in_per_image,
+    )
+    tiles = arr.reshape(actor.images, plan.gh, plan.gw, plan.th, plan.tw, group)
+    # (images, gh, th, gw, tw, group) -> full uniform grid, crop overhang,
+    # emit raster FM-minor.
+    full = np.ascontiguousarray(tiles.transpose(0, 1, 3, 2, 4, 5)).reshape(
+        actor.images, plan.gh * plan.th, plan.gw * plan.tw, group
+    )
+    return {"out": np.ascontiguousarray(full[:, : plan.oh, : plan.ow]).reshape(-1)}
 
 
 # -- computation cores ---------------------------------------------------
@@ -342,6 +400,8 @@ KERNELS: Dict[type, Callable] = {
     ScheduleDemux: k_demux,
     Interleaver: k_interleave,
     SlidingWindowActor: k_window,
+    BlockSplitActor: k_block_split,
+    BlockMergeActor: k_block_merge,
     ConvCoreActor: k_conv,
     PoolCoreActor: k_pool,
     FCCoreActor: k_fc,

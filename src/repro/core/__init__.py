@@ -5,6 +5,12 @@ cores, the elaboration into a simulated dataflow graph, and the
 performance/resource models behind every table and figure.
 """
 
+from repro.core.block_transform import (
+    blocking_summary,
+    design_is_blocked,
+    with_blocking,
+    without_blocking,
+)
 from repro.core.builder import (
     BuiltNetwork,
     DesignWeights,
@@ -68,7 +74,16 @@ from repro.core.serialize import (
     spec_to_dict,
 )
 from repro.core.verify import LayerCheck, VerifyReport, verify_layerwise
-from repro.core.zoo import alexnet_design, vgg16_design
+from repro.core.zoo import (
+    ALEXNET_TILES,
+    VGG16_TILES,
+    alexnet_blocked_design,
+    alexnet_design,
+    alexnet_pilot_design,
+    vgg16_blocked_design,
+    vgg16_design,
+    vgg16_pilot_design,
+)
 from repro.core.scaling import (
     divisors,
     fully_parallel_design,
@@ -78,6 +93,7 @@ from repro.core.scaling import (
 )
 
 __all__ = [
+    "ALEXNET_TILES",
     "BASE_DESIGN",
     "BuiltNetwork",
     "CIFAR_HIDDEN",
@@ -102,17 +118,24 @@ __all__ = [
     "PortAdapter",
     "RunReport",
     "Segment",
+    "VGG16_TILES",
     "CoreReport",
     "FLOW_PRESETS",
     "FlowResult",
     "LayerCheck",
     "run_flow",
     "VerifyReport",
+    "alexnet_blocked_design",
     "alexnet_design",
+    "alexnet_pilot_design",
     "batch_sweep",
+    "blocking_summary",
     "build_network",
+    "vgg16_blocked_design",
     "vgg16_design",
+    "vgg16_pilot_design",
     "cifar10_design",
+    "design_is_blocked",
     "core_reports",
     "design_from_dict",
     "design_from_json",
@@ -148,5 +171,7 @@ __all__ = [
     "tiny_model",
     "usps_design",
     "usps_model",
+    "with_blocking",
     "with_layer_ports",
+    "without_blocking",
 ]

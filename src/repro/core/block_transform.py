@@ -1,0 +1,136 @@
+"""Design-level block-convolution transform (arXiv:2105.08937).
+
+:func:`with_blocking` rewrites selected conv layers of a validated
+:class:`~repro.core.network_design.NetworkDesign` into their blocked form
+by attaching a :class:`~repro.sst.block.BlockSpec` to each spec. The
+builder then elaborates those layers as tile-split -> per-block windowed
+conv -> tile-merge, and the analyzers size/verify them on the tile
+geometry. The transform is *exact* — output streams are bit-identical to
+the unblocked design — and rate-balanced: all SDF rates stay static, so
+``repro check`` remains clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.layer_spec import ConvLayerSpec
+from repro.core.network_design import NetworkDesign
+from repro.errors import ConfigurationError
+from repro.sst.block import BlockSpec
+from repro.sst.sizing import layer_buffer_budget
+
+TileLike = Union[int, Tuple[int, int], BlockSpec]
+
+
+def _coerce(name: str, tile: TileLike) -> BlockSpec:
+    if isinstance(tile, BlockSpec):
+        return tile
+    if isinstance(tile, int):
+        return BlockSpec(tile)
+    if (
+        isinstance(tile, (tuple, list))
+        and len(tile) == 2
+        and all(isinstance(v, int) for v in tile)
+    ):
+        return BlockSpec(tile[0], tile[1])
+    raise ConfigurationError(
+        f"layer {name!r}: tile must be an int, (th, tw) pair or BlockSpec, "
+        f"got {tile!r}"
+    )
+
+
+def with_blocking(
+    design: NetworkDesign, tiles: Union[TileLike, Mapping[str, Optional[TileLike]]]
+) -> NetworkDesign:
+    """A copy of ``design`` with block convolution applied.
+
+    ``tiles`` is either a single tile size applied to every conv layer,
+    or a mapping from conv layer names to tile sizes (``None`` removes
+    blocking from that layer). Naming a layer that does not exist, or one
+    that is not convolutional, is an error — a silently ignored tile
+    would defeat the sizing the caller asked for.
+    """
+    by_name = {s.name: s for s in design.specs}
+    if isinstance(tiles, Mapping):
+        mapping: Dict[str, Optional[TileLike]] = dict(tiles)
+        for name in mapping:
+            if name not in by_name:
+                raise ConfigurationError(
+                    f"with_blocking: no layer named {name!r} in design "
+                    f"{design.name!r}"
+                )
+            if not isinstance(by_name[name], ConvLayerSpec):
+                raise ConfigurationError(
+                    f"with_blocking: layer {name!r} is not convolutional "
+                    f"({by_name[name].kind})"
+                )
+    else:
+        mapping = {
+            s.name: tiles for s in design.specs if isinstance(s, ConvLayerSpec)
+        }
+
+    new_specs: List = []
+    for spec in design.specs:
+        if spec.name in mapping:
+            tile = mapping[spec.name]
+            block = None if tile is None else _coerce(spec.name, tile)
+            spec = replace(spec, block=block)
+        new_specs.append(spec)
+    return NetworkDesign(design.name, design.input_shape, new_specs)
+
+
+def without_blocking(design: NetworkDesign) -> NetworkDesign:
+    """The unblocked counterpart: strip every conv layer's block spec."""
+    new_specs = [
+        replace(s, block=None)
+        if isinstance(s, ConvLayerSpec) and s.block is not None
+        else s
+        for s in design.specs
+    ]
+    return NetworkDesign(design.name, design.input_shape, new_specs)
+
+
+def design_is_blocked(design: NetworkDesign) -> bool:
+    """Whether any conv layer of ``design`` uses block convolution."""
+    return any(
+        isinstance(s, ConvLayerSpec) and s.block is not None for s in design.specs
+    )
+
+
+def blocking_summary(design: NetworkDesign) -> List[Dict[str, object]]:
+    """Per-blocked-layer geometry and buffer sizing (docs/CLI helper).
+
+    For every blocked conv layer: the resolved tile grid, halo widths,
+    the split-stream amplification (halo overhead entering Eq. 4), and
+    the full-buffering FIFO words before/after blocking.
+    """
+    rows: List[Dict[str, object]] = []
+    for p in design.placements:
+        spec = p.spec
+        if not isinstance(spec, ConvLayerSpec) or spec.block is None:
+            continue
+        _, h, w = p.in_shape
+        plan = spec.block_plan(h, w)
+        assert plan is not None
+        unblocked = layer_buffer_budget(
+            spec.window, w, spec.in_fm, spec.in_ports
+        ).fifo_words
+        blocked = layer_buffer_budget(
+            plan.tile_window, plan.iw, spec.in_fm, spec.in_ports
+        ).fifo_words
+        rows.append({
+            "layer": spec.name,
+            "tile": [plan.th, plan.tw],
+            "grid": [plan.gh, plan.gw],
+            "block_in": [plan.ih, plan.iw],
+            "halo": [plan.halo_h, plan.halo_w],
+            "coords": plan.coords,
+            "overhang": [plan.overhang_h, plan.overhang_w],
+            "in_words_per_fm": plan.in_words,
+            "halo_overhead": round(plan.in_words / (h * w) - 1.0, 4),
+            "unblocked_fifo_words": unblocked,
+            "blocked_fifo_words": blocked,
+        })
+    return rows

@@ -32,6 +32,7 @@ from repro.fpga.dma import DmaModel, PAPER_DMA
 from repro.nn.layers.conv import Conv2D
 from repro.nn.layers.linear import Linear
 from repro.nn.network import Sequential
+from repro.sst.block import BlockMergeActor, BlockSplitActor
 from repro.sst.filter_chain import build_filter_chain
 from repro.sst.line_buffer import SlidingWindowActor
 from repro.sst.padding import PadInserter
@@ -269,6 +270,7 @@ def build_network(
                 raise ConfigurationError(f"no weights for layer {spec.name!r}")
             wdict = weights[spec.name]
             oh, ow = spec.out_hw(h, w)
+            plan = spec.block_plan(h, w)
             depth = conv_core_depth(spec.in_ports, spec.kh, spec.kw)
             core = g.add_actor(
                 ConvCoreActor(
@@ -277,7 +279,9 @@ def build_network(
                     wdict["bias"],
                     spec.in_ports,
                     spec.out_ports,
-                    n_coords=oh * ow,
+                    # Blocked layers compute the uniform tile grid, then
+                    # drop overhang coordinates at the merge stage.
+                    n_coords=plan.coords if plan is not None else oh * ow,
                     images=images,
                     activation=spec.activation,
                     pipeline_depth=depth,
@@ -289,13 +293,45 @@ def build_network(
                 )
             )
             for port, (prod, oport) in enumerate(streams):
-                win, win_out = _window_stage(
-                    g, f"{spec.name}.win{port}", spec.window, h, w,
-                    spec.in_group, images, prod, oport, channel_capacity,
-                    memory_system,
-                )
+                if plan is not None:
+                    # Block convolution: stage the image off-chip, re-read
+                    # it as halo-overlapped tiles, and run the (pad-free)
+                    # per-tile window over block geometry — one "image"
+                    # per tile from the memory structure's point of view.
+                    split = g.add_actor(
+                        BlockSplitActor(
+                            f"{spec.name}.split{port}", plan,
+                            group=spec.in_group, images=images,
+                        )
+                    )
+                    g.connect(prod, oport, split, "in", capacity=channel_capacity)
+                    win, win_out = _window_stage(
+                        g, f"{spec.name}.win{port}", plan.tile_window,
+                        plan.ih, plan.iw, spec.in_group,
+                        images * plan.n_tiles, split, "out",
+                        channel_capacity, memory_system,
+                    )
+                else:
+                    win, win_out = _window_stage(
+                        g, f"{spec.name}.win{port}", spec.window, h, w,
+                        spec.in_group, images, prod, oport, channel_capacity,
+                        memory_system,
+                    )
                 g.connect(win, win_out, core, f"in{port}", capacity=channel_capacity)
-            streams = [(core, f"out{i}") for i in range(spec.out_ports)]
+            if plan is not None:
+                merged: List[Tuple[object, str]] = []
+                for i in range(spec.out_ports):
+                    merge = g.add_actor(
+                        BlockMergeActor(
+                            f"{spec.name}.merge{i}", plan,
+                            group=spec.out_group, images=images,
+                        )
+                    )
+                    g.connect(core, f"out{i}", merge, "in", capacity=channel_capacity)
+                    merged.append((merge, "out"))
+                streams = merged
+            else:
+                streams = [(core, f"out{i}") for i in range(spec.out_ports)]
         elif isinstance(spec, PoolLayerSpec):
             oh, ow = spec.out_hw(h, w)
             new_streams: List[Tuple[object, str]] = []

@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError, ShapeError
 from repro.hls.pipeline import initiation_interval
+from repro.sst.block import BlockPlan, BlockSpec, plan_blocks
 from repro.sst.window import WindowSpec
 
 
@@ -109,12 +110,20 @@ class LayerSpec:
 
 @dataclass(frozen=True, kw_only=True)
 class ConvLayerSpec(LayerSpec):
-    """A convolutional layer (Eq. 1): ``kh x kw`` kernels, stride, padding."""
+    """A convolutional layer (Eq. 1): ``kh x kw`` kernels, stride, padding.
+
+    ``block`` enables block convolution (arXiv:2105.08937): the output is
+    tiled into ``block.th x block.tw`` blocks that are split, convolved
+    and merged as independent sub-images with halo overlap, so line
+    buffers scale with the tile width instead of the feature-map width.
+    The transform is exact — see :mod:`repro.sst.block`.
+    """
 
     kh: int = 5
     kw: Optional[int] = None
     stride: int = 1
     pad: int = 0
+    block: Optional[BlockSpec] = None
 
     kind = "conv"
 
@@ -122,11 +131,22 @@ class ConvLayerSpec(LayerSpec):
         if self.kw is None:
             object.__setattr__(self, "kw", self.kh)  # square kernel default
         super().__post_init__()
+        if self.block is not None and not isinstance(self.block, BlockSpec):
+            raise ConfigurationError(
+                f"{self.name!r}: block must be a BlockSpec, "
+                f"got {type(self.block).__name__}"
+            )
 
     @property
     def window(self) -> WindowSpec:
         """The layer's sliding-window geometry."""
         return WindowSpec(self.kh, self.kw, self.stride, self.pad)
+
+    def block_plan(self, h: int, w: int) -> Optional[BlockPlan]:
+        """Resolved blocking geometry at input size ``h x w`` (or None)."""
+        if self.block is None:
+            return None
+        return plan_blocks(self.window, h, w, self.block)
 
     def out_hw(self, h: int, w: int) -> Tuple[int, int]:
         return self.window.out_shape(h, w)
@@ -140,9 +160,10 @@ class ConvLayerSpec(LayerSpec):
 
     def describe(self) -> str:
         act = f" +{self.activation}" if self.activation else ""
+        blk = f" {self.block.describe()}" if self.block is not None else ""
         return (
             f"conv {self.kh}x{self.kw} {self.in_fm}->{self.out_fm} "
-            f"[{self.in_ports}in/{self.out_ports}out]{act}"
+            f"[{self.in_ports}in/{self.out_ports}out]{act}{blk}"
         )
 
 

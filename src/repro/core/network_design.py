@@ -167,7 +167,10 @@ class NetworkDesign:
 
         The worst-case sizing the paper pays (Section II-B); the depth
         prover (:mod:`repro.analysis.depths`) certifies how far below
-        this a design can actually run.
+        this a design can actually run. Blocked conv layers are sized on
+        their *tile* geometry — the point of block convolution: line
+        buffers span the input-block width ``iw``, not the full
+        feature-map width.
         """
         from repro.sst.sizing import layer_buffer_budget
 
@@ -176,10 +179,31 @@ class NetworkDesign:
             spec = p.spec
             if not isinstance(spec, (ConvLayerSpec, PoolLayerSpec)):
                 continue
-            total += layer_buffer_budget(
-                spec.window, p.in_shape[2], spec.in_fm, spec.in_ports
-            ).fifo_words
+            plan = (
+                spec.block_plan(p.in_shape[1], p.in_shape[2])
+                if isinstance(spec, ConvLayerSpec)
+                else None
+            )
+            if plan is not None:
+                total += layer_buffer_budget(
+                    plan.tile_window, plan.iw, spec.in_fm, spec.in_ports
+                ).fifo_words
+            else:
+                total += layer_buffer_budget(
+                    spec.window, p.in_shape[2], spec.in_fm, spec.in_ports
+                ).fifo_words
         return total
+
+    def with_blocking(self, tiles: "dict | int") -> "NetworkDesign":
+        """A copy with block convolution applied to conv layers.
+
+        See :func:`repro.core.block_transform.with_blocking`; ``tiles``
+        maps conv layer names to tile sizes (or is one tile size applied
+        to every conv layer).
+        """
+        from repro.core.block_transform import with_blocking
+
+        return with_blocking(self, tiles)
 
     # -- rendering (Figures 4 / 5) -----------------------------------------------
 

@@ -85,13 +85,27 @@ def layer_perf(placement: LayerPlacement, loop_overhead: float = 0.0) -> LayerPe
     fadd = op_cost("add").latency
     fmul = op_cost("mul").latency
     if isinstance(spec, ConvLayerSpec):
-        core = int(round(oh * ow * (spec.ii + loop_overhead)))
+        plan = spec.block_plan(h, w)
         depth = conv_core_depth(spec.in_ports, spec.kh, spec.kw)
         # After the last input pixel: finish the final coordinate (one II),
         # push it through mult + product tree + accumulate, emit its beats.
         tail = spec.ii + depth + spec.out_group
-        _, wp = spec.window.padded_shape(h, w)
-        prime = ((spec.kh - 1) * wp + spec.kw) * spec.in_group
+        if plan is not None:
+            # Block convolution (Eq. 4 with halo overhead): the split
+            # stage re-reads each halo row/column once per adjacent tile,
+            # amplifying the input stream from h*w to n_tiles*ih*iw words
+            # per FM, and the core computes the uniform tile grid
+            # (coords >= oh*ow: overhang is dropped at the merge).
+            in_beats = plan.in_words * spec.in_group
+            core = int(round(plan.coords * (spec.ii + loop_overhead)))
+            out_beats = plan.coords * spec.out_group
+            # First window: a full image staged by the split, then the
+            # first tile's window primed over block geometry (pad-free).
+            prime = (h * w + (spec.kh - 1) * plan.iw + spec.kw) * spec.in_group
+        else:
+            core = int(round(oh * ow * (spec.ii + loop_overhead)))
+            _, wp = spec.window.padded_shape(h, w)
+            prime = ((spec.kh - 1) * wp + spec.kw) * spec.in_group
     elif isinstance(spec, PoolLayerSpec):
         core = out_beats  # II = 1 per window beat
         depth = 1

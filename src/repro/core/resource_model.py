@@ -74,8 +74,15 @@ def conv_layer_resources(placement: LayerPlacement, dtype: str = "float32") -> R
     total = total + ResourceVector(ff=spec.in_ports * spec.kh * spec.kw * 32)
     # Hard-coded weights + biases.
     total = total + _storage(spec.weight_count())
-    # Memory structure FIFOs (full buffering across all chains).
-    budget = layer_buffer_budget(spec.window, w, spec.in_fm, spec.in_ports)
+    # Memory structure FIFOs (full buffering across all chains). A
+    # blocked conv buffers one input tile per chain, not the image.
+    plan = spec.block_plan(h, w)
+    if plan is not None:
+        budget = layer_buffer_budget(
+            plan.tile_window, plan.iw, spec.in_fm, spec.in_ports
+        )
+    else:
+        budget = layer_buffer_budget(spec.window, w, spec.in_fm, spec.in_ports)
     total = total + _storage(budget.fifo_words)
     return total + CORE_OVERHEAD
 
@@ -187,11 +194,17 @@ def buffering_savings(design: NetworkDesign) -> Dict[str, object]:
         if not isinstance(spec, (ConvLayerSpec, PoolLayerSpec)):
             continue
         w = p.in_shape[2]
+        window = spec.window
+        if isinstance(spec, ConvLayerSpec):
+            # Blocked convs elaborate their chains over tile geometry.
+            plan = spec.block_plan(p.in_shape[1], w)
+            if plan is not None:
+                window, w = plan.tile_window, plan.iw
         full = chain_channel_words(
-            spec.window, w, spec.in_group
+            window, w, spec.in_group
         ) * spec.in_ports
         certified = certified_chain_words(
-            spec.window, w, spec.in_group
+            window, w, spec.in_group
         ) * spec.in_ports
         full_store = _storage(full)
         cert_store = _storage(certified)

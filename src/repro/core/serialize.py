@@ -19,12 +19,13 @@ from repro.core.builder import DesignWeights
 from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, LayerSpec, PoolLayerSpec
 from repro.core.network_design import NetworkDesign
 from repro.errors import ConfigurationError
+from repro.sst.block import BlockSpec
 
 _KINDS = {"conv": ConvLayerSpec, "pool": PoolLayerSpec, "fc": FCLayerSpec}
 
 _COMMON_FIELDS = ("name", "in_fm", "out_fm", "in_ports", "out_ports", "activation")
 _EXTRA_FIELDS = {
-    "conv": ("kh", "kw", "stride", "pad"),
+    "conv": ("kh", "kw", "stride", "pad", "block"),
     "pool": ("kh", "kw", "stride", "mode"),
     "fc": ("acc_lanes", "weight_streaming"),
 }
@@ -37,6 +38,10 @@ def spec_to_dict(spec: LayerSpec) -> dict:
     d = {"kind": spec.kind}
     for f in _COMMON_FIELDS + _EXTRA_FIELDS[spec.kind]:
         d[f] = getattr(spec, f)
+    # BlockSpec is not JSON-safe: store it as a [th, tw] pair.
+    block = d.get("block")
+    if isinstance(block, BlockSpec):
+        d["block"] = [block.th, block.tw]
     return d
 
 
@@ -48,6 +53,19 @@ def spec_from_dict(d: dict) -> LayerSpec:
     except KeyError:
         raise ConfigurationError(f"missing/unknown spec kind in {d!r}") from None
     kwargs = {f: d[f] for f in _COMMON_FIELDS + _EXTRA_FIELDS[kind] if f in d}
+    block = kwargs.get("block")
+    if block is not None and not isinstance(block, BlockSpec):
+        if isinstance(block, int):
+            block = [block, block]
+        if not (
+            isinstance(block, (list, tuple))
+            and len(block) == 2
+            and all(isinstance(v, int) for v in block)
+        ):
+            raise ConfigurationError(
+                f"conv block must be [th, tw] or an int, got {block!r}"
+            )
+        kwargs["block"] = BlockSpec(block[0], block[1])
     return cls(**kwargs)
 
 

@@ -11,14 +11,52 @@ Both are faithful to the original topologies up to features the paper's
 methodology does not define: local response normalization (AlexNet) is
 omitted, the dual-GPU grouping of AlexNet's convolutions is flattened,
 and all activations are ReLU as in the originals.
+
+Two tiers per model:
+
+* ``alexnet_design`` / ``vgg16_design`` — the unblocked references.
+  Above the pilot weight limit they are cycle-simulated as pilot
+  downscales; the full-size designs remain analytically checkable.
+* ``alexnet_blocked_design`` / ``vgg16_blocked_design`` — the promoted
+  full-size zoo members: block convolution
+  (:mod:`repro.core.block_transform`) on every conv, with per-layer
+  tile sizes chosen so each memory structure buffers tiles instead of
+  full feature maps. These simulate full-size on all three engines
+  (weight streaming is deliberately left off: an FC layer that streams
+  its matrix needs one beat per weight, which would put tens of
+  millions of cycles between images and make cycle simulation
+  pointless). ``*_pilot_design`` are their deterministic pilot
+  downscales for quick CI fault/profile loops (pilots strip blocking).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, LayerSpec, PoolLayerSpec
 from repro.core.network_design import NetworkDesign
+
+#: Tile heights/widths for the promoted blocked AlexNet: conv1 emits
+#: 55x55 (5 tiles of 11), conv2 27x27 (3 tiles of 9), conv3-5 13x13
+#: (2 tiles of 7, one overhang row/column dropped by the merge stage).
+ALEXNET_TILES: Dict[str, int] = {
+    "conv1": 11,
+    "conv2": 9,
+    "conv3": 7,
+    "conv4": 7,
+    "conv5": 7,
+}
+
+#: Tile sizes for the promoted blocked VGG-16: all outputs are powers
+#: of two times 7 (224/112/56/28/14), tiled 28 -> 28 -> 14 -> 14 -> 7 so
+#: the deepest, widest layers hold the smallest tiles.
+VGG16_TILES: Dict[str, int] = {
+    **{f"b1_conv{i}": 28 for i in (1, 2)},
+    **{f"b2_conv{i}": 28 for i in (1, 2)},
+    **{f"b3_conv{i}": 14 for i in (1, 2, 3)},
+    **{f"b4_conv{i}": 14 for i in (1, 2, 3)},
+    **{f"b5_conv{i}": 7 for i in (1, 2, 3)},
+}
 
 
 def alexnet_design(
@@ -97,3 +135,35 @@ def vgg16_design(
                     weight_streaming=weight_streaming),
     ]
     return NetworkDesign(name, (3, 224, 224), specs)
+
+
+def alexnet_blocked_design(name: str = "alexnet") -> NetworkDesign:
+    """Full-size AlexNet promoted for cycle simulation.
+
+    :data:`ALEXNET_TILES` block convolution on every conv layer; never
+    swapped for a pilot by the simulation gates.
+    """
+    return alexnet_design(name).with_blocking(ALEXNET_TILES)
+
+
+def vgg16_blocked_design(name: str = "vgg16") -> NetworkDesign:
+    """Full-size VGG-16 promoted for cycle simulation.
+
+    :data:`VGG16_TILES` block convolution on every conv layer; never
+    swapped for a pilot by the simulation gates.
+    """
+    return vgg16_design(name).with_blocking(VGG16_TILES)
+
+
+def alexnet_pilot_design() -> NetworkDesign:
+    """Deterministic pilot downscale of the promoted AlexNet."""
+    from repro.faults.harness import pilot_design
+
+    return pilot_design(alexnet_blocked_design())
+
+
+def vgg16_pilot_design() -> NetworkDesign:
+    """Deterministic pilot downscale of the promoted VGG-16."""
+    from repro.faults.harness import pilot_design
+
+    return pilot_design(vgg16_blocked_design())

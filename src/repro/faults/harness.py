@@ -32,6 +32,7 @@ from typing import ClassVar, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.block_transform import design_is_blocked
 from repro.core.builder import BuiltNetwork, build_network, random_weights
 from repro.core.layer_spec import (
     ConvLayerSpec,
@@ -138,7 +139,9 @@ def pilot_design(
 
 def simulable_design(design: NetworkDesign) -> Tuple[NetworkDesign, bool]:
     """``(design, False)`` or its pilot + True when too large to simulate."""
-    if design.weight_count() <= PILOT_WEIGHT_LIMIT:
+    if design.weight_count() <= PILOT_WEIGHT_LIMIT or design_is_blocked(
+        design
+    ):
         return design, False
     return pilot_design(design), True
 
@@ -441,7 +444,11 @@ def faultsim(
     campaign runner share clean runs across scenarios.
     """
     _require_interpreted(scheduler)
-    if pilot or (pilot is None and design.weight_count() > PILOT_WEIGHT_LIMIT):
+    if pilot or (
+        pilot is None
+        and design.weight_count() > PILOT_WEIGHT_LIMIT
+        and not design_is_blocked(design)
+    ):
         sim_design, piloted = pilot_design(design), True
     else:
         sim_design, piloted = design, False

@@ -23,7 +23,8 @@ import numpy as np
 
 from repro.analysis.diagnostics import AnalysisReport, Severity, make
 from repro.core.builder import build_network, random_weights
-from repro.core.layer_spec import FCLayerSpec
+from repro.core.block_transform import design_is_blocked
+from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec
 from repro.core.network_design import NetworkDesign
 from repro.core.perf_model import network_perf
 from repro.dataflow.trace import Tracer, counter_busy_fractions
@@ -37,9 +38,20 @@ INTERVAL_TOLERANCE = 0.10
 
 
 def _core_coords(placement) -> int:
-    """Output coordinates one core process walks per image."""
-    if isinstance(placement.spec, FCLayerSpec):
+    """Output coordinates one core process walks per image.
+
+    Blocked convolutions walk every tile coordinate, including the
+    overhang positions of boundary tiles that the merge stage later
+    drops, so the measured-II identity must divide by the tile count
+    rather than the raster output area.
+    """
+    spec = placement.spec
+    if isinstance(spec, FCLayerSpec):
         return 1
+    if isinstance(spec, ConvLayerSpec):
+        plan = spec.block_plan(placement.in_shape[1], placement.in_shape[2])
+        if plan is not None:
+            return plan.coords
     _k, oh, ow = placement.out_shape
     return oh * ow
 
@@ -74,7 +86,11 @@ def profile_design(
     :class:`~repro.dataflow.trace.Tracer` backend (disables the event
     engine's bulk cycle-skipping; counters are unaffected).
     """
-    if pilot or (pilot is None and design.weight_count() > PILOT_WEIGHT_LIMIT):
+    if pilot or (
+        pilot is None
+        and design.weight_count() > PILOT_WEIGHT_LIMIT
+        and not design_is_blocked(design)
+    ):
         sim_design, piloted = pilot_design(design), True
     else:
         sim_design, piloted = design, False

@@ -5,6 +5,15 @@ actor, the literal filter-chain rendition, and buffer-sizing math for the
 resource model.
 """
 
+from repro.sst.block import (
+    BlockMergeActor,
+    BlockPlan,
+    BlockSpec,
+    BlockSplitActor,
+    plan_blocks,
+    reference_block_stream,
+    tile_coords,
+)
 from repro.sst.filter_chain import (
     TapFilter,
     WindowAssembler,
@@ -23,6 +32,10 @@ from repro.sst.sizing import (
 from repro.sst.window import WindowSpec
 
 __all__ = [
+    "BlockMergeActor",
+    "BlockPlan",
+    "BlockSpec",
+    "BlockSplitActor",
     "BufferBudget",
     "PadInserter",
     "SlidingWindowActor",
@@ -35,6 +48,9 @@ __all__ = [
     "completion_map",
     "fifo_depths",
     "layer_buffer_budget",
+    "plan_blocks",
+    "reference_block_stream",
     "reference_windows",
     "tap_offsets",
+    "tile_coords",
 ]

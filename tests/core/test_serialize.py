@@ -19,6 +19,7 @@ from repro.core import (
 )
 from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec, PoolLayerSpec
 from repro.errors import ConfigurationError
+from repro.sst.block import BlockSpec
 
 
 class TestSpecRoundtrip:
@@ -27,6 +28,8 @@ class TestSpecRoundtrip:
         [
             ConvLayerSpec(name="c", in_fm=3, out_fm=12, kh=5, stride=2, pad=1,
                           in_ports=3, out_ports=4, activation="tanh"),
+            ConvLayerSpec(name="cb", in_fm=3, out_fm=12, kh=3, pad=1,
+                          block=BlockSpec(7, 5)),
             PoolLayerSpec(name="p", in_fm=6, out_fm=6, kh=2, stride=2,
                           in_ports=2, out_ports=2, mode="mean"),
             FCLayerSpec(name="f", in_fm=64, out_fm=10, acc_lanes=16,
@@ -61,6 +64,32 @@ class TestDesignRoundtrip:
         doc = json.loads(design_to_json(cifar10_design()))
         assert doc["name"] == "cifar10-tc2"
         assert len(doc["layers"]) == 6
+
+    def test_blocked_design_roundtrip(self):
+        # ConvLayerSpec.block survives JSON: BlockSpec is stored as a
+        # [th, tw] pair and reconstructed on load.
+        from repro.core import vgg16_blocked_design
+
+        d = vgg16_blocked_design()
+        d2 = design_from_json(design_to_json(d))
+        assert d2.specs == d.specs
+        blocks = [s.block for s in d2.specs if isinstance(s, ConvLayerSpec)]
+        assert all(isinstance(b, BlockSpec) for b in blocks)
+
+    def test_blocked_spec_accepts_int_shorthand(self):
+        doc = spec_to_dict(
+            ConvLayerSpec(name="c", in_fm=1, out_fm=2, kh=3, pad=1)
+        )
+        doc["block"] = 4
+        assert spec_from_dict(doc).block == BlockSpec(4, 4)
+
+    def test_bad_block_shape_rejected(self):
+        doc = spec_to_dict(
+            ConvLayerSpec(name="c", in_fm=1, out_fm=2, kh=3, pad=1)
+        )
+        doc["block"] = [4, 4, 4]
+        with pytest.raises(ConfigurationError):
+            spec_from_dict(doc)
 
     def test_missing_key_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -92,6 +92,48 @@ class TestCommands:
         assert code == 0 and "BRAM" in out
 
 
+class TestPilotAlias:
+    def test_pilot_flag_on_promoted_design_notes_deprecation(self, capsys):
+        # `--pilot` on a promoted (blocked, full-size) preset still works
+        # but is a deprecated alias for the explicit -pilot preset: it
+        # must say so on stderr and visibly profile the downscale.
+        code, out, err = run_cli(
+            capsys, "profile", "--design", "alexnet", "--pilot",
+            "--scheduler", "compiled",
+        )
+        assert code == 0
+        assert "deprecated" in err and "alexnet-pilot" in err
+
+    def test_pilot_preset_spelling_is_quiet(self, capsys):
+        code, _, err = run_cli(
+            capsys, "profile", "--design", "alexnet-pilot",
+            "--scheduler", "compiled",
+        )
+        assert code == 0
+        assert "deprecated" not in err
+
+    def test_alias_and_full_size_reports_are_distinct(self, capsys, tmp_path):
+        # The aliased run is the downscale, not a silent duplicate of
+        # the full-size report: the two JSON artifacts must disagree on
+        # the design's full-buffering footprint.
+        alias_json = tmp_path / "alias.json"
+        full_json = tmp_path / "full.json"
+        code, _, _ = run_cli(
+            capsys, "shrink", "--design", "alexnet", "--pilot",
+            "--no-validate", "--json", str(alias_json),
+        )
+        assert code == 0
+        code, _, _ = run_cli(
+            capsys, "shrink", "--design", "alexnet",
+            "--no-validate", "--json", str(full_json),
+        )
+        assert code == 0
+        alias = json.loads(alias_json.read_text())
+        full = json.loads(full_json.read_text())
+        assert alias["pilot"] and not full["pilot"]
+        assert alias["words"]["full"] != full["words"]["full"]
+
+
 class TestCheck:
     def test_check_preset_passes(self, capsys):
         code, out, _ = run_cli(capsys, "check", "usps")
