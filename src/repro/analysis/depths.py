@@ -10,7 +10,7 @@ every entry carries a machine-checkable :class:`DepthCertificate`.
 
 Prover model
 ------------
-Channels are classified into four certificate methods:
+Channels are classified into five certificate methods:
 
 ``chain-recursion``
     The FIFOs and tap channels of a literal SST filter chain
@@ -31,6 +31,14 @@ Channels are classified into four certificate methods:
     ``c_i = max(1, d_i)`` is the word-minimal solution; a chain FIFO is
     **tight** when ``c_i - 1`` drives ``min_i R_i`` below 1, i.e. the
     prover can show depth-1 deadlocks.
+
+``link-pace``
+    The wire channel of a board-to-board link
+    (:class:`~repro.dataflow.link.LinkTxActor` writer): the transmitter
+    emits at most one word per ``beat`` cycles, so the receiver relay
+    always drains it.  Depth 2 sustains the full back-to-back rate at
+    ``beat == 1`` (the two-phase commit makes a one-deep FIFO halve the
+    rate); depth 1 suffices at ``beat >= 2``.
 
 ``bridge``
     A channel that is a bridge of the undirected channel multigraph.  A
@@ -75,6 +83,7 @@ import networkx as nx
 import numpy as np
 
 from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.link import LinkTxActor
 from repro.errors import ConfigurationError, DeadlockError
 from repro.fpga.dma import PAPER_DMA, DmaModel
 from repro.report.base import Report
@@ -82,11 +91,12 @@ from repro.sst.filter_chain import TapFilter, WindowAssembler
 
 #: Certificate methods, strongest structural claim first.
 METHOD_CHAIN = "chain-recursion"
+METHOD_LINK = "link-pace"
 METHOD_BRIDGE = "bridge"
 METHOD_SKEW = "reconvergent-skew"
 METHOD_PIN = "heuristic-pin"
 
-_METHODS = (METHOD_CHAIN, METHOD_BRIDGE, METHOD_SKEW, METHOD_PIN)
+_METHODS = (METHOD_CHAIN, METHOD_LINK, METHOD_BRIDGE, METHOD_SKEW, METHOD_PIN)
 
 #: Reconvergence enumeration bounds (the stock ``analyze_reconvergence``
 #: cutoff of 12 misses the long core-to-core paths threading literal
@@ -572,6 +582,34 @@ def infer_depth_plan(
     certs: Dict[str, DepthCertificate] = {}
     for base in bases:
         _certify_chain(graph, base, certs)
+    for name in sorted(graph.channels):
+        ch = graph.channels[name]
+        if name in certs or ch.capacity is None or ch.writer is None:
+            continue
+        tx = graph.actors.get(_endpoint_actor(ch.writer))
+        if type(tx) is not LinkTxActor:
+            continue
+        beat = tx.beat
+        depth = 2 if beat == 1 else 1
+        certs[name] = DepthCertificate(
+            channel=name,
+            depth=depth,
+            full_capacity=int(ch.capacity),
+            method=METHOD_LINK,
+            proven=True,
+            tight=False,
+            detail=(
+                f"link wire paced at one word per {beat} cycle(s): the "
+                f"transmitter never has more than one word in flight"
+                + (
+                    " per two-phase commit window, so depth 2 sustains "
+                    "the full back-to-back rate"
+                    if beat == 1
+                    else ", and the receiver drains it before the next "
+                    "beat, so depth 1 sustains the full link rate"
+                )
+            ),
+        )
     bridges = _bridge_channels(graph)
     for name in sorted(graph.channels):
         ch = graph.channels[name]

@@ -40,6 +40,7 @@ from repro.dataflow.actors import (
     MapActor,
     ScheduleDemux,
 )
+from repro.dataflow.link import LinkRxActor, LinkTxActor
 from repro.errors import CompilationError
 from repro.sst.block import BlockMergeActor, BlockSplitActor
 from repro.sst.line_buffer import SlidingWindowActor
@@ -237,6 +238,17 @@ def _actor_rates(actor, in_beats: Dict[str, int]):
     if type(actor) is FifoStage:
         n = in_beats.get(actor.src, 0)
         return {actor.dst: n}, [n]
+    if type(actor) in (LinkTxActor, LinkRxActor):
+        # Pass-through word movers: one productive beat per word (the
+        # transmitter's pacing waits are WaitCycles parks, excluded from
+        # fires on the interpreted engines too).
+        n = in_beats.get("in", 0)
+        if n % actor.words_per_image:
+            raise CompilationError(
+                f"{actor.name!r}: {n} beats arrive but the link is sized "
+                f"for {actor.words_per_image} words per image"
+            )
+        return {"out": n}, [n]
     if type(actor) is MapActor:
         n = in_beats.get(actor.src, 0)
         return {actor.dst: n}, [n]
@@ -247,12 +259,17 @@ def _actor_rates(actor, in_beats: Dict[str, int]):
     )
 
 
-def extract_schedule(actors, channels, design: NetworkDesign) -> SteadySchedule:
+def extract_schedule(
+    actors, channels, design: NetworkDesign, multi_plan=None
+) -> SteadySchedule:
     """Solve the steady-state schedule of a verified design graph.
 
     ``actors``/``channels`` are the elaborated graph's contents (as held
     by the :class:`~repro.dataflow.simulator.Simulator`), ``design`` the
-    :class:`NetworkDesign` they were built from.
+    :class:`NetworkDesign` they were built from. For a sharded graph,
+    ``multi_plan`` is the :class:`~repro.core.multi_fpga.MultiFpgaPlan`
+    whose link stages join the interval race and extend the fill by the
+    links' first-word traversal latency.
     """
     by_name = {a.name: a for a in actors}
     order = topological_order(actors, channels)
@@ -322,6 +339,17 @@ def extract_schedule(actors, channels, design: NetworkDesign) -> SteadySchedule:
     )
     fill = perf.fill_latency
     interval = perf.interval
+    bottleneck = perf.bottleneck
+    if multi_plan is not None:
+        link_beat = multi_plan.link.beat_interval()
+        for d in range(multi_plan.n_devices - 1):
+            cycles = multi_plan.link_cycles(d)
+            if cycles > interval:
+                interval, bottleneck = cycles, f"link{d}"
+            # First-word traversal latency of one link pair: the
+            # serializing interleave, the paced tx beat, the wire
+            # register, the rx relay and the deal-out demux.
+            fill += 4 + link_beat
     completions = tuple(fill + i * interval for i in range(images))
     return SteadySchedule(
         order=order,
@@ -330,7 +358,7 @@ def extract_schedule(actors, channels, design: NetworkDesign) -> SteadySchedule:
         images=images,
         interval=interval,
         fill_latency=fill,
-        bottleneck=perf.bottleneck,
+        bottleneck=bottleneck,
         completions=completions,
         cycles=completions[-1] + 1,
         per_image_out=out_words,

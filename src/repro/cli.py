@@ -470,6 +470,45 @@ def _cmd_shrink(args):
     return report.format_text(), 0 if report["ok"] else 1
 
 
+def _cmd_shard(args):
+    """Multi-FPGA sharded co-simulation sweep; returns ``(text, exit_code)``."""
+    from repro.core.multi_fpga import LinkModel
+    from repro.core.shard import run_shard
+
+    design = _load_design(_resolve_design(args))
+    link = None
+    if args.link_bandwidth is not None or args.link_clock is not None:
+        link = LinkModel(
+            bandwidth_bytes_per_s=args.link_bandwidth
+            if args.link_bandwidth is not None
+            else 1e9,
+            clock_hz=args.link_clock if args.link_clock is not None else 100e6,
+        )
+    throttles = []
+    for spec in args.throttle or ():
+        try:
+            period, burst = spec.split(":")
+            throttles.append((int(period), int(burst)))
+        except ValueError:
+            raise ReproError(
+                f"shard: --throttle wants PERIOD:BURST, got {spec!r}"
+            ) from None
+    report = run_shard(
+        design,
+        devices=tuple(args.devices),
+        images=args.images,
+        seed=args.seed,
+        link=link,
+        fit=not args.no_fit,
+        engines=tuple(args.engines),
+        throttles=tuple(throttles),
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json() + "\n")
+    return report.summary(), 0 if report.ok else 1
+
+
 def _cmd_loadtest(args):
     """Open-loop serving loadtest; returns ``(text, exit_code)``."""
     from repro.serve import run_loadtest
@@ -684,6 +723,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="forbid the pilot downscale (huge designs "
                              "will simulate at full size)")
     shrink.set_defaults(fn=_cmd_shrink)
+    shard = sub.add_parser(
+        "shard", parents=[common],
+        help="multi-FPGA sharded co-simulation: cut the verified graph at "
+             "the planned boundaries, run each placement as ONE "
+             "multi-device simulation, verify digests and plan intervals "
+             "(see repro.core.shard)",
+    )
+    shard.add_argument("--devices", type=int, nargs="+", default=[1, 2, 4],
+                       help="device counts to place and co-simulate")
+    shard.add_argument("--images", type=int, default=4,
+                       help="batch size (>= 2 measures the interval)")
+    shard.add_argument("--engines", nargs="+",
+                       choices=["event", "lockstep", "compiled"],
+                       default=["event", "compiled"],
+                       help="simulation engines to cross-check")
+    shard.add_argument("--link-bandwidth", type=float, default=None,
+                       metavar="BYTES_PER_S",
+                       help="board-to-board link bandwidth "
+                            "(default 1e9 B/s)")
+    shard.add_argument("--link-clock", type=float, default=None,
+                       metavar="HZ",
+                       help="link clock domain (default 100e6 Hz)")
+    shard.add_argument("--throttle", nargs="+", default=None,
+                       metavar="PERIOD:BURST",
+                       help="fault campaign: hold every PERIOD-th wire "
+                            "commit for BURST cycles on every link and "
+                            "cross-check the analytical degraded interval")
+    shard.add_argument("--no-fit", action="store_true",
+                       help="drop the per-segment device capacity "
+                            "constraint (full-size zoo members overflow "
+                            "even several Virtex-7s)")
+    shard.set_defaults(fn=_cmd_shard)
     loadtest = sub.add_parser(
         "loadtest", parents=[common],
         help="open-loop serving loadtest: seeded arrivals, batch-aware "

@@ -127,16 +127,20 @@ class CompiledEngine:
              if type(a) is ConvCoreActor),
             default=0,
         )
+        multi_plan = getattr(sim, "multi_plan", None)
         key = plan_key(
             digest,
             len(sources[0].values) if sources else -1,
             sources[0].interval if sources else -1,
             int(overhead),
             _structure_crc(sim.actors, sim.channels),
+            multi_plan.link.beat_interval() if multi_plan is not None else 0,
         )
         plan = cache.get_plan(key)
         if plan is None:
-            schedule = extract_schedule(sim.actors, sim.channels, design)
+            schedule = extract_schedule(
+                sim.actors, sim.channels, design, multi_plan=multi_plan
+            )
             in_ports, out_ports = port_maps(sim.actors, sim.channels)
             plan = CompiledPlan(schedule, in_ports, out_ports)
             cache.put_plan(key, plan)

@@ -46,6 +46,7 @@ from repro.dataflow.actors import (
     MapActor,
     ScheduleDemux,
 )
+from repro.dataflow.link import LinkRxActor, LinkTxActor
 from repro.errors import CompilationError
 from repro.hls.tree_adder import tree_reduce
 from repro.sst.block import BlockMergeActor, BlockSplitActor
@@ -89,6 +90,12 @@ def k_sink(actor: ListSink, ins: Streams) -> Streams:
 
 def k_fifo(actor: FifoStage, ins: Streams) -> Streams:
     return {actor.dst: ins[actor.src]}
+
+
+def k_link(actor, ins: Streams) -> Streams:
+    # LinkTx/LinkRx move words unchanged; their bandwidth pacing lives
+    # entirely in the schedule's timing frame.
+    return {"out": ins["in"]}
 
 
 def k_map(actor: MapActor, ins: Streams) -> Streams:
@@ -395,6 +402,8 @@ KERNELS: Dict[type, Callable] = {
     ArraySource: k_source,
     ListSink: k_sink,
     FifoStage: k_fifo,
+    LinkTxActor: k_link,
+    LinkRxActor: k_link,
     MapActor: k_map,
     Fork: k_fork,
     ScheduleDemux: k_demux,

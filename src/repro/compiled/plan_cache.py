@@ -79,19 +79,28 @@ class CompiledPlan:
     out_ports: Dict[str, Dict[str, str]]
 
 
-PlanKey = Tuple[str, int, int, int, int]
+PlanKey = Tuple[str, int, int, int, int, int]
 
 
 def plan_key(
-    digest: str, n_values: int, beat: int, overhead: int, structure: int
+    digest: str,
+    n_values: int,
+    beat: int,
+    overhead: int,
+    structure: int,
+    link_beat: int = 0,
 ) -> PlanKey:
     """The full cache key of one lowered plan.
 
     ``n_values``/``beat`` pin the DMA stream geometry (batch size and
     source rate), ``overhead`` the conv-core calibration constant, and
-    ``structure`` the elaborated graph's name CRC.
+    ``structure`` the elaborated graph's name CRC. ``link_beat`` pins the
+    board-to-board beat interval of a sharded build (0 when unsharded):
+    two shardings of the same design at different link bandwidths share
+    every actor and channel name, so the structure CRC alone cannot tell
+    their timing frames apart.
     """
-    return (digest, n_values, beat, overhead, structure)
+    return (digest, n_values, beat, overhead, structure, link_beat)
 
 
 class PlanCache:

@@ -31,7 +31,14 @@ from repro.core.models import (
     usps_design,
     usps_model,
 )
-from repro.core.multi_fpga import LinkModel, MultiFpgaPlan, Segment, plan_split
+from repro.core.multi_fpga import (
+    LinkModel,
+    MultiFpgaPlan,
+    Segment,
+    load_multi_fpga_plan,
+    plan_split,
+    segment_egress_words,
+)
 from repro.core.norm_core import (
     NormalizationActor,
     normalization_depth,
@@ -63,6 +70,7 @@ from repro.core.flow import FLOW_PRESETS, FlowResult, run_flow
 from repro.core.hls_report import CoreReport, core_reports, render_report
 from repro.core.reference import design_reference_forward
 from repro.core.runner import RunReport, run_batch, run_trained, simulated_batch_sweep
+from repro.core.shard import ShardReport, run_shard
 from repro.core.serialize import (
     design_from_dict,
     design_from_json,
@@ -161,6 +169,10 @@ __all__ = [
     "layer_resources",
     "network_perf",
     "plan_split",
+    "load_multi_fpga_plan",
+    "segment_egress_words",
+    "ShardReport",
+    "run_shard",
     "port_options",
     "random_weights",
     "run_batch",

@@ -26,6 +26,7 @@ from repro.dataflow.actors import ArraySource, Interleaver, ListSink, ScheduleDe
 from repro.dataflow.channel import Channel
 from repro.dataflow.functional import FunctionalExecutor
 from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.link import LinkRxActor, LinkTxActor
 from repro.dataflow.simulator import SimulationResult
 from repro.errors import ConfigurationError, ShapeError
 from repro.fpga.dma import DmaModel, PAPER_DMA
@@ -202,6 +203,7 @@ def build_network(
     normalize: bool = False,
     strict: bool = False,
     depth_plan=None,
+    multi_plan=None,
 ) -> BuiltNetwork:
     """Elaborate ``design`` into a dataflow graph processing ``batch``.
 
@@ -233,6 +235,18 @@ def build_network(
         to its certificate depth; the plan must match this elaboration's
         ``memory_system``). The plan stays attached as
         ``graph.depth_plan`` so ``strict`` runs the BUFFER.DEPTH_* rules.
+    multi_plan: a :class:`~repro.core.multi_fpga.MultiFpgaPlan` from
+        :func:`~repro.core.multi_fpga.plan_split`. The graph is cut at
+        the planned segment boundaries: each cut becomes a
+        :class:`~repro.dataflow.link.LinkTxActor` /
+        :class:`~repro.dataflow.link.LinkRxActor` pair joined by a
+        ``link{d}.wire`` channel whose transmitter paces at the plan's
+        link beat interval — one multi-device co-simulation in a single
+        simulator. A cut at a *blocked* conv layer lands between the
+        cores and the merge stages (the merges relocate to the
+        downstream device), so the wire carries the uniform tile grid
+        the plan's ``egress_words`` prices. The plan stays attached as
+        ``graph.multi_plan`` for the compiled engine's timing frame.
     """
     if loop_overhead < 0:
         raise ConfigurationError(
@@ -251,6 +265,16 @@ def build_network(
     images = batch.shape[0]
     g = DataflowGraph(design.name, default_capacity=channel_capacity)
     g.design = design
+
+    # Planned cut points: last layer of each non-final segment -> link index.
+    cut_after: Dict[str, int] = {}
+    link_beat = 1
+    if multi_plan is not None:
+        _check_multi_plan(design, multi_plan)
+        for d, seg in enumerate(multi_plan.segments[:-1]):
+            cut_after[seg.layer_names[-1]] = d
+        link_beat = multi_plan.link.beat_interval()
+        g.multi_plan = multi_plan
 
     source = g.add_actor(
         ArraySource("dma_in", interleave_images(batch), interval=dma.beat_interval(32))
@@ -318,7 +342,7 @@ def build_network(
                         memory_system,
                     )
                 g.connect(win, win_out, core, f"in{port}", capacity=channel_capacity)
-            if plan is not None:
+            if plan is not None and spec.name not in cut_after:
                 merged: List[Tuple[object, str]] = []
                 for i in range(spec.out_ports):
                     merge = g.add_actor(
@@ -331,6 +355,9 @@ def build_network(
                     merged.append((merge, "out"))
                 streams = merged
             else:
+                # A blocked layer at a cut boundary keeps its raw core
+                # streams: the merges relocate past the link (below), so
+                # the uniform tile grid is what crosses the wire.
                 streams = [(core, f"out{i}") for i in range(spec.out_ports)]
         elif isinstance(spec, PoolLayerSpec):
             oh, ow = spec.out_hw(h, w)
@@ -373,6 +400,11 @@ def build_network(
             streams = [(core, "out")]
         else:
             raise ConfigurationError(f"unknown layer spec kind {spec.kind!r}")
+        if spec.name in cut_after:
+            streams = _insert_link(
+                g, cut_after[spec.name], multi_plan, streams, p, h, w,
+                images, channel_capacity, link_beat,
+            )
         shape = p.out_shape
 
     # DMA out is a single 32-bit stream: widen to one port if needed.
@@ -492,3 +524,72 @@ def _adapt_ports(
         f"{name!r}: cannot adapt {have} ports to {want_ports} "
         f"(counts must divide; n_fm={n_fm})"
     )
+
+
+def _check_multi_plan(design: NetworkDesign, multi_plan) -> None:
+    """Reject a plan that does not partition this exact design."""
+    if multi_plan.design_name != design.name:
+        raise ConfigurationError(
+            f"multi-FPGA plan is for {multi_plan.design_name!r}, "
+            f"not {design.name!r}"
+        )
+    planned = [n for seg in multi_plan.segments for n in seg.layer_names]
+    actual = [s.name for s in design.specs]
+    if planned != actual:
+        raise ConfigurationError(
+            f"multi-FPGA plan layers {planned} do not match design "
+            f"layers {actual}"
+        )
+
+
+def _insert_link(
+    g: DataflowGraph,
+    d: int,
+    multi_plan,
+    streams: List[Tuple[object, str]],
+    placement,
+    h: int,
+    w: int,
+    images: int,
+    capacity: int,
+    link_beat: int,
+) -> List[Tuple[object, str]]:
+    """Cut the pipeline after ``placement`` with link ``d``.
+
+    The cut is a serial board-to-board stream: the producer ports are
+    round-robin-interleaved onto one wire, shipped through a paced
+    :class:`~repro.dataflow.link.LinkTxActor` /
+    :class:`~repro.dataflow.link.LinkRxActor` pair, and dealt back out to
+    the original port count on the far device. Round-robin serialisation
+    and deal-out are exact inverses at equal per-port rates, so the far
+    shard sees bit-identical per-port streams — only the timing changes.
+    For a blocked conv cut the deferred merge stages are re-created here,
+    downstream of the link.
+    """
+    spec = placement.spec
+    seg = multi_plan.segments[d]
+    words = seg.egress_words
+    n_ports = len(streams)
+    n_fm = placement.out_shape[0]
+    streams = _adapt_ports(g, f"link{d}.pre", streams, 1, n_fm)
+    tx = g.add_actor(LinkTxActor(f"link{d}.tx", words, beat=link_beat))
+    prod, oport = streams[0]
+    g.connect(prod, oport, tx, "in", capacity=capacity)
+    rx = g.add_actor(LinkRxActor(f"link{d}.rx", words))
+    g.connect(tx, "out", rx, "in", capacity=capacity, name=f"link{d}.wire")
+    streams = _adapt_ports(g, f"link{d}.post", [(rx, "out")], n_ports, n_fm)
+    if isinstance(spec, ConvLayerSpec):
+        plan = spec.block_plan(h, w)
+        if plan is not None:
+            merged: List[Tuple[object, str]] = []
+            for i, (mprod, moport) in enumerate(streams):
+                merge = g.add_actor(
+                    BlockMergeActor(
+                        f"{spec.name}.merge{i}", plan,
+                        group=spec.out_group, images=images,
+                    )
+                )
+                g.connect(mprod, moport, merge, "in", capacity=capacity)
+                merged.append((merge, "out"))
+            return merged
+    return streams

@@ -1,0 +1,239 @@
+"""Hardware-shaped stream-endpoint protocols (the stb/ack handshake).
+
+Every transport in the simulator presents the same two half-duplex faces,
+named after the AXI4-Stream / migen ``stb``/``ack`` signal pair:
+
+* a :class:`Source` is the face a *consumer* reads from. ``can_pop()`` is
+  the producer-driven ``stb`` (valid) signal — a value is present and may
+  be taken this cycle; ``pop()`` is the consumer's ``ack``.
+* a :class:`Sink` is the face a *producer* writes into. ``can_push()`` is
+  the consumer-driven ``ack`` (ready) signal — a slot is free this cycle;
+  ``push()`` asserts ``stb`` together with the data.
+
+A beat transfers exactly when both faces agree (``stb & ack``), which is
+what :meth:`~repro.dataflow.actor.Actor.relay` and every core loop spell
+as ``can_pop() and can_push()``. The protocols are *structural*
+(:func:`typing.runtime_checkable`): an actor port accepts anything with
+the right surface and never learns what transport sits behind it —
+
+* the bounded in-process FIFO (:class:`~repro.dataflow.channel.Channel`)
+  implements both faces;
+* a finite-bandwidth board-to-board link is a Sink/Source pair bridged by
+  the :mod:`repro.dataflow.link` actors, whose beat interval comes from
+  the :class:`~repro.fpga.dma.DmaModel` transfer model;
+* an inter-process queue is bridged by :class:`QueueSource` /
+  :class:`QueueSink` below, which keep the two-phase cycle contract on
+  the simulated side while exchanging values with a foreign
+  ``queue.Queue`` / ``multiprocessing.Queue`` / ``deque`` on the other.
+
+The two-phase cycle contract every endpoint must keep (it is what makes
+the simulation order-independent): values pushed during cycle ``t``
+become visible to ``can_pop`` at ``t + 1``; ``can_push``/``can_pop``
+answer against the start-of-cycle occupancy snapshot; at most one push
+and one pop per cycle (one beat per port per cycle, as on a real stream
+link).
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Any, Optional, Protocol, runtime_checkable
+
+from repro.dataflow.channel import Channel
+from repro.dataflow.events import ChannelWait
+from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class Source(Protocol):
+    """The consumer-facing half of a stream endpoint (``stb`` side).
+
+    Structural protocol over the exact surface
+    :meth:`~repro.dataflow.actor.Actor.recv` and
+    :meth:`~repro.dataflow.actor.Actor.relay` touch on an input port.
+    """
+
+    name: str
+
+    def can_pop(self) -> bool:
+        """``stb & !acked``: a value is visible and untaken this cycle."""
+        ...
+
+    def pop(self) -> Any:
+        """Acknowledge the beat: remove and return the oldest value."""
+        ...
+
+    def peek(self) -> Any:
+        """Inspect the oldest visible value without acknowledging it."""
+        ...
+
+    def pop_wait(self) -> ChannelWait:
+        """Event-engine park descriptor for a consumer stalled on empty."""
+        ...
+
+    def note_empty_stall(self) -> None:
+        """Record one consumer stall cycle (profiling counters)."""
+        ...
+
+    def bind_reader(self, actor_name: str) -> None:
+        """Register the unique consumer endpoint."""
+        ...
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """The producer-facing half of a stream endpoint (``ack`` side).
+
+    Structural protocol over the exact surface
+    :meth:`~repro.dataflow.actor.Actor.send` and
+    :meth:`~repro.dataflow.actor.Actor.relay` touch on an output port.
+    """
+
+    name: str
+
+    def can_push(self) -> bool:
+        """``ack & !strobed``: a slot is free and unused this cycle."""
+        ...
+
+    def push(self, value: Any) -> None:
+        """Assert ``stb`` with ``value``; visible to the consumer next cycle."""
+        ...
+
+    def push_wait(self) -> ChannelWait:
+        """Event-engine park descriptor for a producer stalled on full."""
+        ...
+
+    def note_full_stall(self) -> None:
+        """Record one producer stall cycle (profiling counters)."""
+        ...
+
+    def bind_writer(self, actor_name: str) -> None:
+        """Register the unique producer endpoint."""
+        ...
+
+
+@runtime_checkable
+class StreamEndpoint(Source, Sink, Protocol):
+    """A full-duplex endpoint: both faces of one bounded stream.
+
+    :class:`~repro.dataflow.channel.Channel` is the canonical
+    implementation; :class:`QueueSource`/:class:`QueueSink` implement it
+    by construction (they subclass Channel), exposing only one useful
+    face each — the other face belongs to the foreign process.
+    """
+
+
+def _take_nowait(feed: Any) -> Any:
+    """One value from a foreign queue-like object, or raise ``queue.Empty``.
+
+    Accepts anything with ``get_nowait()`` (``queue.Queue``,
+    ``queue.SimpleQueue``, ``multiprocessing.Queue``) or ``popleft()``
+    (``collections.deque``).
+    """
+    if hasattr(feed, "get_nowait"):
+        return feed.get_nowait()
+    try:
+        return feed.popleft()
+    except IndexError:
+        raise queue.Empty from None
+
+
+class QueueSource(Channel):
+    """A :class:`Source` whose producer is a foreign (inter-process) queue.
+
+    The simulated side keeps the full two-phase Channel contract; the
+    writer side is the external queue: at each cycle boundary up to
+    ``words_per_cycle`` available values are taken from the feed and
+    committed with the start-of-cycle snapshot — a value present at the
+    boundary "arrived during the previous cycle", exactly like a
+    registered push staged by a simulated producer. The writer endpoint
+    is pre-bound to a synthetic name so graph validation sees a complete
+    link.
+    """
+
+    __slots__ = ("feed", "words_per_cycle")
+
+    def __init__(
+        self,
+        name: str,
+        feed: Any,
+        capacity: Optional[int] = 4,
+        words_per_cycle: int = 1,
+    ):
+        if words_per_cycle < 1:
+            raise ConfigurationError(
+                f"{name!r}: words_per_cycle must be >= 1, got {words_per_cycle}"
+            )
+        super().__init__(name, capacity)
+        self.feed = feed
+        self.words_per_cycle = words_per_cycle
+        self.bind_writer(f"<ipc:{name}>.out")
+
+    def begin_cycle(self) -> None:
+        budget = self.words_per_cycle
+        cap = self.capacity
+        while budget and (cap is None or len(self) < cap):
+            try:
+                value = _take_nowait(self.feed)
+            except queue.Empty:
+                break
+            self._staged.append(value)
+            self.stats.total_pushed += 1
+            budget -= 1
+        super().begin_cycle()
+        # The foreign producer is invisible to the event engine's touched
+        # set; keep this endpoint polled so late arrivals still commit.
+        if self._touched is not None:
+            self._touched.add(self)
+
+
+class QueueSink(Channel):
+    """A :class:`Sink` whose consumer is a foreign (inter-process) queue.
+
+    Producers push under the normal Channel contract; each
+    ``begin_cycle`` forwards up to ``words_per_cycle`` committed values
+    into the external queue (mirroring a DMA engine draining a stream
+    into host memory). The reader endpoint is pre-bound to a synthetic
+    name so graph validation sees a complete link.
+    """
+
+    __slots__ = ("drain_to", "words_per_cycle")
+
+    def __init__(
+        self,
+        name: str,
+        drain_to: Any,
+        capacity: Optional[int] = 4,
+        words_per_cycle: int = 1,
+    ):
+        if words_per_cycle < 1:
+            raise ConfigurationError(
+                f"{name!r}: words_per_cycle must be >= 1, got {words_per_cycle}"
+            )
+        super().__init__(name, capacity)
+        self.drain_to = drain_to
+        self.words_per_cycle = words_per_cycle
+        self.bind_reader(f"<ipc:{name}>.in")
+
+    def _give(self, value: Any) -> None:
+        if hasattr(self.drain_to, "put_nowait"):
+            self.drain_to.put_nowait(value)
+        else:
+            self.drain_to.append(value)
+
+    def begin_cycle(self) -> None:
+        super().begin_cycle()
+        budget = self.words_per_cycle
+        q = self._q
+        while budget and q:
+            self._give(q.popleft())
+            self.stats.total_popped += 1
+            budget -= 1
+        # Re-snapshot after the drain: freed slots are visible to the
+        # producer this cycle, exactly as if a simulated reader had popped
+        # in an earlier cycle.
+        self._occ_at_cycle_start = len(q)
+        # A backlog beyond this cycle's budget must keep draining even if
+        # the producer goes quiet; stay in the event engine's touched set.
+        if q and self._touched is not None:
+            self._touched.add(self)

@@ -41,6 +41,11 @@ class DataflowGraph:
         #: was elaborated from (set by ``repro.core.builder``); ``None`` for
         #: hand-built graphs. The compiled engine requires it.
         self.design = None
+        #: The :class:`~repro.core.multi_fpga.MultiFpgaPlan` this graph was
+        #: sharded with (set by the builder when cutting the pipeline at
+        #: device boundaries); ``None`` for single-device graphs. The
+        #: compiled engine folds its link stages into the timing frame.
+        self.multi_plan = None
 
     # -- construction ------------------------------------------------------
 
@@ -163,6 +168,7 @@ class DataflowGraph:
             tracer=tracer,
             scheduler=scheduler,
             design=self.design,
+            multi_plan=self.multi_plan,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -149,6 +149,7 @@ class Simulator:
         tracer=None,
         scheduler: str = "event",
         design=None,
+        multi_plan=None,
     ):
         self.actors = list(actors)
         self.channels = list(channels)
@@ -163,6 +164,9 @@ class Simulator:
         self.scheduler = scheduler
         #: Design provenance for the compiled engine (None if hand-built).
         self.design = design
+        #: Multi-FPGA shard provenance (None for single-device graphs);
+        #: the compiled engine folds its link stages into the timing frame.
+        self.multi_plan = multi_plan
         #: Optional :class:`repro.faults.ArmedFaults`. Set (by
         #: ``repro.faults.arm_faults``) *before* the first ``run`` /
         #: ``run_cycles`` call; engines read it once at creation. None on

@@ -28,6 +28,7 @@ from repro.core.layer_spec import ConvLayerSpec, FCLayerSpec
 from repro.core.network_design import NetworkDesign
 from repro.core.perf_model import network_perf
 from repro.dataflow.trace import Tracer, counter_busy_fractions
+from repro.errors import ConfigurationError
 from repro.faults.harness import PILOT_WEIGHT_LIMIT, pilot_design
 from repro.profiling.report import ProfileReport
 
@@ -75,6 +76,7 @@ def profile_design(
     pilot: Optional[bool] = None,
     max_cycles: int = 50_000_000,
     tolerance: float = II_TOLERANCE,
+    multi_plan=None,
 ) -> ProfileReport:
     """Simulate ``design`` and return its :class:`ProfileReport`.
 
@@ -85,12 +87,25 @@ def profile_design(
     design. ``sample_every`` attaches the high-resolution
     :class:`~repro.dataflow.trace.Tracer` backend (disables the event
     engine's bulk cycle-skipping; counters are unaffected).
+
+    ``multi_plan`` profiles the *sharded* co-simulation of a
+    :class:`~repro.core.multi_fpga.MultiFpgaPlan`: the link stages enter
+    the Eq. 4 interval cross-check (``interval_predicted`` becomes the
+    plan interval, which races the link streams against the layer
+    stages) and the link actors show up in the per-stage bottleneck
+    attribution as ``link{d}``. The per-core II identity is untouched —
+    cutting the pipeline never changes productive fire counts.
     """
     if pilot or (
         pilot is None
         and design.weight_count() > PILOT_WEIGHT_LIMIT
         and not design_is_blocked(design)
     ):
+        if multi_plan is not None:
+            raise ConfigurationError(
+                "multi_plan profiles the full design; pass pilot=False "
+                "(a plan names the real layers, not the pilot downscale)"
+            )
         sim_design, piloted = pilot_design(design), True
     else:
         sim_design, piloted = design, False
@@ -100,7 +115,8 @@ def profile_design(
         0, 1, (images,) + sim_design.input_shape
     ).astype(np.float32)
     built = build_network(
-        sim_design, weights, batch, loop_overhead=loop_overhead
+        sim_design, weights, batch, loop_overhead=loop_overhead,
+        multi_plan=multi_plan,
     )
     tracer = Tracer(sample_every) if sample_every else None
     result = built.run(
@@ -179,7 +195,10 @@ def profile_design(
                 b - a for a, b in zip(completions, completions[1:])
             ]
             measured_iv = intervals[-1]
-            predicted_iv = perf.interval
+            predicted_iv = (
+                multi_plan.interval if multi_plan is not None
+                else perf.interval
+            )
             iv_err = abs(measured_iv - predicted_iv) / max(predicted_iv, 1)
             throughput = {
                 "interval_measured": measured_iv,

@@ -117,6 +117,17 @@ class BlockPlan:
         return self.n_tiles * self.ih * self.iw
 
     @property
+    def out_words(self) -> int:
+        """Words the cores emit per image per FM (incl. overhang).
+
+        This — not ``oh * ow`` — is what crosses a cut placed at a blocked
+        layer's core outputs (upstream of the merge stages): overhang
+        coordinates travel the link and are only dropped by the merge on
+        the far device.
+        """
+        return self.coords
+
+    @property
     def overhang_h(self) -> int:
         return self.gh * self.th - self.oh
 

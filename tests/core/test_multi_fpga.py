@@ -1,22 +1,59 @@
 """Unit tests for the multi-FPGA partitioning extension."""
 
+import json
+
 import pytest
 
-from repro.core import LinkModel, cifar10_design, network_perf, plan_split, usps_design
+from repro.core import (
+    LinkModel,
+    MultiFpgaPlan,
+    cifar10_design,
+    network_perf,
+    plan_split,
+    usps_design,
+)
+from repro.core.multi_fpga import load_multi_fpga_plan, segment_egress_words
 from repro.errors import ConfigurationError, ResourceError
 from repro.fpga import Device, XC7VX485T
+from repro.fpga.dma import DmaModel
 from repro.hls import ResourceVector
+from repro.report import SCHEMA_VERSION
 
 
 class TestLinkModel:
-    def test_stream_cycles(self):
+    def test_stream_cycles_serial_word_stream(self):
         link = LinkModel(bandwidth_bytes_per_s=1e9, clock_hz=100e6)
-        # 2.5 words/cycle -> 100 words need 40 cycles.
-        assert link.stream_cycles(100) == 40
+        # 10 bytes/cycle of bandwidth, but a serial stream moves at most
+        # one 32-bit word per cycle: 100 words need 100 cycles, not 40.
+        assert link.beat_interval() == 1
+        assert link.stream_cycles(100) == 100
+
+    def test_words_per_cycle_never_exceeds_one(self):
+        fast = LinkModel(bandwidth_bytes_per_s=1e12, clock_hz=100e6)
+        assert fast.words_per_cycle() == 1.0
+
+    def test_bandwidth_paces_the_beat(self):
+        # 1e6 B/s at 100 MHz = 0.01 B/cycle -> 400 cycles per 4-byte word.
+        slow = LinkModel(bandwidth_bytes_per_s=1e6, clock_hz=100e6)
+        assert slow.beat_interval() == 400
+        assert slow.stream_cycles(10) == 4000
+
+    def test_delegates_to_dma_model(self):
+        link = LinkModel(bandwidth_bytes_per_s=3e8, clock_hz=150e6,
+                         word_bits=64)
+        dma = link.dma
+        assert isinstance(dma, DmaModel)
+        assert link.beat_interval() == dma.beat_interval(64)
+        assert link.stream_cycles(7) == dma.transfer_cycles(7, 64)
 
     def test_negative_words_rejected(self):
         with pytest.raises(ConfigurationError):
             LinkModel().stream_cycles(-1)
+
+    def test_round_trip(self):
+        link = LinkModel(bandwidth_bytes_per_s=5e8, clock_hz=200e6,
+                         word_bits=16)
+        assert LinkModel.from_dict(link.to_dict()) == link
 
 
 class TestPlanSplit:
@@ -52,10 +89,75 @@ class TestPlanSplit:
         with pytest.raises(ResourceError):
             plan_split(usps_design(), 2, device=matchbox)
 
+    def test_no_fit_escape_keeps_honest_resources(self):
+        matchbox = Device("matchbox", "toy", ResourceVector(ff=10, lut=10, bram=1, dsp=1))
+        plan = plan_split(usps_design(), 2, device=matchbox, fit=False)
+        assert not plan.fits(matchbox)
+        assert plan.fits(XC7VX485T)
+
     def test_slow_link_becomes_bottleneck(self):
         # A link slower than every layer paces the split pipeline.
         slow = LinkModel(bandwidth_bytes_per_s=1e6, clock_hz=100e6)
         plan = plan_split(cifar10_design(), 2, link=slow)
-        egress = plan.segments[0].egress_words
-        assert plan.interval == slow.stream_cycles(egress)
+        cut = plan.n_devices - 2
+        assert plan.interval == slow.stream_cycles(
+            plan.segments[cut].egress_words
+        )
         assert plan.interval > network_perf(cifar10_design()).interval
+        assert plan.bottleneck == "link0"
+
+    def test_dma_endpoints_priced_like_network_perf(self):
+        design = usps_design()
+        plan = plan_split(design, 2)
+        assert plan.dma_in_cycles == design.input_words_per_image()
+        assert plan.dma_out_cycles == design.output_words_per_image()
+
+    def test_cut_layers_name_segment_boundaries(self):
+        plan = plan_split(cifar10_design(), 2)
+        assert plan.cut_layers() == (plan.segments[0].layer_names[-1],)
+
+
+class TestBlockedEgress:
+    def test_blocked_conv_prices_tile_grid_not_out_shape(self):
+        design = usps_design().with_blocking({"conv1": 5})
+        placement = design.placements[0]
+        spec = placement.spec
+        plan = spec.block_plan(placement.in_shape[1], placement.in_shape[2])
+        k = placement.out_shape[0]
+        assert segment_egress_words(placement) == plan.out_words * k
+        # Overhang crosses the wire: strictly more words than the
+        # trimmed output volume.
+        _, oh, ow = placement.out_shape
+        assert segment_egress_words(placement) > k * oh * ow
+
+    def test_plain_layer_prices_output_volume(self):
+        placement = usps_design().placements[0]
+        k, oh, ow = placement.out_shape
+        assert segment_egress_words(placement) == k * oh * ow
+
+
+class TestPlanEnvelope:
+    def test_round_trip(self):
+        plan = plan_split(cifar10_design(), 2)
+        clone = MultiFpgaPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+        assert clone.interval == plan.interval
+        assert clone.bottleneck == plan.bottleneck
+
+    def test_envelope_fields(self):
+        plan = plan_split(usps_design(), 2)
+        env = json.loads(plan.to_json())
+        assert env["schema_version"] == SCHEMA_VERSION
+        assert env["kind"] == "multi-fpga-plan"
+        assert env["n_devices"] == 2
+
+    def test_load_from_file(self, tmp_path):
+        plan = plan_split(usps_design(), 2)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json() + "\n")
+        loaded = load_multi_fpga_plan(str(path))
+        assert loaded.to_dict() == plan.to_dict()
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiFpgaPlan("empty", [], LinkModel())

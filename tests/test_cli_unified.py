@@ -168,3 +168,54 @@ class TestShrinkCommand:
         code, _, err = run_cli(capsys, "shrink")
         assert code == 1
         assert "design is required" in err
+
+
+class TestShardCommand:
+    def test_shard_text_verdict(self, capsys):
+        code, out, err = run_cli(
+            capsys, "shard", "--design", "tiny",
+            "--devices", "1", "2", "--images", "2",
+        )
+        assert code == 0
+        assert "shard tiny" in out
+        assert "digest match" in out
+        assert "deprecated" not in err
+
+    def test_shard_positional_design_deprecated(self, capsys):
+        code, out, err = run_cli(
+            capsys, "shard", "tiny", "--devices", "1", "--images", "1",
+        )
+        assert code == 0
+        assert "deprecated" in err
+
+    def test_shard_json_envelope(self, capsys, tmp_path):
+        path = tmp_path / "shard.json"
+        code, _, _ = run_cli(
+            capsys, "shard", "--design", "tiny",
+            "--devices", "1", "2", "--images", "2", "--json", str(path),
+        )
+        assert code == 0
+        d = json.loads(path.read_text())
+        assert d["schema_version"] == 1
+        assert d["kind"] == "shard"
+        assert d["ok"] is True
+
+    def test_shard_throttle_campaign(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "shard", "--design", "tiny",
+            "--devices", "2", "--images", "3", "--throttle", "1:3",
+        )
+        assert code == 0
+        assert "throttle p=1 b=3" in out
+
+    def test_shard_bad_throttle_spec(self, capsys):
+        code, _, err = run_cli(
+            capsys, "shard", "--design", "tiny", "--throttle", "nope",
+        )
+        assert code == 1
+        assert "PERIOD:BURST" in err
+
+    def test_shard_requires_design(self, capsys):
+        code, _, err = run_cli(capsys, "shard")
+        assert code == 1
+        assert "design is required" in err
